@@ -1,0 +1,78 @@
+//! Tree-contraction internals: α classification, one contraction level, the
+//! full multilevel hierarchy, and chain-key assignment — the pieces behind
+//! the paper's Fig. 12/13 phase accounting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::prelude::*;
+
+use pandora_core::expansion::{assign_chain_keys, sort_chain_keys, stitch_chains};
+use pandora_core::levels::{build_hierarchy, contract_level, max_incident, split_alpha, LevelTree};
+use pandora_core::{Edge, SortedMst};
+use pandora_exec::ExecCtx;
+
+fn random_mst(n: usize, seed: u64) -> SortedMst {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges: Vec<Edge> = (1..n)
+        .map(|v| Edge::new(rng.gen_range(0..v) as u32, v as u32, rng.gen::<f32>()))
+        .collect();
+    SortedMst::from_edges(&ExecCtx::threads(), n, &edges)
+}
+
+fn bench_level_pieces(c: &mut Criterion) {
+    let n = 500_000usize;
+    let ctx = ExecCtx::threads();
+    let mst = random_mst(n, 3);
+    let tree = LevelTree::from_mst(&mst);
+    let mi = max_incident(&ctx, &tree);
+    let split = split_alpha(&ctx, &tree, &mi);
+
+    let mut group = c.benchmark_group("contraction_pieces");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("max_incident", |b| b.iter(|| max_incident(&ctx, &tree)));
+    group.bench_function("split_alpha", |b| b.iter(|| split_alpha(&ctx, &tree, &mi)));
+    group.bench_function("contract_one_level", |b| {
+        b.iter(|| contract_level(&ctx, &tree, &split))
+    });
+    group.finish();
+}
+
+fn bench_hierarchy_and_expansion(c: &mut Criterion) {
+    let ctx = ExecCtx::threads();
+    let mut group = c.benchmark_group("hierarchy");
+    group.sample_size(10);
+    for n in [100_000usize, 500_000] {
+        let mst = random_mst(n, 9);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("build_hierarchy", n), &mst, |b, mst| {
+            b.iter(|| build_hierarchy(&ctx, mst))
+        });
+        let h = build_hierarchy(&ctx, &mst);
+        group.bench_with_input(BenchmarkId::new("assign_chain_keys", n), &h, |b, h| {
+            b.iter(|| assign_chain_keys(&ctx, h))
+        });
+        let keys_template = assign_chain_keys(&ctx, &h);
+        group.bench_with_input(
+            BenchmarkId::new("final_sort_and_stitch", n),
+            &keys_template,
+            |b, keys_template| {
+                b.iter_batched(
+                    || keys_template.clone(),
+                    |mut keys| {
+                        sort_chain_keys(&ctx, &mut keys);
+                        stitch_chains(&ctx, mst.n_edges(), &keys)
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_level_pieces, bench_hierarchy_and_expansion
+);
+criterion_main!(benches);

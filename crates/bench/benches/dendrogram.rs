@@ -1,0 +1,105 @@
+//! Dendrogram construction: PANDORA vs UnionFind vs top-down, across tree
+//! shapes from fully balanced to fully skewed — the paper's central claim is
+//! that PANDORA's work is *independent of skew* while top-down degrades.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+
+use pandora_core::baseline::{dendrogram_top_down, dendrogram_union_find};
+use pandora_core::{pandora, Edge, SortedMst};
+use pandora_exec::ExecCtx;
+
+fn random_tree(n: usize, seed: u64) -> Vec<Edge> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (1..n)
+        .map(|v| Edge::new(rng.gen_range(0..v) as u32, v as u32, rng.gen::<f32>()))
+        .collect()
+}
+
+fn chain_tree(n: usize) -> Vec<Edge> {
+    (0..n - 1)
+        .map(|i| Edge::new(i as u32, i as u32 + 1, (n - i) as f32))
+        .collect()
+}
+
+fn star_tree(n: usize) -> Vec<Edge> {
+    (1..n)
+        .map(|i| Edge::new(0, i as u32, (n - i) as f32))
+        .collect()
+}
+
+fn balanced_tree(n: usize) -> Vec<Edge> {
+    (1..n)
+        .map(|i| Edge::new((i / 2) as u32, i as u32, 1.0 / i as f32))
+        .collect()
+}
+
+fn bench_shapes(c: &mut Criterion) {
+    let n = 100_000usize;
+    let ctx = ExecCtx::threads();
+    let mut group = c.benchmark_group("dendrogram_shape");
+    group.sample_size(10);
+    for (shape, edges) in [
+        ("random", random_tree(n, 1)),
+        ("chain", chain_tree(n)),
+        ("star", star_tree(n)),
+        ("balanced", balanced_tree(n)),
+    ] {
+        let mst = SortedMst::from_edges(&ctx, n, &edges);
+        group.bench_with_input(BenchmarkId::new("pandora", shape), &mst, |b, mst| {
+            b.iter(|| pandora::dendrogram_from_sorted(&ctx, mst).0)
+        });
+        group.bench_with_input(BenchmarkId::new("union_find", shape), &mst, |b, mst| {
+            b.iter(|| dendrogram_union_find(mst))
+        });
+    }
+    group.finish();
+}
+
+fn bench_topdown_skew_sensitivity(c: &mut Criterion) {
+    // Top-down is O(n·h): at the same n it collapses on skewed shapes while
+    // PANDORA stays flat. Small n so the bench terminates.
+    let n = 4_000usize;
+    let ctx = ExecCtx::serial();
+    let mut group = c.benchmark_group("topdown_vs_skew");
+    group.sample_size(10);
+    for (shape, edges) in [
+        ("balanced", balanced_tree(n)),
+        ("random", random_tree(n, 2)),
+        ("chain", chain_tree(n)),
+    ] {
+        let mst = SortedMst::from_edges(&ctx, n, &edges);
+        group.bench_with_input(BenchmarkId::new("top_down", shape), &mst, |b, mst| {
+            b.iter(|| dendrogram_top_down(mst))
+        });
+        group.bench_with_input(BenchmarkId::new("pandora", shape), &mst, |b, mst| {
+            b.iter(|| pandora::dendrogram_from_sorted(&ctx, mst).0)
+        });
+    }
+    group.finish();
+}
+
+fn bench_sizes(c: &mut Criterion) {
+    let ctx = ExecCtx::threads();
+    let mut group = c.benchmark_group("dendrogram_scaling");
+    group.sample_size(10);
+    for n in [10_000usize, 100_000, 400_000] {
+        let edges = random_tree(n, 7);
+        let mst = SortedMst::from_edges(&ctx, n, &edges);
+        group.throughput(criterion::Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("pandora", n), &mst, |b, mst| {
+            b.iter(|| pandora::dendrogram_from_sorted(&ctx, mst).0)
+        });
+        group.bench_with_input(BenchmarkId::new("union_find", n), &mst, |b, mst| {
+            b.iter(|| dendrogram_union_find(mst))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_shapes, bench_topdown_skew_sensitivity, bench_sizes
+);
+criterion_main!(benches);

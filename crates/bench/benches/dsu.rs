@@ -1,0 +1,82 @@
+//! Union–find ablation: lock-free pointer-jumping DSU (the paper's choice,
+//! [22]) vs the sequential structure, under tree-contraction-like load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::prelude::*;
+
+use pandora_exec::dsu::{AtomicDsu, SeqDsu};
+use pandora_exec::ExecCtx;
+
+fn random_edges(n: usize, m: usize, seed: u64) -> Vec<(u32, u32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| (rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32))
+        .collect()
+}
+
+fn bench_dsu(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    let m = 800_000usize;
+    let edges = random_edges(n, m, 11);
+    let ctx = ExecCtx::threads();
+
+    let mut group = c.benchmark_group("dsu_union");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(m as u64));
+    group.bench_function(BenchmarkId::new("atomic_parallel", m), |b| {
+        b.iter(|| {
+            let dsu = AtomicDsu::new(n);
+            let edges_ref = &edges;
+            let dsu_ref = &dsu;
+            ctx.for_each(m, 512, |i| {
+                let (a, b) = edges_ref[i];
+                dsu_ref.union(a, b);
+            });
+            dsu.find(0)
+        })
+    });
+    group.bench_function(BenchmarkId::new("sequential", m), |b| {
+        b.iter(|| {
+            let mut dsu = SeqDsu::new(n);
+            for &(a, b) in &edges {
+                dsu.union(a, b);
+            }
+            dsu.find(0)
+        })
+    });
+    group.finish();
+}
+
+fn bench_find_after_union(c: &mut Criterion) {
+    // Contraction's second phase: one find per vertex after all unions.
+    let n = 1_000_000usize;
+    let edges = random_edges(n, n - 1, 5);
+    let dsu = AtomicDsu::new(n);
+    for &(a, b) in &edges {
+        dsu.union(a, b);
+    }
+    let ctx = ExecCtx::threads();
+    let mut group = c.benchmark_group("dsu_find_all");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("parallel_find", |b| {
+        b.iter(|| {
+            let dsu_ref = &dsu;
+            ctx.reduce(
+                n,
+                4096,
+                0u64,
+                |acc, range| acc + range.map(|v| dsu_ref.find(v as u32) as u64).sum::<u64>(),
+                |a, b| a + b,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_dsu, bench_find_after_union
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! End-to-end HDBSCAN\* pipeline benches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pandora_data::by_name;
+use pandora_exec::ExecCtx;
+use pandora_hdbscan::{Hdbscan, HdbscanParams};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hdbscan_pipeline");
+    group.sample_size(10);
+    for name in ["Hacc37M", "Ngsimlocation3"] {
+        let points = by_name(name).unwrap().generate(20_000, 6);
+        group.throughput(Throughput::Elements(points.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &points, |b, points| {
+            let driver = Hdbscan::with_ctx(HdbscanParams::default(), ExecCtx::threads());
+            b.iter(|| driver.run(points))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mpts_sensitivity(c: &mut Criterion) {
+    // Fig 15's knob: rising mpts should grow the dendrogram stage only
+    // mildly for PANDORA.
+    let points = by_name("Uniform100M3D").unwrap().generate(20_000, 8);
+    let mut group = c.benchmark_group("hdbscan_mpts");
+    group.sample_size(10);
+    for mpts in [2usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(mpts), &mpts, |b, &mpts| {
+            let driver = Hdbscan::with_ctx(
+                HdbscanParams {
+                    min_pts: mpts,
+                    ..Default::default()
+                },
+                ExecCtx::threads(),
+            );
+            b.iter(|| driver.run(&points))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(5));
+    targets = bench_pipeline, bench_mpts_sensitivity
+);
+criterion_main!(benches);

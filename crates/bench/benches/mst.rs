@@ -1,0 +1,75 @@
+//! EMST substrate: kd-tree construction, k-NN core distances, Borůvka.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pandora_data::by_name;
+use pandora_exec::ExecCtx;
+use pandora_mst::{boruvka_mst, core_distances2, Euclidean, KdTree, MutualReachability};
+
+fn bench_kdtree_build(c: &mut Criterion) {
+    let ctx = ExecCtx::threads();
+    let mut group = c.benchmark_group("kdtree_build");
+    group.sample_size(10);
+    for n in [50_000usize, 200_000] {
+        let points = by_name("Uniform100M3D").unwrap().generate(n, 1);
+        group.throughput(Throughput::Elements(points.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &points, |b, points| {
+            b.iter(|| KdTree::build(&ctx, points))
+        });
+    }
+    group.finish();
+}
+
+fn bench_core_distances(c: &mut Criterion) {
+    let ctx = ExecCtx::threads();
+    let points = by_name("Hacc37M").unwrap().generate(50_000, 2);
+    let tree = KdTree::build(&ctx, &points);
+    let mut group = c.benchmark_group("core_distances");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(points.len() as u64));
+    for min_pts in [2usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(min_pts),
+            &min_pts,
+            |b, &min_pts| b.iter(|| core_distances2(&ctx, &points, &tree, min_pts)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_boruvka(c: &mut Criterion) {
+    let ctx = ExecCtx::threads();
+    let mut group = c.benchmark_group("boruvka_emst");
+    group.sample_size(10);
+    for (name, n) in [("Uniform100M2D", 12_000usize), ("Hacc37M", 12_000)] {
+        let points = by_name(name).unwrap().generate(n, 4);
+        group.throughput(Throughput::Elements(points.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("euclidean", name),
+            &points,
+            |b, points| {
+                let tree = KdTree::build(&ctx, points);
+                b.iter(|| boruvka_mst(&ctx, points, &tree, &Euclidean))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mutual_reachability", name),
+            &points,
+            |b, points| {
+                let mut tree = KdTree::build(&ctx, points);
+                let core2 = core_distances2(&ctx, points, &tree, 2);
+                tree.attach_core2(&core2);
+                let metric = MutualReachability { core2: &core2 };
+                b.iter(|| boruvka_mst(&ctx, points, &tree, &metric))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_kdtree_build, bench_core_distances, bench_boruvka
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Substrate primitives: parallel for / reduce / scan throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pandora_exec::scan::exclusive_scan_in_place;
+use pandora_exec::ExecCtx;
+
+fn bench_for_each(c: &mut Criterion) {
+    let mut group = c.benchmark_group("for_each");
+    group.sample_size(20);
+    for n in [100_000usize, 1_000_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        for (label, ctx) in [("serial", ExecCtx::serial()), ("threads", ExecCtx::threads())] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                let mut out = vec![0u64; n];
+                b.iter(|| {
+                    let view = pandora_exec::UnsafeSlice::new(&mut out);
+                    ctx.for_each_chunk(n, 4096, |range| {
+                        for i in range {
+                            // SAFETY: disjoint chunks.
+                            unsafe { view.write(i, (i as u64).wrapping_mul(0x9E3779B9)) };
+                        }
+                    });
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduce");
+    group.sample_size(20);
+    let n = 1_000_000usize;
+    let data: Vec<u64> = (0..n as u64).collect();
+    group.throughput(Throughput::Elements(n as u64));
+    for (label, ctx) in [("serial", ExecCtx::serial()), ("threads", ExecCtx::threads())] {
+        let data_ref = &data;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                ctx.reduce(
+                    n,
+                    4096,
+                    0u64,
+                    |acc, range| acc + range.map(|i| data_ref[i]).sum::<u64>(),
+                    |a, b| a + b,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exclusive_scan");
+    group.sample_size(20);
+    for n in [100_000usize, 1_000_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        for (label, ctx) in [("serial", ExecCtx::serial()), ("threads", ExecCtx::threads())] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                let template: Vec<u32> = (0..n as u32).map(|i| i % 7).collect();
+                let mut buf = template.clone();
+                b.iter(|| {
+                    buf.copy_from_slice(&template);
+                    exclusive_scan_in_place(&ctx, &mut buf)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_for_each, bench_reduce, bench_scan
+);
+criterion_main!(benches);

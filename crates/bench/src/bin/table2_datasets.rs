@@ -1,0 +1,47 @@
+//! **Table 2**: the evaluation datasets with their dendrogram skew.
+//!
+//! Regenerates every row with the scaled proxy generators and measures the
+//! actual `Imb` (dendrogram height / log₂ n) of the mutual-reachability
+//! dendrogram at `minPts = 2`, next to the paper's reported values.
+
+use pandora_bench::harness::print_table;
+use pandora_bench::suite::bench_scale;
+use pandora_core::pandora;
+use pandora_data::all_datasets;
+use pandora_exec::ExecCtx;
+use pandora_mst::{boruvka_mst, core_distances2, KdTree, MutualReachability};
+
+fn main() {
+    let n = bench_scale();
+    println!("Table 2 reproduction — proxies at n ≈ {n} (PANDORA_SCALE to change)");
+    let ctx = ExecCtx::threads();
+    let mut rows = Vec::new();
+    for spec in all_datasets() {
+        let points = spec.generate(n, 7);
+        let mut tree = KdTree::build(&ctx, &points);
+        let core2 = core_distances2(&ctx, &points, &tree, 2);
+        tree.attach_core2(&core2);
+        let metric = MutualReachability { core2: &core2 };
+        let edges = boruvka_mst(&ctx, &points, &tree, &metric);
+        let dendro = pandora::dendrogram(&ctx, points.len(), &edges);
+        rows.push(vec![
+            spec.name.to_string(),
+            spec.dim.to_string(),
+            points.len().to_string(),
+            format!("{:.0}", dendro.skewness()),
+            format!("{:.0e}", spec.paper_imb),
+            format!("{}", spec.paper_npts),
+            spec.desc.to_string(),
+        ]);
+    }
+    print_table(
+        "Table 2 — datasets (measured Imb at scaled n vs paper Imb at full n)",
+        &["Name", "Dim", "n (here)", "Imb (here)", "Imb (paper)", "n (paper)", "Desc"],
+        &rows,
+    );
+    println!(
+        "\nNote: Imb grows with n for skewed data (chains lengthen linearly, \
+         log n slowly), so scaled-down proxies report proportionally smaller \
+         Imb; the ordering across datasets is the comparable signal."
+    );
+}

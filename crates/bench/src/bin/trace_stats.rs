@@ -1,0 +1,32 @@
+//! Calibration helper: prints per-phase, per-kernel-kind element totals of a
+//! real PANDORA run, so the device-model rates can be fit to the paper's
+//! published phase fractions and speedups (EXPERIMENTS.md §calibration).
+
+use pandora_bench::harness::run_pipeline;
+use pandora_bench::suite::bench_scale;
+use pandora_data::by_name;
+
+fn main() {
+    let n = bench_scale();
+    let points = by_name("Hacc37M").expect("registry").generate(n, 42);
+    let run = run_pipeline(&points, 2);
+    println!("n = {} points, {} contraction levels", run.n, run.n_levels);
+
+    for (label, trace) in [
+        ("mst", &run.mst_trace),
+        ("pandora(all)", &run.pandora_trace),
+        ("ufmt", &run.ufmt_trace),
+    ] {
+        println!("\n--- {label}: {} kernel launches ---", trace.len());
+        for phase in trace.phases() {
+            let sub = trace.phase(phase);
+            println!("  phase {phase}: {} launches", sub.len());
+            for (kind, total, count) in sub.kind_totals() {
+                println!(
+                    "    {kind:?}: {count} launches, {total} elems ({:.2} per point)",
+                    total as f64 / run.n as f64
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Dataset suites used by the figure binaries, matching the paper's figures.
+
+use pandora_data::{by_name, DatasetSpec};
+use pandora_mst::PointSet;
+
+/// A dataset as labelled in a paper figure, bound to its Table 2 generator.
+#[derive(Debug, Clone, Copy)]
+pub struct FigDataset {
+    /// Label used in the figure (the paper abbreviates Table 2 names).
+    pub label: &'static str,
+    /// Table 2 name it resolves to.
+    pub table2_name: &'static str,
+}
+
+impl FigDataset {
+    /// The Table 2 spec.
+    pub fn spec(&self) -> DatasetSpec {
+        by_name(self.table2_name)
+            .unwrap_or_else(|| panic!("unknown dataset {}", self.table2_name))
+    }
+
+    /// Generates the scaled instance.
+    pub fn generate(&self, n: usize, seed: u64) -> PointSet {
+        self.spec().generate(n, seed)
+    }
+}
+
+const FD: fn(&'static str, &'static str) -> FigDataset =
+    |label, table2_name| FigDataset { label, table2_name };
+
+/// The ten datasets of Figure 11, in the figure's order.
+pub fn fig11_suite() -> Vec<FigDataset> {
+    vec![
+        FD("RoadNetwork3D", "RoadNetwork3"),
+        FD("Normal100M2", "Normal100M2D"),
+        FD("Uniform100M3", "Uniform100M3D"),
+        FD("pamap24D", "Pamap2"),
+        FD("farm5D", "Farm"),
+        FD("Household2M7D", "Household"),
+        FD("VisualSim10M5D", "VisualSim10M5D"),
+        FD("VisualVar10M3D", "VisualVar10M3D"),
+        FD("Ngsimlocation3", "Ngsimlocation3"),
+        FD("Hacc37M", "Hacc37M"),
+    ]
+}
+
+/// The six datasets of Figures 12 and 13, in the figures' order.
+pub fn fig12_suite() -> Vec<FigDataset> {
+    vec![
+        FD("Normal100M2", "Normal100M2D"),
+        FD("Hacc37M", "Hacc37M"),
+        FD("Uniform100M3", "Uniform100M3D"),
+        FD("pamap24D", "Pamap2"),
+        FD("farm5D", "Farm"),
+        FD("VisualSim10M5D", "VisualSim10M5D"),
+    ]
+}
+
+/// Per-dataset point count for the figure binaries.
+///
+/// Controlled by `PANDORA_SCALE` (points, default 40 000) so the harness
+/// fits any host; the paper's original sizes are reported alongside.
+pub fn bench_scale() -> usize {
+    std::env::var("PANDORA_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_resolve() {
+        for d in fig11_suite().iter().chain(fig12_suite().iter()) {
+            let spec = d.spec();
+            let ps = d.generate(1000, 1);
+            assert_eq!(ps.dim(), spec.dim, "{}", d.label);
+        }
+    }
+}

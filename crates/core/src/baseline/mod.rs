@@ -1,0 +1,16 @@
+//! Reference dendrogram-construction algorithms the paper compares against.
+//!
+//! * [`union_find`] — bottom-up with union–find (Algorithm 2); its
+//!   `UnionFind-MT` variant (parallel sort + sequential pass) is the
+//!   state-of-the-art baseline in the paper's evaluation (§6.3).
+//! * [`top_down`] — divide-and-conquer (Algorithm 1), `O(n·h)`.
+//! * [`mixed`] — Wang et al.'s hybrid (§2.3.3): parallel bottom-up over
+//!   subtrees below the heaviest edges, sequential top stitching.
+
+pub mod mixed;
+pub mod top_down;
+pub mod union_find;
+
+pub use mixed::dendrogram_mixed;
+pub use top_down::dendrogram_top_down;
+pub use union_find::{dendrogram_union_find, dendrogram_union_find_mt};

@@ -1,0 +1,180 @@
+//! Top-down dendrogram construction (paper Algorithm 1).
+//!
+//! Divide and conquer: the heaviest edge of a component is the component's
+//! dendrogram root; removing it splits the component in two, and the
+//! recursion continues in each half. Worst-case cost is `O(n·h)` where `h`
+//! is the dendrogram height — quadratic on the skewed dendrograms that
+//! dominate real data, which is exactly the weakness PANDORA removes
+//! (paper §2.3.1). Kept as a baseline and as an ablation subject.
+
+use crate::dendrogram::Dendrogram;
+use crate::edge::{SortedMst, INVALID};
+
+/// Sequential top-down construction over a canonically sorted MST.
+///
+/// Uses an explicit work stack (component edge lists stay sorted, so the
+/// heaviest edge of a component is its first element).
+pub fn dendrogram_top_down(mst: &SortedMst) -> Dendrogram {
+    let n = mst.n_edges();
+    let nv = mst.n_vertices();
+    let mut edge_parent = vec![INVALID; n];
+    let mut vertex_parent = vec![INVALID; nv];
+    if n == 0 {
+        return Dendrogram {
+            edge_parent,
+            vertex_parent,
+            edge_weight: mst.weight.clone(),
+        };
+    }
+
+    // CSR adjacency: vertex → incident edge positions.
+    let mut offsets = vec![0u32; nv + 1];
+    for i in 0..n {
+        offsets[mst.src[i] as usize + 1] += 1;
+        offsets[mst.dst[i] as usize + 1] += 1;
+    }
+    for v in 0..nv {
+        offsets[v + 1] += offsets[v];
+    }
+    let mut adjacency = vec![0u32; 2 * n];
+    {
+        let mut cursor = offsets.clone();
+        for i in 0..n {
+            for v in [mst.src[i], mst.dst[i]] {
+                adjacency[cursor[v as usize] as usize] = i as u32;
+                cursor[v as usize] += 1;
+            }
+        }
+    }
+
+    // Epoch-stamped membership arrays avoid reallocating per component.
+    let mut edge_stamp = vec![0u32; n];
+    let mut vertex_seen = vec![0u32; nv];
+    let mut epoch = 0u32;
+
+    // Work stack: (sorted edge positions of the component, parent edge).
+    let mut stack: Vec<(Vec<u32>, u32)> = vec![((0..n as u32).collect(), INVALID)];
+    while let Some((component, parent)) = stack.pop() {
+        let heaviest = component[0];
+        edge_parent[heaviest as usize] = parent;
+
+        if component.len() == 1 {
+            // Both endpoints become leaf vertex-nodes of this edge... unless
+            // they still carry other edges — impossible: a single-edge
+            // component has exactly two degree-1 vertices.
+            vertex_parent[mst.src[heaviest as usize] as usize] = heaviest;
+            vertex_parent[mst.dst[heaviest as usize] as usize] = heaviest;
+            continue;
+        }
+
+        // Mark the component's edges.
+        epoch += 1;
+        for &e in &component {
+            edge_stamp[e as usize] = epoch;
+        }
+
+        // Flood from the `src` endpoint of the removed edge, collecting the
+        // side-1 edge set.
+        let u = mst.src[heaviest as usize];
+        vertex_seen[u as usize] = epoch;
+        let mut frontier = vec![u];
+        while let Some(v) = frontier.pop() {
+            let lo = offsets[v as usize] as usize;
+            let hi = offsets[v as usize + 1] as usize;
+            for &e in &adjacency[lo..hi] {
+                if e == heaviest || edge_stamp[e as usize] != epoch {
+                    continue;
+                }
+                let (a, b) = (mst.src[e as usize], mst.dst[e as usize]);
+                let other = if a == v { b } else { a };
+                if vertex_seen[other as usize] != epoch {
+                    vertex_seen[other as usize] = epoch;
+                    frontier.push(other);
+                }
+            }
+        }
+
+        let mut side_u = Vec::new();
+        let mut side_v = Vec::new();
+        for &e in &component[1..] {
+            let a = mst.src[e as usize];
+            // An edge is on u's side iff either endpoint was flooded (both
+            // are, if any).
+            if vertex_seen[a as usize] == epoch {
+                side_u.push(e);
+            } else {
+                side_v.push(e);
+            }
+        }
+        // Empty sides are single vertices hanging directly off `heaviest`.
+        if side_u.is_empty() {
+            vertex_parent[mst.src[heaviest as usize] as usize] = heaviest;
+        } else {
+            stack.push((side_u, heaviest));
+        }
+        if side_v.is_empty() {
+            vertex_parent[mst.dst[heaviest as usize] as usize] = heaviest;
+        } else {
+            stack.push((side_v, heaviest));
+        }
+    }
+
+    Dendrogram {
+        edge_parent,
+        vertex_parent,
+        edge_weight: mst.weight.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::union_find::dendrogram_union_find;
+    use crate::edge::Edge;
+    use pandora_exec::ExecCtx;
+
+    #[test]
+    fn matches_union_find_on_small_trees() {
+        use rand::prelude::*;
+        let ctx = ExecCtx::serial();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..30 {
+            let n_vertices = rng.gen_range(2..120);
+            let edges: Vec<Edge> = (1..n_vertices)
+                .map(|v| {
+                    Edge::new(
+                        rng.gen_range(0..v) as u32,
+                        v as u32,
+                        rng.gen_range(0.0..10.0f32),
+                    )
+                })
+                .collect();
+            let mst = SortedMst::from_edges(&ctx, n_vertices, &edges);
+            let top_down = dendrogram_top_down(&mst);
+            let bottom_up = dendrogram_union_find(&mst);
+            assert_eq!(top_down, bottom_up);
+        }
+    }
+
+    #[test]
+    fn single_edge() {
+        let ctx = ExecCtx::serial();
+        let mst = SortedMst::from_edges(&ctx, 2, &[Edge::new(0, 1, 1.0)]);
+        let d = dendrogram_top_down(&mst);
+        d.validate().unwrap();
+        assert_eq!(d.vertex_parent, vec![0, 0]);
+    }
+
+    #[test]
+    fn one_sided_split_assigns_vertex() {
+        // Star: removing the heaviest edge always isolates one leaf.
+        let ctx = ExecCtx::serial();
+        let edges: Vec<Edge> = (1..=4)
+            .map(|i| Edge::new(0, i as u32, (5 - i) as f32))
+            .collect();
+        let mst = SortedMst::from_edges(&ctx, 5, &edges);
+        let d = dendrogram_top_down(&mst);
+        d.validate().unwrap();
+        assert_eq!(d, dendrogram_union_find(&mst));
+    }
+}

@@ -1,0 +1,148 @@
+//! Bottom-up dendrogram construction with union–find (paper Algorithm 2).
+//!
+//! Processes edges from the lightest to the heaviest. For each edge, the two
+//! endpoint clusters are looked up; each cluster's current *top edge* (the
+//! last edge that merged it) gets the new edge as its dendrogram parent — or
+//! the endpoint vertex itself does, if its cluster is still a singleton.
+//!
+//! This is work-optimal (`O(n α(n))` after sorting) but **inherently
+//! sequential**: "for a given edge, it is impossible to say when it should
+//! be processed given the information only about its vertices or adjacent
+//! edges" (§2.3.2). The multithreaded variant used as the paper's baseline
+//! (`UnionFind-MT`, from Wang et al.) parallelizes only the sort.
+
+use pandora_exec::dsu::SeqDsu;
+use pandora_exec::trace::KernelKind;
+use pandora_exec::ExecCtx;
+
+use crate::dendrogram::Dendrogram;
+use crate::edge::{Edge, SortedMst, INVALID};
+
+/// Sequential bottom-up construction over a canonically sorted MST.
+pub fn dendrogram_union_find(mst: &SortedMst) -> Dendrogram {
+    let n = mst.n_edges();
+    let nv = mst.n_vertices();
+    let mut dsu = SeqDsu::new(nv);
+    // Top edge of each cluster, indexed by DSU root.
+    let mut rep_edge = vec![INVALID; nv];
+    let mut edge_parent = vec![INVALID; n];
+    let mut vertex_parent = vec![INVALID; nv];
+
+    // Lightest edge = largest index, processed first.
+    for i in (0..n).rev() {
+        let (u, v) = (mst.src[i], mst.dst[i]);
+        for endpoint in [u, v] {
+            let root = dsu.find(endpoint) as usize;
+            let top = rep_edge[root];
+            if top != INVALID {
+                edge_parent[top as usize] = i as u32;
+            } else {
+                vertex_parent[endpoint as usize] = i as u32;
+            }
+        }
+        dsu.union(u, v);
+        rep_edge[dsu.find(u) as usize] = i as u32;
+    }
+    Dendrogram {
+        edge_parent,
+        vertex_parent,
+        edge_weight: mst.weight.clone(),
+    }
+}
+
+/// The paper's `UnionFind-MT` baseline: parallel sort + sequential
+/// union–find pass. Returns the dendrogram and the two phase times
+/// (seconds): `(sort_s, union_find_s)`.
+pub fn dendrogram_union_find_mt(
+    ctx: &ExecCtx,
+    n_vertices: usize,
+    edges: &[Edge],
+) -> (Dendrogram, f64, f64) {
+    let t0 = std::time::Instant::now();
+    ctx.set_phase("sort");
+    let mst = SortedMst::from_edges(ctx, n_vertices, edges);
+    let sort_s = t0.elapsed().as_secs_f64();
+
+    let t1 = std::time::Instant::now();
+    ctx.set_phase("dendrogram");
+    // The union–find pass runs on one lane no matter the device.
+    ctx.record(
+        KernelKind::SeqLoop,
+        mst.n_edges() as u64,
+        (mst.n_edges() as u64) * 48,
+    );
+    let dendrogram = dendrogram_union_find(&mst);
+    let uf_s = t1.elapsed().as_secs_f64();
+    (dendrogram, sort_s, uf_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pandora_exec::ExecCtx;
+
+    #[test]
+    fn path_graph_is_one_chain() {
+        let ctx = ExecCtx::serial();
+        let edges: Vec<Edge> = (0..5)
+            .map(|i| Edge::new(i, i + 1, (5 - i) as f32))
+            .collect();
+        let mst = SortedMst::from_edges(&ctx, 6, &edges);
+        let d = dendrogram_union_find(&mst);
+        d.validate().unwrap();
+        assert_eq!(d.edge_parent, vec![INVALID, 0, 1, 2, 3]);
+        assert_eq!(d.height(), 5);
+    }
+
+    #[test]
+    fn balanced_four_leaves() {
+        // Perfectly balanced: two light pairs joined by a heavy bridge.
+        //   0-1 (w=1), 2-3 (w=2), 1-2 (w=10)
+        let ctx = ExecCtx::serial();
+        let edges = vec![
+            Edge::new(0, 1, 1.0),
+            Edge::new(2, 3, 2.0),
+            Edge::new(1, 2, 10.0),
+        ];
+        let mst = SortedMst::from_edges(&ctx, 4, &edges);
+        let d = dendrogram_union_find(&mst);
+        d.validate().unwrap();
+        // Canonical order: bridge=0, (2,3)=1, (0,1)=2.
+        assert_eq!(d.edge_parent, vec![INVALID, 0, 0]);
+        assert_eq!(d.vertex_parent, vec![2, 2, 1, 1]);
+        assert_eq!(d.height(), 2);
+    }
+
+    #[test]
+    fn star_vertex_parents_are_own_edges() {
+        let ctx = ExecCtx::serial();
+        let edges: Vec<Edge> = (1..=6)
+            .map(|i| Edge::new(0, i as u32, (7 - i) as f32))
+            .collect();
+        let mst = SortedMst::from_edges(&ctx, 7, &edges);
+        let d = dendrogram_union_find(&mst);
+        d.validate().unwrap();
+        // Center's parent is the lightest edge.
+        assert_eq!(d.vertex_parent[0], 5);
+        // Every leaf hangs off its own edge.
+        for i in 0..6usize {
+            let leaf = mst.dst[i].max(mst.src[i]) as usize;
+            assert_eq!(d.vertex_parent[leaf], i as u32);
+        }
+        // Star dendrogram is a single chain.
+        assert_eq!(d.height(), 6);
+    }
+
+    #[test]
+    fn mt_variant_matches_sequential() {
+        let ctx = ExecCtx::threads();
+        let edges: Vec<Edge> = (1..100u32)
+            .map(|v| Edge::new(v / 3, v, ((v * 7919) % 97) as f32))
+            .collect();
+        let (d_mt, sort_s, uf_s) = dendrogram_union_find_mt(&ctx, 100, &edges);
+        let mst = SortedMst::from_edges(&ExecCtx::serial(), 100, &edges);
+        let d_seq = dendrogram_union_find(&mst);
+        assert_eq!(d_mt, d_seq);
+        assert!(sort_s >= 0.0 && uf_s >= 0.0);
+    }
+}

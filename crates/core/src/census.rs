@@ -1,0 +1,217 @@
+//! Structural censuses of dendrograms and contraction hierarchies.
+//!
+//! Quantifies the paper's §4.2 accounting: every edge-node is a leaf, chain
+//! or α edge; `n_leaf = n_α + 1` in every (connected, non-empty) tree; chain
+//! edges make up the rest. These identities drive the `n_α ≤ (n−1)/2` bound
+//! and the `⌈log₂(n+1)⌉` level bound, and the census is the right tool for
+//! inspecting *why* a dataset's dendrogram is skewed (long chains = few α).
+
+use pandora_exec::ExecCtx;
+
+use crate::dendrogram::Dendrogram;
+use crate::edge::{SortedMst, INVALID};
+use crate::levels::{edge_node_kind, max_incident, ContractionHierarchy, EdgeNodeKind};
+
+/// Edge-node counts of one tree level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelCensus {
+    /// Edges whose children are two vertex-nodes.
+    pub n_leaf: usize,
+    /// Edges with exactly one vertex child.
+    pub n_chain: usize,
+    /// Edges with no vertex children (branching nodes).
+    pub n_alpha: usize,
+}
+
+impl LevelCensus {
+    /// Total edge count.
+    pub fn total(&self) -> usize {
+        self.n_leaf + self.n_chain + self.n_alpha
+    }
+
+    /// The paper's §4.2 identity `n_leaf = n_α + 1` (holds for any
+    /// non-empty tree).
+    pub fn leaf_alpha_identity_holds(&self) -> bool {
+        self.total() == 0 || self.n_leaf == self.n_alpha + 1
+    }
+}
+
+/// Census of every level of a contraction hierarchy.
+pub fn hierarchy_census(ctx: &ExecCtx, hierarchy: &ContractionHierarchy) -> Vec<LevelCensus> {
+    hierarchy
+        .trees
+        .iter()
+        .map(|tree| {
+            let mi = max_incident(ctx, tree);
+            let mut census = LevelCensus {
+                n_leaf: 0,
+                n_chain: 0,
+                n_alpha: 0,
+            };
+            for pos in 0..tree.n_edges() {
+                match edge_node_kind(tree, &mi, pos) {
+                    EdgeNodeKind::Leaf => census.n_leaf += 1,
+                    EdgeNodeKind::Chain => census.n_chain += 1,
+                    EdgeNodeKind::Alpha => census.n_alpha += 1,
+                }
+            }
+            census
+        })
+        .collect()
+}
+
+/// Distribution of dendrogram chain lengths.
+///
+/// A chain is a maximal run of edge-nodes each having exactly one edge
+/// child. Returns the sorted list of chain lengths; their count and maximum
+/// explain the height: `height ≈ Σ of chain lengths along the deepest path`.
+pub fn chain_lengths(dendrogram: &Dendrogram) -> Vec<usize> {
+    let n = dendrogram.n_edges();
+    if n == 0 {
+        return Vec::new();
+    }
+    let children = dendrogram.edge_children();
+    // Chain heads: nodes whose parent has 2 edge children (or the root).
+    let mut lengths = Vec::new();
+    for e in 0..n as u32 {
+        let is_head = if e == 0 {
+            true
+        } else {
+            let p = dendrogram.edge_parent[e as usize] as usize;
+            children[p][0] != INVALID && children[p][1] != INVALID
+        };
+        if !is_head {
+            continue;
+        }
+        // Walk down while exactly one edge child.
+        let mut len = 1usize;
+        let mut cur = e;
+        loop {
+            let kids = children[cur as usize];
+            match (kids[0] != INVALID, kids[1] != INVALID) {
+                (true, false) => {
+                    cur = kids[0];
+                    len += 1;
+                }
+                (false, true) => {
+                    cur = kids[1];
+                    len += 1;
+                }
+                _ => break,
+            }
+        }
+        lengths.push(len);
+    }
+    lengths.sort_unstable();
+    lengths
+}
+
+/// Full structural report for one MST: per-level censuses + chain stats.
+#[derive(Debug, Clone)]
+pub struct StructureReport {
+    /// Census per contraction level.
+    pub levels: Vec<LevelCensus>,
+    /// Sorted chain lengths of the final dendrogram.
+    pub chain_lengths: Vec<usize>,
+    /// Dendrogram height.
+    pub height: usize,
+    /// Skew (`Imb`).
+    pub skewness: f64,
+}
+
+/// Builds the report (runs the contraction hierarchy and the dendrogram).
+pub fn structure_report(ctx: &ExecCtx, mst: &SortedMst) -> StructureReport {
+    let hierarchy = crate::levels::build_hierarchy(ctx, mst);
+    let levels = hierarchy_census(ctx, &hierarchy);
+    let (dendrogram, _) = crate::pandora::dendrogram_from_sorted(ctx, mst);
+    StructureReport {
+        levels,
+        chain_lengths: chain_lengths(&dendrogram),
+        height: dendrogram.height(),
+        skewness: dendrogram.skewness(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Edge;
+    use rand::prelude::*;
+
+    #[test]
+    fn leaf_alpha_identity_on_random_trees() {
+        let ctx = ExecCtx::serial();
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..20 {
+            let n = rng.gen_range(2..500);
+            let edges: Vec<Edge> = (1..n)
+                .map(|v| {
+                    Edge::new(
+                        rng.gen_range(0..v) as u32,
+                        v as u32,
+                        rng.gen_range(0.0..8.0f32),
+                    )
+                })
+                .collect();
+            let mst = SortedMst::from_edges(&ctx, n, &edges);
+            let h = crate::levels::build_hierarchy(&ctx, &mst);
+            for (l, census) in hierarchy_census(&ctx, &h).iter().enumerate() {
+                assert!(
+                    census.leaf_alpha_identity_holds(),
+                    "level {l}: {census:?} violates n_leaf = n_α + 1"
+                );
+                assert_eq!(census.total(), h.trees[l].n_edges());
+            }
+        }
+    }
+
+    #[test]
+    fn chain_census_of_path() {
+        // A path's dendrogram is a single chain of all n edges.
+        let ctx = ExecCtx::serial();
+        let n = 30;
+        let edges: Vec<Edge> = (0..n - 1)
+            .map(|i| Edge::new(i as u32, i as u32 + 1, (n - i) as f32))
+            .collect();
+        let mst = SortedMst::from_edges(&ctx, n, &edges);
+        let report = structure_report(&ctx, &mst);
+        assert_eq!(report.chain_lengths, vec![n - 1]);
+        assert_eq!(report.height, n - 1);
+        assert_eq!(report.levels.len(), 1);
+        assert_eq!(report.levels[0].n_alpha, 0);
+    }
+
+    #[test]
+    fn chain_lengths_cover_all_edges() {
+        let ctx = ExecCtx::serial();
+        let mut rng = StdRng::seed_from_u64(77);
+        let n = 300;
+        let edges: Vec<Edge> = (1..n)
+            .map(|v| {
+                Edge::new(
+                    rng.gen_range(0..v) as u32,
+                    v as u32,
+                    rng.gen_range(0.0..1.0f32),
+                )
+            })
+            .collect();
+        let mst = SortedMst::from_edges(&ctx, n, &edges);
+        let (d, _) = crate::pandora::dendrogram_from_sorted(&ctx, &mst);
+        let lengths = chain_lengths(&d);
+        // Every edge-node belongs to exactly one chain.
+        assert_eq!(lengths.iter().sum::<usize>(), d.n_edges());
+    }
+
+    #[test]
+    fn balanced_tree_has_short_chains() {
+        let ctx = ExecCtx::serial();
+        let n = 1024;
+        let edges: Vec<Edge> = (1..n)
+            .map(|i| Edge::new((i / 2) as u32, i as u32, 1.0 / i as f32))
+            .collect();
+        let mst = SortedMst::from_edges(&ctx, n, &edges);
+        let report = structure_report(&ctx, &mst);
+        let max_chain = report.chain_lengths.last().copied().unwrap_or(0);
+        assert!(max_chain <= 4, "balanced tree chain of {max_chain}");
+    }
+}

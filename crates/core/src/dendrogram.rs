@@ -1,0 +1,421 @@
+//! The dendrogram data structure and queries over it.
+//!
+//! Following the paper's §2.2/§3.1.2: a single-linkage dendrogram over an
+//! MST with `n` edges is a rooted binary tree whose *internal nodes are the
+//! MST edges* (heavier = closer to the root) and whose *leaves are the MST
+//! vertices* (the data points). It is fully described by two parent arrays:
+//!
+//! * `edge_parent[e]` — the parent **edge** of edge-node `e`
+//!   ([`INVALID`] for the root, which is always edge 0 in canonical order);
+//! * `vertex_parent[v]` — the parent edge of vertex-node `v`
+//!   (= `maxIncident(v)`, the lightest edge incident to `v`).
+
+use crate::edge::INVALID;
+
+/// A single-linkage dendrogram (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dendrogram {
+    /// Parent edge of each edge-node; `INVALID` for the root (edge 0).
+    pub edge_parent: Vec<u32>,
+    /// Parent edge of each vertex-node.
+    pub vertex_parent: Vec<u32>,
+    /// Weight of each edge-node (non-increasing in the index).
+    pub edge_weight: Vec<f32>,
+}
+
+impl Dendrogram {
+    /// Number of edge-nodes (internal nodes).
+    pub fn n_edges(&self) -> usize {
+        self.edge_parent.len()
+    }
+
+    /// Number of vertex-nodes (leaves / data points).
+    pub fn n_vertices(&self) -> usize {
+        self.vertex_parent.len()
+    }
+
+    /// The root edge-node (`None` for a dendrogram of a single vertex).
+    pub fn root(&self) -> Option<u32> {
+        if self.n_edges() == 0 {
+            None
+        } else {
+            debug_assert_eq!(self.edge_parent[0], INVALID);
+            Some(0)
+        }
+    }
+
+    /// Height of the edge-node tree: the number of edge-nodes on the longest
+    /// root-to-deepest-edge path. 0 for an empty dendrogram.
+    ///
+    /// Computable in one pass because a parent always has a smaller index
+    /// than its children (it is heavier).
+    pub fn height(&self) -> usize {
+        let n = self.n_edges();
+        if n == 0 {
+            return 0;
+        }
+        let mut depth = vec![0u32; n];
+        let mut max_depth = 1u32;
+        depth[0] = 1;
+        for e in 1..n {
+            let p = self.edge_parent[e];
+            debug_assert!(p < e as u32, "parent must be heavier (smaller index)");
+            depth[e] = depth[p as usize] + 1;
+            max_depth = max_depth.max(depth[e]);
+        }
+        max_depth as usize
+    }
+
+    /// The paper's skew measure (`Imb` in Table 2): height divided by the
+    /// ideal (balanced) height `log2 n`.
+    pub fn skewness(&self) -> f64 {
+        let n = self.n_edges();
+        if n <= 1 {
+            return 1.0;
+        }
+        self.height() as f64 / (n as f64).log2()
+    }
+
+    /// Number of leaf data points under each edge-node.
+    ///
+    /// `sizes[e]` is the size of the cluster that splits when `e` is removed.
+    pub fn cluster_sizes(&self) -> Vec<u32> {
+        let n = self.n_edges();
+        let mut sizes = vec![0u32; n];
+        for &p in &self.vertex_parent {
+            if p != INVALID {
+                sizes[p as usize] += 1;
+            }
+        }
+        // Children have larger indices than parents: one reverse sweep.
+        for e in (1..n).rev() {
+            let p = self.edge_parent[e] as usize;
+            sizes[p] += sizes[e];
+        }
+        sizes
+    }
+
+    /// For each edge-node, its (up to two) child edge-nodes.
+    ///
+    /// In a valid single-linkage dendrogram every edge-node has exactly two
+    /// children counting vertex-nodes and edge-nodes together.
+    pub fn edge_children(&self) -> Vec<[u32; 2]> {
+        let n = self.n_edges();
+        let mut children = vec![[INVALID; 2]; n];
+        for e in 1..n as u32 {
+            let p = self.edge_parent[e as usize] as usize;
+            if children[p][0] == INVALID {
+                children[p][0] = e;
+            } else {
+                debug_assert_eq!(children[p][1], INVALID, "ternary node {p}");
+                children[p][1] = e;
+            }
+        }
+        children
+    }
+
+    /// Flat cluster labels obtained by *cutting* the dendrogram at
+    /// `threshold`: edges with weight > `threshold` are removed, and each
+    /// remaining connected component becomes a cluster.
+    ///
+    /// Returns `labels[v] ∈ 0..k` with components numbered by their minimum
+    /// vertex id (deterministic).
+    pub fn cut(&self, threshold: f32, src: &[u32], dst: &[u32]) -> Vec<u32> {
+        let nv = self.n_vertices();
+        let mut dsu = pandora_exec::dsu::SeqDsu::new(nv);
+        for e in 0..self.n_edges() {
+            if self.edge_weight[e] <= threshold {
+                dsu.union(src[e], dst[e]);
+            }
+        }
+        let mut label_of_root = vec![INVALID; nv];
+        let mut next = 0u32;
+        let mut labels = vec![0u32; nv];
+        for v in 0..nv as u32 {
+            let r = dsu.find(v) as usize;
+            if label_of_root[r] == INVALID {
+                label_of_root[r] = next;
+                next += 1;
+            }
+            labels[v as usize] = label_of_root[r];
+        }
+        labels
+    }
+
+    /// Flat cluster labels for exactly `k` clusters: removes the `k − 1`
+    /// heaviest edges (a dendrogram cut between merge levels).
+    ///
+    /// Labels are dense `0..k`, numbered by minimum vertex id.
+    pub fn cut_k(&self, k: usize, src: &[u32], dst: &[u32]) -> Vec<u32> {
+        let nv = self.n_vertices();
+        let k = k.clamp(1, nv);
+        let mut dsu = pandora_exec::dsu::SeqDsu::new(nv);
+        for e in (k - 1)..self.n_edges() {
+            dsu.union(src[e], dst[e]);
+        }
+        let mut label_of_root = vec![INVALID; nv];
+        let mut next = 0u32;
+        let mut labels = vec![0u32; nv];
+        for v in 0..nv as u32 {
+            let r = dsu.find(v) as usize;
+            if label_of_root[r] == INVALID {
+                label_of_root[r] = next;
+                next += 1;
+            }
+            labels[v as usize] = label_of_root[r];
+        }
+        labels
+    }
+
+    /// SciPy-style linkage matrix: one `(id_a, id_b, distance, size)` row
+    /// per merge, lightest first; leaves are `0..n_points`, the cluster
+    /// created by row `j` has id `n_points + j`.
+    ///
+    /// Compatible with `scipy.cluster.hierarchy` consumers (row order is by
+    /// non-decreasing distance thanks to the canonical edge order).
+    pub fn to_linkage(&self) -> Vec<(u32, u32, f32, u32)> {
+        let n = self.n_edges();
+        let n_points = self.n_vertices() as u32;
+        let sizes = self.cluster_sizes();
+        let children = self.edge_children();
+        let mut vertex_children: Vec<[u32; 2]> = vec![[INVALID; 2]; n];
+        for (v, &p) in self.vertex_parent.iter().enumerate() {
+            let slot = &mut vertex_children[p as usize];
+            if slot[0] == INVALID {
+                slot[0] = v as u32;
+            } else {
+                slot[1] = v as u32;
+            }
+        }
+        // Edge e is merge number n-1-e (lightest first); its cluster id is
+        // n_points + (n-1-e).
+        let scipy_id = |e: u32| n_points + (n as u32 - 1 - e);
+        let mut rows = Vec::with_capacity(n);
+        for e in (0..n).rev() {
+            let mut ids = [INVALID; 2];
+            let mut slot = 0;
+            for v in vertex_children[e] {
+                if v != INVALID {
+                    ids[slot] = v;
+                    slot += 1;
+                }
+            }
+            for c in children[e] {
+                if c != INVALID {
+                    ids[slot] = scipy_id(c);
+                    slot += 1;
+                }
+            }
+            debug_assert_eq!(slot, 2, "edge node {e} is not binary");
+            let (a, b) = (ids[0].min(ids[1]), ids[0].max(ids[1]));
+            rows.push((a, b, self.edge_weight[e], sizes[e]));
+        }
+        rows
+    }
+
+    /// Structural validation: single root at edge 0, parents heavier than
+    /// children, every edge-node binary, every vertex attached.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.n_edges();
+        let nv = self.n_vertices();
+        if n == 0 {
+            return if nv <= 1 {
+                Ok(())
+            } else {
+                Err("no edges but multiple vertices".into())
+            };
+        }
+        if nv != n + 1 {
+            return Err(format!("expected {} vertices, got {nv}", n + 1));
+        }
+        if self.edge_parent[0] != INVALID {
+            return Err("edge 0 (heaviest) must be the root".into());
+        }
+        let mut child_count = vec![0u32; n];
+        for e in 1..n {
+            let p = self.edge_parent[e];
+            if p == INVALID {
+                return Err(format!("edge {e} has no parent but is not edge 0"));
+            }
+            if p >= e as u32 {
+                return Err(format!(
+                    "edge {e} has parent {p}, but parents must have smaller index"
+                ));
+            }
+            child_count[p as usize] += 1;
+        }
+        for (v, &p) in self.vertex_parent.iter().enumerate() {
+            if p == INVALID || p as usize >= n {
+                return Err(format!("vertex {v} has invalid parent {p}"));
+            }
+            child_count[p as usize] += 1;
+        }
+        for (e, &c) in child_count.iter().enumerate() {
+            if c != 2 {
+                return Err(format!("edge-node {e} has {c} children, expected 2"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The set of ancestors of edge `e`, starting with `e` itself and ending
+    /// at the root (paper Definition 2).
+    pub fn ancestors(&self, e: u32) -> Vec<u32> {
+        let mut out = vec![e];
+        let mut cur = e;
+        while self.edge_parent[cur as usize] != INVALID {
+            cur = self.edge_parent[cur as usize];
+            out.push(cur);
+        }
+        out
+    }
+
+    /// Lowest common dendrogram ancestor of two edges (paper Definition 3).
+    ///
+    /// O(depth) walk; fine for validation and tests.
+    pub fn lcda(&self, a: u32, b: u32) -> u32 {
+        // Ancestor indices strictly decrease towards the root, so walk the
+        // deeper (larger-index) node up until the two meet.
+        let (mut a, mut b) = (a, b);
+        while a != b {
+            if a > b {
+                a = self.edge_parent[a as usize];
+            } else {
+                b = self.edge_parent[b as usize];
+            }
+            debug_assert!(a != INVALID && b != INVALID);
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The inverted-Y dendrogram of Fig. 5: a root chain 0→1, splitting at 1
+    /// into chains (2,4) and (3,5); 7 vertices.
+    fn inverted_y() -> Dendrogram {
+        Dendrogram {
+            edge_parent: vec![INVALID, 0, 1, 1, 2, 3],
+            vertex_parent: vec![0, 4, 4, 2, 5, 5, 3],
+            edge_weight: vec![6.0, 5.0, 4.0, 3.0, 2.0, 1.0],
+        }
+    }
+
+    #[test]
+    fn inverted_y_is_valid() {
+        inverted_y().validate().unwrap();
+    }
+
+    #[test]
+    fn height_of_chains() {
+        let d = inverted_y();
+        // Root chain (0,1) + either branch chain of length 2 → height 4.
+        assert_eq!(d.height(), 4);
+    }
+
+    #[test]
+    fn cluster_sizes_sum_up() {
+        let d = inverted_y();
+        let sizes = d.cluster_sizes();
+        assert_eq!(sizes[0] as usize, d.n_vertices());
+        assert_eq!(sizes[4], 2); // leaf edge with two vertex children
+        assert_eq!(sizes[2], 3); // vertex 3 + edge 4's pair
+    }
+
+    #[test]
+    fn lcda_and_ancestors() {
+        let d = inverted_y();
+        assert_eq!(d.ancestors(4), vec![4, 2, 1, 0]);
+        assert_eq!(d.lcda(4, 5), 1);
+        assert_eq!(d.lcda(4, 2), 2); // ancestor of itself
+        assert_eq!(d.lcda(0, 5), 0);
+    }
+
+    #[test]
+    fn validation_catches_ternary_nodes() {
+        let mut d = inverted_y();
+        d.edge_parent[5] = 1; // edge 1 now has 3 children
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_parent_order() {
+        let mut d = inverted_y();
+        d.edge_parent[2] = 4;
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn cut_labels_components() {
+        // `cut` only uses weights + endpoints; use a 7-vertex chain with
+        // weights 6..1 (matching inverted_y's weight array).
+        let d = inverted_y();
+        let src = vec![0, 1, 2, 3, 4, 5];
+        let dst = vec![1, 2, 3, 4, 5, 6];
+        // Threshold below everything: all singletons.
+        let labels = d.cut(0.5, &src, &dst);
+        assert_eq!(labels, vec![0, 1, 2, 3, 4, 5, 6]);
+        // Threshold above everything: one cluster.
+        let labels = d.cut(10.0, &src, &dst);
+        assert!(labels.iter().all(|&l| l == 0));
+        // Keep edges with weight ≤ 3.5 (the three lightest chain links):
+        // components {0}, {1}, {2}, {3,4,5,6}.
+        let labels = d.cut(3.5, &src, &dst);
+        assert_eq!(labels, vec![0, 1, 2, 3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn cut_k_produces_exactly_k_clusters() {
+        let d = inverted_y();
+        let src = vec![0, 1, 2, 3, 4, 5];
+        let dst = vec![1, 2, 3, 4, 5, 6];
+        for k in 1..=7 {
+            let labels = d.cut_k(k, &src, &dst);
+            let got_k = labels.iter().copied().max().unwrap() as usize + 1;
+            assert_eq!(got_k, k, "k={k}");
+        }
+        // k=2 removes only the heaviest edge (0-1): components {0}, {1..6}.
+        let labels = d.cut_k(2, &src, &dst);
+        assert_eq!(labels[0], 0);
+        assert!(labels[1..].iter().all(|&l| l == 1));
+    }
+
+    #[test]
+    fn linkage_matrix_shape_and_monotonicity() {
+        let d = inverted_y();
+        let z = d.to_linkage();
+        assert_eq!(z.len(), 6);
+        // Distances non-decreasing (lightest merge first).
+        for w in z.windows(2) {
+            assert!(w[0].2 <= w[1].2);
+        }
+        // Final row merges everything.
+        assert_eq!(z.last().unwrap().3 as usize, d.n_vertices());
+        // Ids are either leaves (< 7) or previously created clusters.
+        let n_points = d.n_vertices() as u32;
+        for (j, &(a, b, _, _)) in z.iter().enumerate() {
+            for id in [a, b] {
+                assert!(
+                    id < n_points || (id - n_points) < j as u32,
+                    "row {j} references not-yet-created cluster {id}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let d = Dendrogram {
+            edge_parent: vec![],
+            vertex_parent: vec![INVALID],
+            edge_weight: vec![],
+        };
+        assert_eq!(d.height(), 0);
+        assert_eq!(d.root(), None);
+        // A single vertex with no edges validates only when vertex count ≤ 1
+        // — but vertex_parent[0] is INVALID, so n=0 path accepts it.
+        assert!(d.validate().is_ok());
+    }
+}

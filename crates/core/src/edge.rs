@@ -1,0 +1,223 @@
+//! MST edge lists and the canonical sorted form.
+//!
+//! All dendrogram algorithms in this crate operate on a [`SortedMst`]: the
+//! input tree's edges sorted by weight **descending** with a deterministic
+//! tie-break, so that edge index 0 is the heaviest edge (the dendrogram
+//! root) and the dendrogram is unique (paper §3.1.1: "ensuring that edges
+//! with equal weights are ordered consistently to preserve the dendrogram's
+//! uniqueness").
+
+use pandora_exec::atomic::f32_to_ordered_u32_desc;
+use pandora_exec::sort::par_sort_by_key;
+use pandora_exec::ExecCtx;
+
+/// Sentinel for "no vertex/edge".
+pub const INVALID: u32 = u32::MAX;
+
+/// A weighted undirected edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// First endpoint.
+    pub u: u32,
+    /// Second endpoint.
+    pub v: u32,
+    /// Weight (e.g. Euclidean or mutual-reachability distance).
+    pub w: f32,
+}
+
+impl Edge {
+    /// Creates an edge.
+    pub fn new(u: u32, v: u32, w: f32) -> Self {
+        Self { u, v, w }
+    }
+}
+
+/// A spanning tree's edges in canonical descending-weight order.
+///
+/// Structure-of-arrays layout; edge `i` is `(src[i], dst[i], weight[i])`
+/// with `src[i] < dst[i]`. Sorted by `(weight desc, src asc, dst asc)`.
+#[derive(Debug, Clone)]
+pub struct SortedMst {
+    n_vertices: usize,
+    /// Smaller endpoint per edge.
+    pub src: Vec<u32>,
+    /// Larger endpoint per edge.
+    pub dst: Vec<u32>,
+    /// Weight per edge, non-increasing.
+    pub weight: Vec<f32>,
+}
+
+impl SortedMst {
+    /// Sorts `edges` into canonical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge count is not `n_vertices - 1` (for
+    /// `n_vertices > 0`), if an endpoint is out of range, if an edge is a
+    /// self-loop, or if a weight is NaN.
+    pub fn from_edges(ctx: &ExecCtx, n_vertices: usize, edges: &[Edge]) -> Self {
+        assert_eq!(
+            edges.len(),
+            n_vertices.saturating_sub(1),
+            "a spanning tree over {n_vertices} vertices must have {} edges",
+            n_vertices.saturating_sub(1)
+        );
+        assert!(
+            n_vertices < u32::MAX as usize,
+            "vertex ids must fit in u32"
+        );
+        // Canonicalize endpoint order and build sortable triples.
+        let mut triples: Vec<(u32, u32, u32)> = edges
+            .iter()
+            .map(|e| {
+                assert!(e.u != e.v, "self-loop edge {} - {}", e.u, e.v);
+                assert!(
+                    (e.u as usize) < n_vertices && (e.v as usize) < n_vertices,
+                    "edge endpoint out of range"
+                );
+                assert!(!e.w.is_nan(), "NaN edge weight");
+                let (a, b) = if e.u < e.v { (e.u, e.v) } else { (e.v, e.u) };
+                (f32_to_ordered_u32_desc(e.w), a, b)
+            })
+            .collect();
+        par_sort_by_key(ctx, &mut triples, |&t| t);
+
+        let n = triples.len();
+        let mut src = vec![0u32; n];
+        let mut dst = vec![0u32; n];
+        let mut weight = vec![0f32; n];
+        for (i, &(wk, a, b)) in triples.iter().enumerate() {
+            src[i] = a;
+            dst[i] = b;
+            weight[i] = pandora_exec::atomic::ordered_u32_to_f32(!wk);
+        }
+        Self {
+            n_vertices,
+            src,
+            dst,
+            weight,
+        }
+    }
+
+    /// Builds from already-sorted parallel arrays (no checks beyond lengths).
+    ///
+    /// `debug_assert`s the canonical order in debug builds.
+    pub fn from_sorted_arrays(
+        n_vertices: usize,
+        src: Vec<u32>,
+        dst: Vec<u32>,
+        weight: Vec<f32>,
+    ) -> Self {
+        assert_eq!(src.len(), dst.len());
+        assert_eq!(src.len(), weight.len());
+        assert_eq!(src.len(), n_vertices.saturating_sub(1));
+        debug_assert!(
+            weight.windows(2).all(|w| w[0] >= w[1]),
+            "weights must be non-increasing"
+        );
+        debug_assert!(src.iter().zip(&dst).all(|(a, b)| a < b));
+        Self {
+            n_vertices,
+            src,
+            dst,
+            weight,
+        }
+    }
+
+    /// Number of vertices of the tree.
+    pub fn n_vertices(&self) -> usize {
+        self.n_vertices
+    }
+
+    /// Number of edges (`n_vertices - 1` for non-empty trees).
+    pub fn n_edges(&self) -> usize {
+        self.src.len()
+    }
+
+    /// The `i`-th edge in canonical order.
+    pub fn edge(&self, i: usize) -> Edge {
+        Edge {
+            u: self.src[i],
+            v: self.dst[i],
+            w: self.weight[i],
+        }
+    }
+
+    /// Verifies that the edges form a spanning tree (connected, acyclic).
+    pub fn validate_tree(&self) -> Result<(), String> {
+        if self.n_vertices == 0 {
+            return Ok(());
+        }
+        let mut dsu = pandora_exec::dsu::SeqDsu::new(self.n_vertices);
+        for i in 0..self.n_edges() {
+            if dsu.union(self.src[i], self.dst[i]).is_none() {
+                return Err(format!("edge {i} creates a cycle"));
+            }
+        }
+        // n-1 successful unions over n vertices ⇒ connected.
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_descending_with_ties_broken_by_endpoints() {
+        let ctx = ExecCtx::serial();
+        let edges = vec![
+            Edge::new(3, 2, 1.0),
+            Edge::new(0, 1, 5.0),
+            Edge::new(4, 1, 1.0),
+            Edge::new(2, 0, 3.0),
+        ];
+        let mst = SortedMst::from_edges(&ctx, 5, &edges);
+        assert_eq!(mst.weight, vec![5.0, 3.0, 1.0, 1.0]);
+        // Tie between (2,3) and (1,4): (1,4) sorts first.
+        assert_eq!((mst.src[2], mst.dst[2]), (1, 4));
+        assert_eq!((mst.src[3], mst.dst[3]), (2, 3));
+        mst.validate_tree().unwrap();
+    }
+
+    #[test]
+    fn canonicalizes_endpoint_order() {
+        let ctx = ExecCtx::serial();
+        let mst = SortedMst::from_edges(&ctx, 2, &[Edge::new(1, 0, 2.0)]);
+        assert_eq!((mst.src[0], mst.dst[0]), (0, 1));
+    }
+
+    #[test]
+    fn single_vertex_tree_is_empty() {
+        let ctx = ExecCtx::serial();
+        let mst = SortedMst::from_edges(&ctx, 1, &[]);
+        assert_eq!(mst.n_edges(), 0);
+        mst.validate_tree().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "must have")]
+    fn wrong_edge_count_panics() {
+        let ctx = ExecCtx::serial();
+        let _ = SortedMst::from_edges(&ctx, 3, &[Edge::new(0, 1, 1.0)]);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mst = SortedMst::from_sorted_arrays(
+            4,
+            vec![0, 0, 0],
+            vec![1, 1, 2],
+            vec![3.0, 2.0, 1.0],
+        );
+        assert!(mst.validate_tree().is_err());
+    }
+
+    #[test]
+    fn negative_weights_sort_after_positive() {
+        let ctx = ExecCtx::serial();
+        let edges = vec![Edge::new(0, 1, -1.0), Edge::new(1, 2, 1.0)];
+        let mst = SortedMst::from_edges(&ctx, 3, &edges);
+        assert_eq!(mst.weight, vec![1.0, -1.0]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Soneira–Peebles hierarchical clustering model — the proxy for the
+//! paper's HACC cosmology datasets (`Hacc37M`, `Hacc497M`).
+//!
+//! HACC snapshots are N-body particle distributions whose defining property
+//! for this paper is extreme hierarchical clustering: dendrogram skew
+//! `Imb ≈ 10⁵` (Table 2). The Soneira–Peebles construction (ApJ 1978) was
+//! designed to replicate exactly that: starting from a sphere of radius
+//! `r0`, place `eta` child spheres of radius `r0/lambda` at random positions
+//! inside, recurse `levels` deep, and emit one point per leaf sphere. The
+//! result has a power-law correlation function like the cosmic matter
+//! distribution — giving the same "halos within halos" skew profile that
+//! makes dendrogram construction hard.
+
+use pandora_mst::PointSet;
+use rand::prelude::*;
+
+/// Soneira–Peebles generator parameters.
+#[derive(Debug, Clone)]
+pub struct SoneiraPeebles {
+    /// Dimensionality (3 for the HACC proxy).
+    pub dim: usize,
+    /// Children per sphere.
+    pub eta: usize,
+    /// Radius shrink factor per level (> 1).
+    pub lambda: f32,
+    /// Recursion depth.
+    pub levels: usize,
+    /// Number of independent top-level spheres ("halos").
+    pub n_halos: usize,
+}
+
+impl SoneiraPeebles {
+    /// Chooses parameters producing approximately `n` points in `dim`-D.
+    pub fn with_target_size(n: usize, dim: usize) -> Self {
+        // eta^levels points per halo; keep eta moderate and solve for depth.
+        let eta = 4usize;
+        let n_halos = 32.max(n / 500_000);
+        let per_halo = (n / n_halos).max(1);
+        let levels = ((per_halo as f64).ln() / (eta as f64).ln()).round().max(1.0) as usize;
+        Self {
+            dim,
+            eta,
+            lambda: 1.9,
+            levels,
+            n_halos,
+        }
+    }
+
+    /// Number of points this configuration emits.
+    pub fn n_points(&self) -> usize {
+        self.n_halos * self.eta.pow(self.levels as u32)
+    }
+
+    /// Runs the generator.
+    pub fn generate(&self, seed: u64) -> PointSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = self.dim;
+        let mut coords = Vec::with_capacity(self.n_points() * dim);
+        // Halos uniform in a unit box; initial sphere radius chosen so halos
+        // overlap rarely.
+        let r0 = 0.5 / (self.n_halos as f32).powf(1.0 / dim as f32);
+        let mut center = vec![0.0f32; dim];
+        for _ in 0..self.n_halos {
+            for c in center.iter_mut() {
+                *c = rng.gen::<f32>();
+            }
+            self.recurse(&mut rng, &mut coords, &center, r0, self.levels);
+        }
+        PointSet::new(coords, dim)
+    }
+
+    fn recurse(
+        &self,
+        rng: &mut StdRng,
+        coords: &mut Vec<f32>,
+        center: &[f32],
+        radius: f32,
+        level: usize,
+    ) {
+        if level == 0 {
+            coords.extend_from_slice(center);
+            return;
+        }
+        let child_r = radius / self.lambda;
+        let mut child = vec![0.0f32; self.dim];
+        for _ in 0..self.eta {
+            // Random offset inside the sphere (rejection-free: sample a
+            // direction and a radius with the right density).
+            loop {
+                let mut norm2 = 0.0f32;
+                for c in child.iter_mut() {
+                    *c = rng.gen_range(-1.0..=1.0);
+                    norm2 += *c * *c;
+                }
+                if norm2 <= 1.0 {
+                    break;
+                }
+            }
+            for (d, c) in child.iter_mut().enumerate() {
+                *c = center[d] + *c * (radius - child_r).max(0.0);
+            }
+            let child_center = child.clone();
+            self.recurse(rng, coords, &child_center, child_r, level - 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_expected_count() {
+        let sp = SoneiraPeebles {
+            dim: 3,
+            eta: 3,
+            lambda: 2.0,
+            levels: 4,
+            n_halos: 5,
+        };
+        let ps = sp.generate(11);
+        assert_eq!(ps.len(), 5 * 81);
+        assert_eq!(ps.dim(), 3);
+    }
+
+    #[test]
+    fn target_size_close() {
+        let sp = SoneiraPeebles::with_target_size(100_000, 3);
+        let n = sp.n_points();
+        assert!(
+            n >= 20_000 && n <= 500_000,
+            "target 100k produced {n} points"
+        );
+    }
+
+    #[test]
+    fn hierarchical_structure_is_clustered() {
+        // Pair distances within a halo are far below the box scale.
+        let sp = SoneiraPeebles {
+            dim: 3,
+            eta: 4,
+            lambda: 2.0,
+            levels: 3,
+            n_halos: 4,
+        };
+        let ps = sp.generate(3);
+        let per_halo = 64usize;
+        // First halo's points.
+        let mut intra_max: f32 = 0.0;
+        for i in 0..per_halo {
+            for j in (i + 1)..per_halo {
+                intra_max = intra_max.max(ps.dist2(i, j));
+            }
+        }
+        // Halo radius r0 ≈ 0.5/4^(1/3) ≈ 0.315 ⇒ intra diameter² ≲ 0.4.
+        assert!(intra_max < 0.5, "intra-halo spread {intra_max}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let sp = SoneiraPeebles::with_target_size(5000, 3);
+        assert_eq!(sp.generate(1).coords(), sp.generate(1).coords());
+    }
+}

@@ -1,0 +1,269 @@
+//! Point-set persistence: a compact binary format and CSV.
+//!
+//! The binary layout is `magic(4) | dim(u32 LE) | n(u64 LE) | coords(f32 LE…)`,
+//! written/parsed with the `bytes` crate.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, BytesMut};
+use pandora_mst::PointSet;
+
+const MAGIC: &[u8; 4] = b"PNDR";
+
+/// Serializes a point set to the binary format.
+pub fn to_bytes(points: &PointSet) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(16 + points.coords().len() * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(points.dim() as u32);
+    buf.put_u64_le(points.len() as u64);
+    for &c in points.coords() {
+        buf.put_f32_le(c);
+    }
+    buf.to_vec()
+}
+
+/// Parses the binary format.
+pub fn from_bytes(mut data: &[u8]) -> Result<PointSet, String> {
+    if data.len() < 16 || &data[..4] != MAGIC {
+        return Err("not a PNDR point file".into());
+    }
+    data.advance(4);
+    let dim = data.get_u32_le() as usize;
+    let n = data.get_u64_le() as usize;
+    let expected = n
+        .checked_mul(dim)
+        .and_then(|c| c.checked_mul(4))
+        .ok_or("size overflow")?;
+    if data.remaining() != expected {
+        return Err(format!(
+            "truncated point file: expected {expected} coord bytes, found {}",
+            data.remaining()
+        ));
+    }
+    let mut coords = Vec::with_capacity(n * dim);
+    for _ in 0..n * dim {
+        coords.push(data.get_f32_le());
+    }
+    Ok(PointSet::new(coords, dim))
+}
+
+/// Writes the binary format to a file.
+pub fn save(points: &PointSet, path: &Path) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    f.write_all(&to_bytes(points))?;
+    f.flush()
+}
+
+/// Reads the binary format from a file.
+pub fn load(path: &Path) -> std::io::Result<PointSet> {
+    let mut data = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut data)?;
+    from_bytes(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Writes points as CSV (no header), one point per line.
+pub fn save_csv(points: &PointSet, path: &Path) -> std::io::Result<()> {
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for i in 0..points.len() {
+        let p = points.point(i);
+        for (d, c) in p.iter().enumerate() {
+            if d > 0 {
+                write!(out, ",")?;
+            }
+            write!(out, "{c}")?;
+        }
+        writeln!(out)?;
+    }
+    out.flush()
+}
+
+/// Reads headerless CSV points.
+pub fn load_csv(path: &Path) -> std::io::Result<PointSet> {
+    let text = std::fs::read_to_string(path)?;
+    let mut coords = Vec::new();
+    let mut dim = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let row: Result<Vec<f32>, _> = line.split(',').map(|t| t.trim().parse()).collect();
+        let row = row.map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
+        })?;
+        if dim == 0 {
+            dim = row.len();
+        } else if row.len() != dim {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line {}: inconsistent dimension", lineno + 1),
+            ));
+        }
+        coords.extend_from_slice(&row);
+    }
+    if dim == 0 {
+        return Ok(PointSet::new(Vec::new(), 1));
+    }
+    Ok(PointSet::new(coords, dim))
+}
+
+const DENDRO_MAGIC: &[u8; 4] = b"PNDD";
+
+/// Serializes a dendrogram (parent arrays + weights) to bytes.
+///
+/// Layout: `magic(4) | n_edges(u64) | n_vertices(u64) | edge_parent(u32…) |
+/// vertex_parent(u32…) | edge_weight(f32…)`, all little-endian.
+pub fn dendrogram_to_bytes(d: &pandora_core::Dendrogram) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(20 + d.n_edges() * 8 + d.n_vertices() * 4);
+    buf.put_slice(DENDRO_MAGIC);
+    buf.put_u64_le(d.n_edges() as u64);
+    buf.put_u64_le(d.n_vertices() as u64);
+    for &p in &d.edge_parent {
+        buf.put_u32_le(p);
+    }
+    for &p in &d.vertex_parent {
+        buf.put_u32_le(p);
+    }
+    for &w in &d.edge_weight {
+        buf.put_f32_le(w);
+    }
+    buf.to_vec()
+}
+
+/// Parses [`dendrogram_to_bytes`]' format, re-validating the structure.
+pub fn dendrogram_from_bytes(mut data: &[u8]) -> Result<pandora_core::Dendrogram, String> {
+    if data.len() < 20 || &data[..4] != DENDRO_MAGIC {
+        return Err("not a PNDD dendrogram file".into());
+    }
+    data.advance(4);
+    let n_edges = data.get_u64_le() as usize;
+    let n_vertices = data.get_u64_le() as usize;
+    let expected = n_edges
+        .checked_mul(8)
+        .and_then(|b| n_vertices.checked_mul(4).map(|v| b + v))
+        .ok_or("size overflow")?;
+    if data.remaining() != expected {
+        return Err(format!(
+            "truncated dendrogram file: expected {expected} bytes, found {}",
+            data.remaining()
+        ));
+    }
+    let mut edge_parent = Vec::with_capacity(n_edges);
+    for _ in 0..n_edges {
+        edge_parent.push(data.get_u32_le());
+    }
+    let mut vertex_parent = Vec::with_capacity(n_vertices);
+    for _ in 0..n_vertices {
+        vertex_parent.push(data.get_u32_le());
+    }
+    let mut edge_weight = Vec::with_capacity(n_edges);
+    for _ in 0..n_edges {
+        edge_weight.push(data.get_f32_le());
+    }
+    let d = pandora_core::Dendrogram {
+        edge_parent,
+        vertex_parent,
+        edge_weight,
+    };
+    d.validate()?;
+    Ok(d)
+}
+
+/// Writes a dendrogram to a file.
+pub fn save_dendrogram(d: &pandora_core::Dendrogram, path: &Path) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    f.write_all(&dendrogram_to_bytes(d))?;
+    f.flush()
+}
+
+/// Reads a dendrogram from a file (validating it).
+pub fn load_dendrogram(path: &Path) -> std::io::Result<pandora_core::Dendrogram> {
+    let mut data = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut data)?;
+    dendrogram_from_bytes(&data)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::uniform;
+
+    #[test]
+    fn binary_roundtrip() {
+        let ps = uniform(123, 3, 1);
+        let rt = from_bytes(&to_bytes(&ps)).unwrap();
+        assert_eq!(rt.dim(), 3);
+        assert_eq!(rt.coords(), ps.coords());
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        assert!(from_bytes(b"nope").is_err());
+        let mut good = to_bytes(&uniform(10, 2, 2));
+        good.truncate(good.len() - 1);
+        assert!(from_bytes(&good).is_err());
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("pandora_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pts.csv");
+        let ps = uniform(50, 4, 3);
+        save_csv(&ps, &path).unwrap();
+        let rt = load_csv(&path).unwrap();
+        assert_eq!(rt.len(), 50);
+        assert_eq!(rt.dim(), 4);
+        for i in 0..ps.coords().len() {
+            assert!((rt.coords()[i] - ps.coords()[i]).abs() < 1e-4);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("pandora_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pts.bin");
+        let ps = uniform(64, 2, 9);
+        save(&ps, &path).unwrap();
+        let rt = load(&path).unwrap();
+        assert_eq!(rt.coords(), ps.coords());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dendrogram_roundtrip() {
+        use pandora_core::{pandora, Edge};
+        let ctx = pandora_exec::ExecCtx::serial();
+        let edges: Vec<Edge> = (1..50u32)
+            .map(|v| Edge::new(v / 2, v, (v * 37 % 13) as f32))
+            .collect();
+        let d = pandora::dendrogram(&ctx, 50, &edges);
+        let rt = dendrogram_from_bytes(&dendrogram_to_bytes(&d)).unwrap();
+        assert_eq!(rt, d);
+    }
+
+    #[test]
+    fn dendrogram_rejects_corruption() {
+        use pandora_core::{pandora, Edge};
+        let ctx = pandora_exec::ExecCtx::serial();
+        let d = pandora::dendrogram(&ctx, 3, &[Edge::new(0, 1, 2.0), Edge::new(1, 2, 1.0)]);
+        let mut bytes = dendrogram_to_bytes(&d);
+        // Truncation.
+        bytes.pop();
+        assert!(dendrogram_from_bytes(&bytes).is_err());
+        // Structural corruption: make edge 1 its own parent.
+        let mut bytes = dendrogram_to_bytes(&d);
+        bytes[20 + 4] = 1;
+        bytes[20 + 5] = 0;
+        bytes[20 + 6] = 0;
+        bytes[20 + 7] = 0;
+        assert!(dendrogram_from_bytes(&bytes).is_err());
+    }
+}

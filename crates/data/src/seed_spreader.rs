@@ -1,0 +1,148 @@
+//! The Gan–Tao "seed spreader" generator (\[14\] in the paper), used for the
+//! `VisualVar*` / `VisualSim*` dataset rows.
+//!
+//! A spreader performs a random walk in `[0, 10^5]^dim`, emitting a cluster
+//! of points around its position at every step; occasionally it teleports
+//! ("restarts") to a fresh random location, starting a new cluster. The
+//! *variable-density* variant shrinks the emission radius after each
+//! restart, producing clusters of very different densities — the harder
+//! case for density-based clustering and the skew driver the paper uses.
+
+use pandora_mst::PointSet;
+use rand::prelude::*;
+
+/// Density profile of the generated clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Density {
+    /// All clusters have similar local density (`VisualSim*`).
+    Similar,
+    /// Restart shrinks the radius: densities vary by orders of magnitude
+    /// (`VisualVar*`).
+    Variable,
+}
+
+/// Configuration for the seed spreader.
+#[derive(Debug, Clone)]
+pub struct SeedSpreader {
+    /// Dimensionality.
+    pub dim: usize,
+    /// Number of points to emit.
+    pub n: usize,
+    /// Probability of restarting at each step.
+    pub restart_prob: f64,
+    /// Points emitted per step.
+    pub points_per_step: usize,
+    /// Base emission radius.
+    pub radius: f32,
+    /// Step length of the random walk, as a fraction of the radius.
+    pub step_frac: f32,
+    /// Density profile.
+    pub density: Density,
+    /// Fraction of uniform background noise points.
+    pub noise_frac: f64,
+}
+
+impl SeedSpreader {
+    /// Defaults mirroring the reference generator's shape.
+    pub fn new(n: usize, dim: usize, density: Density) -> Self {
+        Self {
+            dim,
+            n,
+            restart_prob: 10.0 / n as f64,
+            points_per_step: 20,
+            radius: 500.0,
+            step_frac: 0.5,
+            density,
+            noise_frac: 1.0 / 10_000.0,
+        }
+    }
+
+    /// Runs the generator.
+    pub fn generate(&self, seed: u64) -> PointSet {
+        const DOMAIN: f32 = 1.0e5;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = self.dim;
+        let mut coords = Vec::with_capacity(self.n * dim);
+        let mut pos: Vec<f32> = (0..dim).map(|_| rng.gen_range(0.0..DOMAIN)).collect();
+        let mut radius = self.radius;
+        let mut emitted = 0usize;
+        let n_noise = (self.n as f64 * self.noise_frac) as usize;
+        let n_clustered = self.n - n_noise;
+
+        while emitted < n_clustered {
+            // Restart?
+            if rng.gen_bool(self.restart_prob) {
+                for p in pos.iter_mut() {
+                    *p = rng.gen_range(0.0..DOMAIN);
+                }
+                if self.density == Density::Variable {
+                    // Each new cluster is denser than the last (radius
+                    // decays geometrically, floored).
+                    radius = (radius * 0.7).max(self.radius * 0.01);
+                }
+            }
+            // Emit a burst around the current position.
+            let burst = self.points_per_step.min(n_clustered - emitted);
+            for _ in 0..burst {
+                for d in 0..dim {
+                    let offset = rng.gen_range(-radius..=radius);
+                    coords.push((pos[d] + offset).clamp(0.0, DOMAIN));
+                }
+            }
+            emitted += burst;
+            // Step the walk.
+            for p in pos.iter_mut() {
+                *p = (*p + rng.gen_range(-1.0..=1.0) * radius * self.step_frac)
+                    .clamp(0.0, DOMAIN);
+            }
+        }
+        // Uniform background noise.
+        for _ in 0..n_noise {
+            for _ in 0..dim {
+                coords.push(rng.gen_range(0.0..DOMAIN));
+            }
+        }
+        PointSet::new(coords, dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_exactly_n_points() {
+        for density in [Density::Similar, Density::Variable] {
+            let ps = SeedSpreader::new(5000, 3, density).generate(1);
+            assert_eq!(ps.len(), 5000);
+            assert_eq!(ps.dim(), 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SeedSpreader::new(1000, 2, Density::Variable).generate(9);
+        let b = SeedSpreader::new(1000, 2, Density::Variable).generate(9);
+        assert_eq!(a.coords(), b.coords());
+        let c = SeedSpreader::new(1000, 2, Density::Variable).generate(10);
+        assert_ne!(a.coords(), c.coords());
+    }
+
+    #[test]
+    fn clustered_points_are_locally_dense() {
+        // Mean nearest-neighbour distance must be far below the domain scale.
+        let ps = SeedSpreader::new(2000, 2, Density::Similar).generate(4);
+        let mut total = 0.0f64;
+        for i in 0..200 {
+            let mut best = f32::INFINITY;
+            for j in 0..ps.len() {
+                if i != j {
+                    best = best.min(ps.dist2(i, j));
+                }
+            }
+            total += (best as f64).sqrt();
+        }
+        let mean_nn = total / 200.0;
+        assert!(mean_nn < 1000.0, "mean NN distance {mean_nn} too large");
+    }
+}

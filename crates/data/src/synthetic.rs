@@ -1,0 +1,103 @@
+//! Elementary synthetic distributions (the paper's `Normal*` / `Uniform*`
+//! dataset rows) and Gaussian blob mixtures for tests.
+
+use pandora_mst::PointSet;
+use rand::prelude::*;
+
+/// `n` points uniform in the unit cube `[0,1]^dim`.
+pub fn uniform(n: usize, dim: usize, seed: u64) -> PointSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    PointSet::new((0..n * dim).map(|_| rng.gen::<f32>()).collect(), dim)
+}
+
+/// One standard normal sample via Box–Muller.
+pub fn normal_sample(rng: &mut StdRng) -> f32 {
+    // Avoid log(0).
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen::<f32>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// `n` points from an isotropic standard normal in `dim` dimensions.
+pub fn normal(n: usize, dim: usize, seed: u64) -> PointSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    PointSet::new((0..n * dim).map(|_| normal_sample(&mut rng)).collect(), dim)
+}
+
+/// `k` well-separated Gaussian blobs with `n` points total.
+///
+/// Centers sit on a coarse grid with spacing `separation`; each blob has
+/// standard deviation `sigma`. Returns the points and the ground-truth blob
+/// label per point (used by clustering tests).
+pub fn gaussian_blobs(
+    n: usize,
+    dim: usize,
+    k: usize,
+    separation: f32,
+    sigma: f32,
+    seed: u64,
+) -> (PointSet, Vec<u32>) {
+    assert!(k >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Blob centers: lattice positions scaled by `separation`.
+    let side = (k as f64).powf(1.0 / dim as f64).ceil() as usize;
+    let centers: Vec<Vec<f32>> = (0..k)
+        .map(|c| {
+            let mut pos = Vec::with_capacity(dim);
+            let mut rem = c;
+            for _ in 0..dim {
+                pos.push((rem % side) as f32 * separation);
+                rem /= side;
+            }
+            pos
+        })
+        .collect();
+    let mut coords = Vec::with_capacity(n * dim);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % k;
+        labels.push(c as u32);
+        for d in 0..dim {
+            coords.push(centers[c][d] + sigma * normal_sample(&mut rng));
+        }
+    }
+    (PointSet::new(coords, dim), labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_in_bounds_and_deterministic() {
+        let a = uniform(1000, 3, 7);
+        let b = uniform(1000, 3, 7);
+        assert_eq!(a.coords(), b.coords());
+        assert!(a.coords().iter().all(|&c| (0.0..1.0).contains(&c)));
+    }
+
+    #[test]
+    fn normal_has_reasonable_moments() {
+        let ps = normal(20_000, 1, 3);
+        let mean: f64 = ps.coords().iter().map(|&x| x as f64).sum::<f64>() / 20_000.0;
+        let var: f64 = ps
+            .coords()
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / 20_000.0;
+        assert!(mean.abs() < 0.05, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.1, "var={var}");
+    }
+
+    #[test]
+    fn blobs_are_separated() {
+        let (ps, labels) = gaussian_blobs(300, 2, 3, 100.0, 0.5, 1);
+        assert_eq!(ps.len(), 300);
+        assert_eq!(labels.len(), 300);
+        // Points with the same label are much closer than different labels.
+        let same = ps.dist2(0, 3); // labels 0 and 0
+        let diff = ps.dist2(0, 1); // labels 0 and 1
+        assert!(same < diff);
+    }
+}

@@ -1,0 +1,126 @@
+//! Parallel histograms with per-lane privatization.
+//!
+//! Small-radix histograms (≤ a few thousand bins) are the building block of
+//! radix passes, level censuses and dataset statistics. Each task
+//! accumulates into a private bin array; privates are reduced at the end —
+//! the standard shared-memory pattern that avoids atomic contention.
+
+use parking_lot::Mutex;
+
+use crate::trace::KernelKind;
+use crate::ExecCtx;
+
+/// Counts `key(i)` over `0..n` into `n_bins` buckets.
+///
+/// Keys outside `0..n_bins` are ignored (counted into no bin).
+pub fn histogram<F: Fn(usize) -> usize + Sync>(
+    ctx: &ExecCtx,
+    n: usize,
+    n_bins: usize,
+    key: F,
+) -> Vec<u64> {
+    ctx.record(KernelKind::For, n as u64, (n * 8) as u64);
+    let partials: Mutex<Vec<Vec<u64>>> = Mutex::new(Vec::new());
+    ctx.for_each_chunk(n, 4096, |range| {
+        let mut local = vec![0u64; n_bins];
+        for i in range {
+            let k = key(i);
+            if k < n_bins {
+                local[k] += 1;
+            }
+        }
+        partials.lock().push(local);
+    });
+    let mut out = vec![0u64; n_bins];
+    for local in partials.into_inner() {
+        for (o, l) in out.iter_mut().zip(local) {
+            *o += l;
+        }
+    }
+    out
+}
+
+/// Weighted histogram: sums `weight(i)` into the bucket `key(i)`.
+pub fn weighted_histogram<FK, FW>(
+    ctx: &ExecCtx,
+    n: usize,
+    n_bins: usize,
+    key: FK,
+    weight: FW,
+) -> Vec<f64>
+where
+    FK: Fn(usize) -> usize + Sync,
+    FW: Fn(usize) -> f64 + Sync,
+{
+    ctx.record(KernelKind::For, n as u64, (n * 12) as u64);
+    let partials: Mutex<Vec<Vec<f64>>> = Mutex::new(Vec::new());
+    ctx.for_each_chunk(n, 4096, |range| {
+        let mut local = vec![0f64; n_bins];
+        for i in range {
+            let k = key(i);
+            if k < n_bins {
+                local[k] += weight(i);
+            }
+        }
+        partials.lock().push(local);
+    });
+    let mut out = vec![0f64; n_bins];
+    for local in partials.into_inner() {
+        for (o, l) in out.iter_mut().zip(local) {
+            *o += l;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ThreadPool;
+    use std::sync::Arc;
+
+    fn ctxs() -> Vec<ExecCtx> {
+        vec![
+            ExecCtx::serial(),
+            ExecCtx::on_pool(Arc::new(ThreadPool::new(4))),
+        ]
+    }
+
+    #[test]
+    fn counts_match_sequential() {
+        for ctx in ctxs() {
+            let n = 100_000usize;
+            let got = histogram(&ctx, n, 7, |i| i % 7);
+            let mut expect = vec![0u64; 7];
+            for i in 0..n {
+                expect[i % 7] += 1;
+            }
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn out_of_range_keys_dropped() {
+        for ctx in ctxs() {
+            let got = histogram(&ctx, 1000, 4, |i| i % 10);
+            assert_eq!(got.iter().sum::<u64>(), 400);
+        }
+    }
+
+    #[test]
+    fn weighted_sums() {
+        for ctx in ctxs() {
+            let got = weighted_histogram(&ctx, 10_000, 2, |i| i % 2, |i| i as f64);
+            let evens: f64 = (0..10_000).step_by(2).map(|i| i as f64).sum();
+            let odds: f64 = (1..10_000).step_by(2).map(|i| i as f64).sum();
+            assert!((got[0] - evens).abs() < 1e-6);
+            assert!((got[1] - odds).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let got = histogram(&ExecCtx::serial(), 0, 3, |_| 0);
+        assert_eq!(got, vec![0, 0, 0]);
+    }
+}

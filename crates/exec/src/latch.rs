@@ -1,0 +1,92 @@
+//! A counting latch used to join fork–join parallel regions.
+//!
+//! The pool's caller thread blocks on [`Latch::wait`] until every worker has
+//! called [`Latch::count_down`]. Workers that panic poison the latch so the
+//! panic is re-raised on the calling thread instead of deadlocking the pool.
+
+use parking_lot::{Condvar, Mutex};
+
+/// A one-shot countdown latch.
+pub struct Latch {
+    state: Mutex<LatchState>,
+    cond: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    poisoned: bool,
+}
+
+impl Latch {
+    /// Creates a latch that waits for `count` calls to [`Latch::count_down`].
+    pub fn new(count: usize) -> Self {
+        Self {
+            state: Mutex::new(LatchState {
+                remaining: count,
+                poisoned: false,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Records one completed worker; wakes the waiter when it is the last.
+    pub fn count_down(&self) {
+        let mut state = self.state.lock();
+        debug_assert!(state.remaining > 0, "latch counted down too many times");
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            self.cond.notify_all();
+        }
+    }
+
+    /// Marks the latch as poisoned (a worker panicked).
+    pub fn poison(&self) {
+        self.state.lock().poisoned = true;
+    }
+
+    /// Blocks until all workers have counted down.
+    ///
+    /// Returns `true` if any worker poisoned the latch.
+    pub fn wait(&self) -> bool {
+        let mut state = self.state.lock();
+        while state.remaining > 0 {
+            self.cond.wait(&mut state);
+        }
+        state.poisoned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counts_down_to_zero() {
+        let latch = Arc::new(Latch::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let latch = Arc::clone(&latch);
+                std::thread::spawn(move || latch.count_down())
+            })
+            .collect();
+        assert!(!latch.wait());
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn zero_count_returns_immediately() {
+        let latch = Latch::new(0);
+        assert!(!latch.wait());
+    }
+
+    #[test]
+    fn poison_is_reported() {
+        let latch = Latch::new(1);
+        latch.poison();
+        latch.count_down();
+        assert!(latch.wait());
+    }
+}

@@ -1,0 +1,7 @@
+//! Shared constants for the parallel primitives.
+
+/// Default minimum number of elements per parallel chunk.
+///
+/// Below this, the cost of dispatching to the pool exceeds the work itself
+/// for the cheap per-element kernels used throughout pandora.
+pub const DEFAULT_GRAIN: usize = 2048;

@@ -1,0 +1,126 @@
+//! Parallel stable two-way partition.
+//!
+//! Splits `0..n` into the indices where a predicate holds and those where it
+//! does not, both in ascending order, with one pass of per-block counting,
+//! one scan and one scatter — half the work of running two stream
+//! compactions (used by the α / non-α split every contraction level).
+
+use crate::scan::seq_exclusive_scan;
+use crate::trace::KernelKind;
+use crate::{ExecCtx, UnsafeSlice};
+
+const BLOCK_MIN: usize = 4096;
+
+/// Returns `(matching, rest)` index vectors, both ascending.
+pub fn partition_indices<F: Fn(usize) -> bool + Sync>(
+    ctx: &ExecCtx,
+    n: usize,
+    pred: F,
+) -> (Vec<u32>, Vec<u32>) {
+    ctx.record(KernelKind::Scan, n as u64, (n * 12) as u64);
+    if ctx.is_serial() || n < 4 * BLOCK_MIN {
+        let mut yes = Vec::new();
+        let mut no = Vec::new();
+        for i in 0..n {
+            if pred(i) {
+                yes.push(i as u32);
+            } else {
+                no.push(i as u32);
+            }
+        }
+        return (yes, no);
+    }
+    let lanes = ctx.lanes();
+    let block = (n.div_ceil(lanes * 4)).max(BLOCK_MIN);
+    let nb = n.div_ceil(block);
+
+    // Per-block match counts.
+    let mut yes_counts = vec![0u32; nb];
+    {
+        let counts_view = UnsafeSlice::new(&mut yes_counts);
+        let pred_ref = &pred;
+        ctx.for_each(nb, 1, |b| {
+            let start = b * block;
+            let end = (start + block).min(n);
+            let mut c = 0u32;
+            for i in start..end {
+                c += pred_ref(i) as u32;
+            }
+            // SAFETY: distinct block slots.
+            unsafe { counts_view.write(b, c) };
+        });
+    }
+    // Offsets for both sides: yes side is a scan of yes_counts; no side is
+    // block_start - yes_offset (total positions before the block minus the
+    // matching ones).
+    let mut yes_offsets = yes_counts;
+    let total_yes = seq_exclusive_scan(&mut yes_offsets) as usize;
+
+    let mut yes = vec![0u32; total_yes];
+    let mut no = vec![0u32; n - total_yes];
+    {
+        let yes_view = UnsafeSlice::new(&mut yes);
+        let no_view = UnsafeSlice::new(&mut no);
+        let offsets_ref = &yes_offsets;
+        let pred_ref = &pred;
+        ctx.for_each(nb, 1, |b| {
+            let start = b * block;
+            let end = (start + block).min(n);
+            let mut yes_cursor = offsets_ref[b] as usize;
+            let mut no_cursor = start - yes_cursor;
+            for i in start..end {
+                // SAFETY: block cursors cover disjoint output ranges.
+                unsafe {
+                    if pred_ref(i) {
+                        yes_view.write(yes_cursor, i as u32);
+                        yes_cursor += 1;
+                    } else {
+                        no_view.write(no_cursor, i as u32);
+                        no_cursor += 1;
+                    }
+                }
+            }
+        });
+    }
+    (yes, no)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ThreadPool;
+    use std::sync::Arc;
+
+    fn ctxs() -> Vec<ExecCtx> {
+        vec![
+            ExecCtx::serial(),
+            ExecCtx::on_pool(Arc::new(ThreadPool::new(4))),
+        ]
+    }
+
+    #[test]
+    fn partition_matches_filter() {
+        for ctx in ctxs() {
+            for n in [0usize, 100, 4 * 4096, 100_000] {
+                let (yes, no) = partition_indices(&ctx, n, |i| i % 3 == 1);
+                let expect_yes: Vec<u32> = (0..n as u32).filter(|i| i % 3 == 1).collect();
+                let expect_no: Vec<u32> = (0..n as u32).filter(|i| i % 3 != 1).collect();
+                assert_eq!(yes, expect_yes, "n={n}");
+                assert_eq!(no, expect_no, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_and_none() {
+        for ctx in ctxs() {
+            let n = 50_000;
+            let (yes, no) = partition_indices(&ctx, n, |_| true);
+            assert_eq!(yes.len(), n);
+            assert!(no.is_empty());
+            let (yes, no) = partition_indices(&ctx, n, |_| false);
+            assert!(yes.is_empty());
+            assert_eq!(no.len(), n);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! A persistent fork–join thread pool.
+//!
+//! The pool keeps `n_workers` parked threads alive for the lifetime of the
+//! process and broadcasts *one job to every worker* per parallel region
+//! ([`ThreadPool::broadcast`]). The calling thread participates as an extra
+//! worker, so a pool built with [`ThreadPool::with_default_parallelism`] uses
+//! exactly `available_parallelism` lanes. Work distribution *within* a region
+//! is done by the parallel primitives in `crate::par` via shared atomic
+//! cursors, so the pool itself stays tiny and allocation-free per call.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Sender};
+
+use crate::latch::Latch;
+
+/// A job sent to every worker of the pool for one parallel region.
+struct Job {
+    /// Lifetime-erased closure; see SAFETY in [`ThreadPool::broadcast`].
+    func: &'static (dyn Fn(usize) + Sync),
+    latch: Arc<Latch>,
+}
+
+/// A fixed-size fork–join worker pool.
+pub struct ThreadPool {
+    senders: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `lanes` total execution lanes (including the
+    /// calling thread), i.e. `lanes - 1` background workers.
+    pub fn new(lanes: usize) -> Self {
+        let n_workers = lanes.max(1) - 1;
+        let mut senders = Vec::with_capacity(n_workers);
+        let mut handles = Vec::with_capacity(n_workers);
+        for worker_idx in 0..n_workers {
+            let (tx, rx) = bounded::<Job>(1);
+            senders.push(tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("pandora-worker-{worker_idx}"))
+                    .spawn(move || {
+                        for job in rx.iter() {
+                            let result =
+                                catch_unwind(AssertUnwindSafe(|| (job.func)(worker_idx)));
+                            if result.is_err() {
+                                job.latch.poison();
+                            }
+                            job.latch.count_down();
+                        }
+                    })
+                    .expect("failed to spawn pool worker"),
+            );
+        }
+        Self { senders, handles }
+    }
+
+    /// Creates a pool sized to `std::thread::available_parallelism`.
+    pub fn with_default_parallelism() -> Self {
+        let lanes = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::new(lanes)
+    }
+
+    /// The number of execution lanes (workers + the calling thread).
+    pub fn lanes(&self) -> usize {
+        self.senders.len() + 1
+    }
+
+    /// Runs `f(lane_index)` once on every lane (workers and the caller),
+    /// returning when all lanes have finished.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic on the calling thread if any worker panicked.
+    pub fn broadcast<F: Fn(usize) + Sync>(&self, f: &F) {
+        let n_workers = self.senders.len();
+        if n_workers == 0 {
+            f(0);
+            return;
+        }
+        let latch = Arc::new(Latch::new(n_workers));
+        let erased: &(dyn Fn(usize) + Sync) = f;
+        // SAFETY: the job borrows `f` only until `latch.wait()` returns below,
+        // and `broadcast` does not return before that, so the reference never
+        // outlives the closure. The latch is counted down even on panic.
+        let erased: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(erased) };
+        for tx in &self.senders {
+            tx.send(Job {
+                func: erased,
+                latch: Arc::clone(&latch),
+            })
+            .expect("pool worker exited prematurely");
+        }
+        // The caller participates as the last lane.
+        let caller_result = catch_unwind(AssertUnwindSafe(|| f(n_workers)));
+        let poisoned = latch.wait();
+        if let Err(payload) = caller_result {
+            std::panic::resume_unwind(payload);
+        }
+        if poisoned {
+            panic!("a pandora-exec pool worker panicked during a parallel region");
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.senders.clear(); // closes channels; workers exit their loops
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Returns the process-wide shared pool, created on first use.
+pub fn global_pool() -> &'static Arc<ThreadPool> {
+    static POOL: OnceLock<Arc<ThreadPool>> = OnceLock::new();
+    POOL.get_or_init(|| Arc::new(ThreadPool::with_default_parallelism()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn broadcast_runs_on_every_lane() {
+        let pool = ThreadPool::new(4);
+        let hits = AtomicUsize::new(0);
+        pool.broadcast(&|_lane| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn lane_indices_are_distinct() {
+        let pool = ThreadPool::new(3);
+        let seen = [
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+        ];
+        pool.broadcast(&|lane| {
+            seen[lane].fetch_add(1, Ordering::Relaxed);
+        });
+        for s in &seen {
+            assert_eq!(s.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn single_lane_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let hits = AtomicUsize::new(0);
+        pool.broadcast(&|lane| {
+            assert_eq!(lane, 0);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pool_survives_many_regions() {
+        let pool = ThreadPool::new(4);
+        let hits = AtomicUsize::new(0);
+        for _ in 0..100 {
+            pool.broadcast(&|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panic_propagates() {
+        let pool = ThreadPool::new(2);
+        pool.broadcast(&|lane| {
+            if lane == 0 {
+                panic!("boom");
+            }
+        });
+    }
+}

@@ -1,0 +1,262 @@
+//! Parallel LSD radix sort for unsigned keys.
+//!
+//! Sorting dominates PANDORA's runtime (the paper's Fig. 13 measures 67–85%
+//! of CPU time in sorting) and is its most scalable phase (Fig. 12), so the
+//! substrate provides a histogram/scan/scatter radix sort — the same
+//! construction GPU sorting libraries use — in addition to the comparison
+//! merge sort.
+//!
+//! The sort processes 8-bit digits LSD-first. Each pass computes per-chunk
+//! histograms in parallel, turns them into per-(digit, chunk) offsets with
+//! one sequential scan over `256 × n_chunks` counters (digit-major so the
+//! sort stays stable), and scatters in parallel. Passes whose digit column
+//! is constant are skipped — important for PANDORA's chain keys, whose high
+//! bytes are mostly empty.
+
+use crate::trace::KernelKind;
+use crate::{ExecCtx, UnsafeSlice};
+
+const RADIX_BITS: usize = 8;
+const RADIX_SIZE: usize = 1 << RADIX_BITS; // 256
+const SEQ_THRESHOLD: usize = 16 * 1024;
+
+/// Sorts `keys` ascending (stable, not that it matters for bare keys).
+pub fn par_radix_sort_u64(ctx: &ExecCtx, keys: &mut Vec<u64>) {
+    let n = keys.len();
+    if ctx.is_serial() || n < SEQ_THRESHOLD {
+        ctx.record(KernelKind::RadixPass, (n * 4) as u64, (n * 8 * 4) as u64);
+        keys.sort_unstable();
+        return;
+    }
+    let mut aux = vec![0u64; n];
+    let mut src_is_keys = true;
+    for pass in 0..(64 / RADIX_BITS) {
+        let shift = pass * RADIX_BITS;
+        let reordered = if src_is_keys {
+            radix_pass(ctx, keys, &mut aux, shift, |_, _| {})
+        } else {
+            radix_pass(ctx, &aux, keys, shift, |_, _| {})
+        };
+        if reordered {
+            src_is_keys = !src_is_keys;
+        }
+    }
+    if !src_is_keys {
+        keys.copy_from_slice(&aux);
+    }
+}
+
+/// Sorts `(keys, values)` pairs ascending by key, stably.
+pub fn par_radix_sort_pairs(ctx: &ExecCtx, keys: &mut Vec<u64>, values: &mut Vec<u32>) {
+    assert_eq!(keys.len(), values.len());
+    let n = keys.len();
+    if ctx.is_serial() || n < SEQ_THRESHOLD {
+        ctx.record(KernelKind::RadixPass, (n * 4) as u64, (n * 12 * 4) as u64);
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.sort_by_key(|&i| keys[i as usize]);
+        let old_keys = std::mem::take(keys);
+        let old_vals = std::mem::take(values);
+        *keys = perm.iter().map(|&i| old_keys[i as usize]).collect();
+        *values = perm.iter().map(|&i| old_vals[i as usize]).collect();
+        return;
+    }
+    let mut key_aux = vec![0u64; n];
+    let mut val_aux = vec![0u32; n];
+    let mut src_is_primary = true;
+    for pass in 0..(64 / RADIX_BITS) {
+        let shift = pass * RADIX_BITS;
+        let reordered = if src_is_primary {
+            let vals_view = UnsafeSlice::new(values);
+            let val_aux_view = UnsafeSlice::new(&mut val_aux);
+            radix_pass(
+                ctx,
+                keys,
+                &mut key_aux,
+                shift,
+                // SAFETY (both closures): the destination index is unique per
+                // element within a pass, and source reads are read-only.
+                |i, out| unsafe { val_aux_view.write(out, vals_view.read(i)) },
+            )
+        } else {
+            let vals_view = UnsafeSlice::new(values);
+            let val_aux_view = UnsafeSlice::new(&mut val_aux);
+            radix_pass(
+                ctx,
+                &key_aux,
+                keys,
+                shift,
+                |i, out| unsafe { vals_view.write(out, val_aux_view.read(i)) },
+            )
+        };
+        if reordered {
+            src_is_primary = !src_is_primary;
+        }
+    }
+    if !src_is_primary {
+        keys.copy_from_slice(&key_aux);
+        values.copy_from_slice(&val_aux);
+    }
+}
+
+/// One radix pass: distributes `src` into `dst` by the digit at `shift`.
+///
+/// Returns `false` (and leaves `dst` untouched) when the digit column is
+/// constant, i.e. the pass would be the identity permutation.
+///
+/// `move_payload(src_index, dst_index)` is invoked for every scattered
+/// element so callers can carry a payload array along.
+fn radix_pass<FPayload>(
+    ctx: &ExecCtx,
+    src: &[u64],
+    dst: &mut [u64],
+    shift: usize,
+    move_payload: FPayload,
+) -> bool
+where
+    FPayload: Fn(usize, usize) + Sync,
+{
+    let n = src.len();
+    let lanes = ctx.lanes();
+    let n_chunks = (lanes * 4).min(n.div_ceil(1024)).max(1);
+    let chunk = n.div_ceil(n_chunks);
+    ctx.record(KernelKind::RadixPass, n as u64, (n * 8 * 3) as u64);
+
+    // Per-chunk histograms.
+    let mut hist = vec![0u32; n_chunks * RADIX_SIZE];
+    {
+        let hist_view = UnsafeSlice::new(&mut hist);
+        let src_ref = src;
+        ctx.for_each(n_chunks, 1, |c| {
+            let start = c * chunk;
+            let end = (start + chunk).min(n);
+            let mut local = [0u32; RADIX_SIZE];
+            for &k in &src_ref[start..end] {
+                local[((k >> shift) & (RADIX_SIZE as u64 - 1)) as usize] += 1;
+            }
+            for (d, &count) in local.iter().enumerate() {
+                // SAFETY: slot (c, d) is owned by chunk c.
+                unsafe { hist_view.write(c * RADIX_SIZE + d, count) };
+            }
+        });
+    }
+
+    // Skip identity passes (all keys share the digit).
+    let nonzero_digits = (0..RADIX_SIZE)
+        .filter(|&d| (0..n_chunks).any(|c| hist[c * RADIX_SIZE + d] > 0))
+        .count();
+    if nonzero_digits <= 1 {
+        return false;
+    }
+
+    // Digit-major exclusive scan over (digit, chunk) counters → offsets.
+    let mut running = 0u32;
+    for d in 0..RADIX_SIZE {
+        for c in 0..n_chunks {
+            let idx = c * RADIX_SIZE + d;
+            let count = hist[idx];
+            hist[idx] = running;
+            running += count;
+        }
+    }
+
+    // Scatter.
+    {
+        let dst_view = UnsafeSlice::new(dst);
+        let src_ref = src;
+        let hist_ref = &hist;
+        let payload_ref = &move_payload;
+        ctx.for_each(n_chunks, 1, |c| {
+            let start = c * chunk;
+            let end = (start + chunk).min(n);
+            let mut offsets = [0u32; RADIX_SIZE];
+            offsets.copy_from_slice(&hist_ref[c * RADIX_SIZE..(c + 1) * RADIX_SIZE]);
+            for (i, &k) in src_ref.iter().enumerate().take(end).skip(start) {
+                let d = ((k >> shift) & (RADIX_SIZE as u64 - 1)) as usize;
+                let out = offsets[d] as usize;
+                offsets[d] += 1;
+                // SAFETY: the offset scheme assigns each destination slot to
+                // exactly one source element across all chunks.
+                unsafe { dst_view.write(out, k) };
+                payload_ref(i, out);
+            }
+        });
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ThreadPool;
+    use std::sync::Arc;
+
+    fn ctxs() -> Vec<ExecCtx> {
+        vec![
+            ExecCtx::serial(),
+            ExecCtx::on_pool(Arc::new(ThreadPool::new(4))),
+        ]
+    }
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn radix_sorts_like_std() {
+        for ctx in ctxs() {
+            for n in [0usize, 1, 100, 16 * 1024, 100_000] {
+                let mut state = 7u64 + n as u64;
+                let mut keys: Vec<u64> = (0..n).map(|_| xorshift(&mut state)).collect();
+                let mut expect = keys.clone();
+                expect.sort_unstable();
+                par_radix_sort_u64(&ctx, &mut keys);
+                assert_eq!(keys, expect, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn radix_small_key_range_uses_skip_passes() {
+        for ctx in ctxs() {
+            let n = 80_000usize;
+            let mut state = 99u64;
+            // Keys only occupy the low 10 bits: 6 of 8 passes are identity.
+            let mut keys: Vec<u64> = (0..n).map(|_| xorshift(&mut state) & 0x3FF).collect();
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            par_radix_sort_u64(&ctx, &mut keys);
+            assert_eq!(keys, expect);
+        }
+    }
+
+    #[test]
+    fn radix_pairs_stable_and_consistent() {
+        for ctx in ctxs() {
+            let n = 70_000usize;
+            let mut state = 1234u64;
+            let mut keys: Vec<u64> = (0..n).map(|_| xorshift(&mut state) % 257).collect();
+            let mut values: Vec<u32> = (0..n as u32).collect();
+            let expect: Vec<(u64, u32)> = {
+                let mut pairs: Vec<(u64, u32)> =
+                    keys.iter().copied().zip(values.iter().copied()).collect();
+                pairs.sort_by_key(|&(k, v)| (k, v)); // stable ⇒ value order = index order
+                pairs
+            };
+            par_radix_sort_pairs(&ctx, &mut keys, &mut values);
+            let got: Vec<(u64, u32)> = keys.into_iter().zip(values).collect();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn radix_all_equal_keys() {
+        for ctx in ctxs() {
+            let mut keys = vec![42u64; 50_000];
+            par_radix_sort_u64(&ctx, &mut keys);
+            assert!(keys.iter().all(|&k| k == 42));
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! The condensed cluster tree (HDBSCAN\* §4 of Campello et al., paper \[9\]).
+//!
+//! The full single-linkage dendrogram has one internal node per MST edge;
+//! the condensed tree keeps only splits where **both** sides have at least
+//! `min_cluster_size` points. Smaller sides "fall out" of their cluster as
+//! individual points at `λ = 1/distance`; clusters are born at the λ of the
+//! split that created them and die when they shrink below the threshold.
+
+use pandora_core::{Dendrogram, INVALID};
+
+/// λ value used where a merge distance is ~0 (duplicate points).
+const LAMBDA_CAP: f32 = 1.0e12;
+
+#[inline(always)]
+fn lambda_of(dist: f32) -> f32 {
+    if dist <= 0.0 {
+        LAMBDA_CAP
+    } else {
+        (1.0 / dist).min(LAMBDA_CAP)
+    }
+}
+
+/// The condensed tree, stored as parallel row arrays plus per-cluster
+/// metadata. Cluster ids are dense, `0` is the root cluster; children always
+/// have larger ids than parents.
+#[derive(Debug, Clone)]
+pub struct CondensedTree {
+    /// Row: the condensed cluster the child leaves / is born from.
+    pub parent: Vec<u32>,
+    /// Row: a point id (`< n_points`) or `n_points + cluster_id`.
+    pub child: Vec<u32>,
+    /// Row: λ at which the child leaves the parent.
+    pub lambda: Vec<f32>,
+    /// Row: number of points in the child (1 for point rows).
+    pub size: Vec<u32>,
+    /// Number of data points.
+    pub n_points: usize,
+    /// λ at which each cluster was born.
+    pub cluster_birth: Vec<f32>,
+    /// Parent cluster of each cluster ([`INVALID`] for the root).
+    pub cluster_parent: Vec<u32>,
+}
+
+impl CondensedTree {
+    /// Number of condensed clusters (including the root).
+    pub fn n_clusters(&self) -> usize {
+        self.cluster_birth.len()
+    }
+
+    /// Whether a row's child is a cluster (vs. a point).
+    #[inline(always)]
+    pub fn child_is_cluster(&self, row: usize) -> bool {
+        self.child[row] as usize >= self.n_points
+    }
+
+    /// The cluster id of a cluster-row child.
+    #[inline(always)]
+    pub fn child_cluster(&self, row: usize) -> u32 {
+        debug_assert!(self.child_is_cluster(row));
+        self.child[row] - self.n_points as u32
+    }
+}
+
+/// Condenses a single-linkage dendrogram.
+pub fn condense(dendrogram: &Dendrogram, min_cluster_size: usize) -> CondensedTree {
+    let n_edges = dendrogram.n_edges();
+    let n_points = dendrogram.n_vertices();
+    let min_sz = min_cluster_size.max(2) as u32;
+
+    let mut ct = CondensedTree {
+        parent: Vec::new(),
+        child: Vec::new(),
+        lambda: Vec::new(),
+        size: Vec::new(),
+        n_points,
+        cluster_birth: Vec::new(),
+        cluster_parent: Vec::new(),
+    };
+    if n_edges == 0 {
+        // Single point: one root cluster, no rows.
+        ct.cluster_birth.push(0.0);
+        ct.cluster_parent.push(INVALID);
+        return ct;
+    }
+
+    // Children of each edge node: up to two edges + up to two vertices.
+    let edge_children = dendrogram.edge_children();
+    let mut vertex_children: Vec<[u32; 2]> = vec![[INVALID; 2]; n_edges];
+    for (v, &p) in dendrogram.vertex_parent.iter().enumerate() {
+        let slot = &mut vertex_children[p as usize];
+        if slot[0] == INVALID {
+            slot[0] = v as u32;
+        } else {
+            debug_assert_eq!(slot[1], INVALID);
+            slot[1] = v as u32;
+        }
+    }
+    let sizes = dendrogram.cluster_sizes();
+
+    // Root cluster: born at λ of the root edge (everything above is "all
+    // points", standard convention uses the root split's λ as birth).
+    ct.cluster_birth.push(lambda_of(dendrogram.edge_weight[0]));
+    ct.cluster_parent.push(INVALID);
+
+    // Emit all points of edge-subtree `e` as fall-outs from `cluster` at λ,
+    // marking the subtree's edges so the main walk does not revisit them.
+    fn emit_subtree(
+        ct: &mut CondensedTree,
+        vertex_children: &[[u32; 2]],
+        edge_children: &[[u32; 2]],
+        absorbed: &mut [bool],
+        e: u32,
+        cluster: u32,
+        lam: f32,
+    ) {
+        let mut stack = vec![e];
+        while let Some(cur) = stack.pop() {
+            absorbed[cur as usize] = true;
+            for v in vertex_children[cur as usize] {
+                if v != INVALID {
+                    ct.parent.push(cluster);
+                    ct.child.push(v);
+                    ct.lambda.push(lam);
+                    ct.size.push(1);
+                }
+            }
+            for c in edge_children[cur as usize] {
+                if c != INVALID {
+                    stack.push(c);
+                }
+            }
+        }
+    }
+
+    // Walk the dendrogram top-down; `cluster_of[e]` = the condensed cluster
+    // edge-node `e`'s split belongs to.
+    let mut cluster_of = vec![0u32; n_edges];
+    let mut absorbed = vec![false; n_edges];
+    for e in 0..n_edges as u32 {
+        if absorbed[e as usize] {
+            continue;
+        }
+        let cluster = cluster_of[e as usize];
+        let lam = lambda_of(dendrogram.edge_weight[e as usize]);
+
+        // Vertex children always fall out as single points.
+        for v in vertex_children[e as usize] {
+            if v != INVALID {
+                ct.parent.push(cluster);
+                ct.child.push(v);
+                ct.lambda.push(lam);
+                ct.size.push(1);
+            }
+        }
+
+        let kids = edge_children[e as usize];
+        let (c1, c2) = (kids[0], kids[1]);
+        match (c1 != INVALID, c2 != INVALID) {
+            (false, false) => {} // leaf edge: both children were vertices
+            (true, false) | (false, true) => {
+                // One edge child: the cluster continues through it if it is
+                // still large enough; otherwise its points fall out.
+                let c = if c1 != INVALID { c1 } else { c2 };
+                if sizes[c as usize] >= min_sz {
+                    cluster_of[c as usize] = cluster;
+                } else {
+                    emit_subtree(
+                        &mut ct,
+                        &vertex_children,
+                        &edge_children,
+                        &mut absorbed,
+                        c,
+                        cluster,
+                        lam,
+                    );
+                }
+            }
+            (true, true) => {
+                let (s1, s2) = (sizes[c1 as usize], sizes[c2 as usize]);
+                let big1 = s1 >= min_sz;
+                let big2 = s2 >= min_sz;
+                if big1 && big2 {
+                    // True split: two new clusters are born.
+                    for (c, s) in [(c1, s1), (c2, s2)] {
+                        let new_id = ct.cluster_birth.len() as u32;
+                        ct.cluster_birth.push(lam);
+                        ct.cluster_parent.push(cluster);
+                        ct.parent.push(cluster);
+                        ct.child.push(n_points as u32 + new_id);
+                        ct.lambda.push(lam);
+                        ct.size.push(s);
+                        cluster_of[c as usize] = new_id;
+                    }
+                } else {
+                    // Small sides fall out; a single big side continues.
+                    for (c, big) in [(c1, big1), (c2, big2)] {
+                        if big {
+                            cluster_of[c as usize] = cluster;
+                        } else {
+                            emit_subtree(
+                                &mut ct,
+                                &vertex_children,
+                                &edge_children,
+                                &mut absorbed,
+                                c,
+                                cluster,
+                                lam,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ct
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pandora_core::{pandora, Edge};
+    use pandora_exec::ExecCtx;
+
+    /// Two tight pairs bridged by a long edge; min_cluster_size=2 splits.
+    fn two_pair_dendrogram() -> Dendrogram {
+        let ctx = ExecCtx::serial();
+        let edges = vec![
+            Edge::new(0, 1, 0.1),
+            Edge::new(2, 3, 0.2),
+            Edge::new(1, 2, 10.0),
+        ];
+        pandora::dendrogram(&ctx, 4, &edges)
+    }
+
+    #[test]
+    fn true_split_creates_two_clusters() {
+        let ct = condense(&two_pair_dendrogram(), 2);
+        assert_eq!(ct.n_clusters(), 3); // root + two pairs
+        assert_eq!(ct.cluster_parent[1], 0);
+        assert_eq!(ct.cluster_parent[2], 0);
+        // Every point eventually falls out of some cluster.
+        let point_rows = (0..ct.parent.len())
+            .filter(|&r| !ct.child_is_cluster(r))
+            .count();
+        assert_eq!(point_rows, 4);
+    }
+
+    #[test]
+    fn large_min_cluster_size_keeps_single_cluster() {
+        let ct = condense(&two_pair_dendrogram(), 3);
+        assert_eq!(ct.n_clusters(), 1); // no split survives
+        // All 4 points fall out of the root.
+        assert_eq!(ct.parent.len(), 4);
+        assert!(ct.parent.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn sizes_are_consistent() {
+        let ct = condense(&two_pair_dendrogram(), 2);
+        for row in 0..ct.parent.len() {
+            if ct.child_is_cluster(row) {
+                assert_eq!(ct.size[row], 2);
+            } else {
+                assert_eq!(ct.size[row], 1);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_distance_merges_get_capped_lambda() {
+        let ctx = ExecCtx::serial();
+        let edges = vec![Edge::new(0, 1, 0.0), Edge::new(1, 2, 1.0)];
+        let d = pandora::dendrogram(&ctx, 3, &edges);
+        let ct = condense(&d, 2);
+        assert!(ct.lambda.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let ctx = ExecCtx::serial();
+        let d = pandora::dendrogram(&ctx, 1, &[]);
+        let ct = condense(&d, 2);
+        assert_eq!(ct.n_clusters(), 1);
+        assert!(ct.parent.is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! DBSCAN\* flat clustering from the HDBSCAN\* hierarchy.
+//!
+//! DBSCAN\* (Campello et al., \[9\]) is DBSCAN without border points: clusters
+//! are the connected components of *core* points at distance ≤ ε under the
+//! mutual reachability metric. Given the hierarchy, every ε-level is just a
+//! dendrogram cut plus a core-distance filter — the "optional flat clusters"
+//! step the paper lists in §6.5.
+
+use crate::pipeline::HdbscanResult;
+
+/// Labels for a DBSCAN\* run at radius `epsilon` (−1 = noise).
+///
+/// A point is noise iff its core distance exceeds `epsilon`; remaining
+/// points are grouped by mutual-reachability connectivity at ≤ `epsilon`.
+pub fn dbscan_star(result: &HdbscanResult, epsilon: f32) -> Vec<i32> {
+    let eps2 = epsilon * epsilon;
+    let cut = result
+        .dendrogram
+        .cut(epsilon, &result.mst.src, &result.mst.dst);
+    // Renumber clusters over core points only, keeping noise at -1 and
+    // labels dense in first-appearance order.
+    let mut remap = std::collections::HashMap::new();
+    let mut labels = vec![-1i32; cut.len()];
+    for (p, &component) in cut.iter().enumerate() {
+        if result.core2[p] > eps2 {
+            continue; // not a core point at this radius
+        }
+        let next = remap.len() as i32;
+        let label = *remap.entry(component).or_insert(next);
+        labels[p] = label;
+    }
+    labels
+}
+
+/// Sweeps ε over the dendrogram's merge distances and returns
+/// `(epsilon, n_clusters, n_noise)` triples — the cluster-count profile.
+pub fn epsilon_profile(result: &HdbscanResult, n_steps: usize) -> Vec<(f32, usize, usize)> {
+    let weights = &result.dendrogram.edge_weight;
+    if weights.is_empty() {
+        return Vec::new();
+    }
+    let (max_w, min_w) = (weights[0], *weights.last().unwrap());
+    (0..n_steps)
+        .map(|i| {
+            let eps = min_w + (max_w - min_w) * (i as f32 + 0.5) / n_steps as f32;
+            let labels = dbscan_star(result, eps);
+            let k = labels.iter().copied().max().map_or(0, |m| (m + 1) as usize);
+            let noise = labels.iter().filter(|&&l| l == -1).count();
+            (eps, k, noise)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Hdbscan, HdbscanParams};
+    use pandora_data::synthetic::gaussian_blobs;
+    use pandora_exec::ExecCtx;
+
+    fn blob_result() -> HdbscanResult {
+        let (points, _) = gaussian_blobs(400, 2, 2, 100.0, 0.5, 3);
+        Hdbscan::with_ctx(HdbscanParams::default(), ExecCtx::serial()).run(&points)
+    }
+
+    #[test]
+    fn mid_epsilon_finds_both_blobs() {
+        let result = blob_result();
+        let labels = dbscan_star(&result, 10.0);
+        let k = labels.iter().copied().max().unwrap() + 1;
+        assert_eq!(k, 2);
+        assert_eq!(labels.iter().filter(|&&l| l == -1).count(), 0);
+    }
+
+    #[test]
+    fn tiny_epsilon_marks_everything_noise() {
+        let result = blob_result();
+        let labels = dbscan_star(&result, 1e-6);
+        assert!(labels.iter().all(|&l| l == -1));
+    }
+
+    #[test]
+    fn huge_epsilon_single_cluster() {
+        let result = blob_result();
+        let labels = dbscan_star(&result, 1e6);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn profile_is_well_formed() {
+        let result = blob_result();
+        let profile = epsilon_profile(&result, 8);
+        assert_eq!(profile.len(), 8);
+        // ε increases monotonically; noise decreases monotonically.
+        for w in profile.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].2 >= w[1].2);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! GLOSH outlier scores (Global-Local Outlier Score from Hierarchies,
+//! Campello et al. — the outlier-detection companion of HDBSCAN\*, cited as
+//! part of \[9\]'s framework).
+//!
+//! For a point `x` that falls out of condensed cluster `C` at `λ_x`, with
+//! `λ_death(C)` the largest λ at which `C` or any of its descendants still
+//! exists, the score is `1 − λ_x / λ_death(C)`: points that leave a
+//! long-lived cluster early are outliers (score → 1), points that persist
+//! until the cluster dissolves are inliers (score → 0).
+
+use crate::condensed::CondensedTree;
+
+/// GLOSH score per point, in `[0, 1]`.
+pub fn glosh_scores(ct: &CondensedTree) -> Vec<f32> {
+    let k = ct.n_clusters();
+    // λ_death per cluster: max λ of any row under the cluster, propagated
+    // bottom-up (children have larger ids than parents).
+    let mut death = vec![0.0f32; k];
+    for row in 0..ct.parent.len() {
+        let c = ct.parent[row] as usize;
+        death[c] = death[c].max(ct.lambda[row]);
+    }
+    for c in (1..k).rev() {
+        let p = ct.cluster_parent[c] as usize;
+        death[p] = death[p].max(death[c]);
+    }
+
+    let mut scores = vec![0.0f32; ct.n_points];
+    for row in 0..ct.parent.len() {
+        if ct.child_is_cluster(row) {
+            continue;
+        }
+        let point = ct.child[row] as usize;
+        let cluster = ct.parent[row] as usize;
+        let d = death[cluster];
+        scores[point] = if d > 0.0 {
+            (1.0 - ct.lambda[row] / d).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condensed::condense;
+    use pandora_core::{pandora, Edge};
+    use pandora_exec::ExecCtx;
+
+    #[test]
+    fn isolated_point_scores_high() {
+        // A tight pair of clusters with one far outlier hanging off the top.
+        let ctx = ExecCtx::serial();
+        let edges = vec![
+            Edge::new(0, 1, 0.1),
+            Edge::new(1, 2, 0.12),
+            Edge::new(2, 3, 0.11),
+            Edge::new(3, 4, 100.0), // vertex 4 is the outlier
+        ];
+        let d = pandora::dendrogram(&ctx, 5, &edges);
+        let ct = condense(&d, 2);
+        let scores = glosh_scores(&ct);
+        // The outlier (vertex 4) must score far above the pack.
+        let max_inlier = scores[..4].iter().cloned().fold(0.0f32, f32::max);
+        assert!(
+            scores[4] > max_inlier + 0.5,
+            "outlier {} vs inliers {:?}",
+            scores[4],
+            &scores[..4]
+        );
+    }
+
+    #[test]
+    fn uniform_chain_scores_bounded() {
+        let ctx = ExecCtx::serial();
+        let edges: Vec<Edge> = (0..20)
+            .map(|i| Edge::new(i, i + 1, 1.0))
+            .collect();
+        let d = pandora::dendrogram(&ctx, 21, &edges);
+        let ct = condense(&d, 3);
+        let scores = glosh_scores(&ct);
+        assert_eq!(scores.len(), 21);
+        assert!(scores.iter().all(|&s| (0.0..=1.0).contains(&s)));
+        // Equal distances ⇒ every point leaves at λ_death ⇒ all scores 0.
+        assert!(scores.iter().all(|&s| s == 0.0));
+    }
+}

@@ -1,0 +1,156 @@
+//! Density-Based Cluster Validity (DBCV, Moulavi et al. 2014) — the
+//! standard internal quality index for density-based clusterings, computed
+//! with the same machinery the clustering itself uses (mutual-reachability
+//! MSTs), so it comes almost for free on top of the pandora stack.
+//!
+//! For each cluster, the **density sparseness** `DSC(C)` is the maximum
+//! edge of the cluster's internal mutual-reachability MST; the **density
+//! separation** `DSPC(Cᵢ, Cⱼ)` is the minimum mutual-reachability distance
+//! between their points. Cluster validity is
+//! `(min_j DSPC − DSC) / max(min_j DSPC, DSC)` ∈ [−1, 1], and DBCV is the
+//! size-weighted average — higher is better.
+//!
+//! This implementation follows the original definition but computes core
+//! distances over the full dataset (all-points core distance), which is the
+//! common simplification in practice.
+
+use pandora_exec::ExecCtx;
+use pandora_mst::{boruvka_mst, core_distances2, KdTree, Metric, MutualReachability, PointSet};
+
+/// DBCV score of a flat clustering (−1 = worst, 1 = best).
+///
+/// `labels[i] < 0` marks noise (excluded from cluster validity but counted
+/// in the size weighting denominator, as in the reference implementation).
+/// Returns `None` when fewer than two real clusters exist.
+pub fn dbcv(ctx: &ExecCtx, points: &PointSet, labels: &[i32], min_pts: usize) -> Option<f64> {
+    assert_eq!(labels.len(), points.len());
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1) as usize;
+    if k < 2 {
+        return None;
+    }
+
+    // Core distances over the full dataset.
+    let tree = KdTree::build(ctx, points);
+    let core2 = core_distances2(ctx, points, &tree, min_pts);
+    let metric = MutualReachability { core2: &core2 };
+
+    // Cluster member lists.
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); k];
+    for (i, &l) in labels.iter().enumerate() {
+        if l >= 0 {
+            members[l as usize].push(i as u32);
+        }
+    }
+    if members.iter().filter(|m| m.len() >= 2).count() < 2 {
+        return None;
+    }
+
+    // Density sparseness per cluster: max edge of the internal MST, with
+    // distances evaluated under the *global* mutual reachability metric.
+    let mut sparseness = vec![f64::NAN; k];
+    for (c, m) in members.iter().enumerate() {
+        if m.len() < 2 {
+            continue;
+        }
+        let sub = points.select(m);
+        let sub_core2: Vec<f32> = m.iter().map(|&i| core2[i as usize]).collect();
+        let mut sub_tree = KdTree::build(ctx, &sub);
+        sub_tree.attach_core2(&sub_core2);
+        let sub_metric = MutualReachability { core2: &sub_core2 };
+        let mst = boruvka_mst(ctx, &sub, &sub_tree, &sub_metric);
+        sparseness[c] = mst
+            .iter()
+            .map(|e| e.w as f64)
+            .fold(0.0f64, f64::max);
+    }
+
+    // Pairwise density separation: min mutual-reachability distance between
+    // clusters. O(Σ|Cᵢ|·|Cⱼ|) — fine for validation-scale data; the kd-tree
+    // nearest-foreign machinery could accelerate this if ever needed.
+    let mut separation = vec![vec![f64::INFINITY; k]; k];
+    for ci in 0..k {
+        for cj in (ci + 1)..k {
+            if members[ci].len() < 2 || members[cj].len() < 2 {
+                continue;
+            }
+            let mut best = f64::INFINITY;
+            for &a in &members[ci] {
+                for &b in &members[cj] {
+                    let d2 = metric.dist2(points, a, b);
+                    best = best.min((d2 as f64).sqrt());
+                }
+            }
+            separation[ci][cj] = best;
+            separation[cj][ci] = best;
+        }
+    }
+
+    // Validity per cluster, weighted by size.
+    let n_total = labels.len() as f64;
+    let mut score = 0.0f64;
+    for c in 0..k {
+        if members[c].len() < 2 {
+            continue;
+        }
+        let min_sep = (0..k)
+            .filter(|&o| o != c && members[o].len() >= 2)
+            .map(|o| separation[c][o])
+            .fold(f64::INFINITY, f64::min);
+        let dsc = sparseness[c];
+        let validity = (min_sep - dsc) / min_sep.max(dsc);
+        score += validity * members[c].len() as f64 / n_total;
+    }
+    Some(score)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pandora_data::synthetic::gaussian_blobs;
+
+    #[test]
+    fn good_clustering_scores_high() {
+        let (points, truth) = gaussian_blobs(300, 2, 3, 200.0, 0.5, 5);
+        let ctx = ExecCtx::serial();
+        let labels: Vec<i32> = truth.iter().map(|&t| t as i32).collect();
+        let score = dbcv(&ctx, &points, &labels, 4).unwrap();
+        assert!(score > 0.6, "well-separated blobs scored {score}");
+    }
+
+    #[test]
+    fn scrambled_labels_score_low() {
+        let (points, truth) = gaussian_blobs(300, 2, 3, 200.0, 0.5, 5);
+        let ctx = ExecCtx::serial();
+        // Truth is assigned round-robin (`i % 3`); contiguous blocks of 100
+        // therefore mix all three blobs — a density-meaningless partition.
+        let labels: Vec<i32> = (0..points.len()).map(|i| ((i / 100) % 3) as i32).collect();
+        let good: Vec<i32> = truth.iter().map(|&t| t as i32).collect();
+        let bad_score = dbcv(&ctx, &points, &labels, 4).unwrap();
+        let good_score = dbcv(&ctx, &points, &good, 4).unwrap();
+        assert!(
+            good_score > bad_score + 0.5,
+            "good {good_score} vs bad {bad_score}"
+        );
+        assert!(bad_score < 0.0, "scrambled labels scored {bad_score}");
+    }
+
+    #[test]
+    fn single_cluster_is_none() {
+        let (points, _) = gaussian_blobs(100, 2, 1, 1.0, 0.5, 2);
+        let ctx = ExecCtx::serial();
+        let labels = vec![0i32; points.len()];
+        assert!(dbcv(&ctx, &points, &labels, 4).is_none());
+    }
+
+    #[test]
+    fn noise_is_tolerated() {
+        let (points, truth) = gaussian_blobs(200, 2, 2, 150.0, 0.5, 9);
+        let ctx = ExecCtx::serial();
+        let mut labels: Vec<i32> = truth.iter().map(|&t| t as i32).collect();
+        for l in labels.iter_mut().step_by(17) {
+            *l = -1;
+        }
+        let score = dbcv(&ctx, &points, &labels, 4).unwrap();
+        assert!(score > 0.3);
+    }
+}

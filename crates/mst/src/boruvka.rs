@@ -1,0 +1,242 @@
+//! Parallel Borůvka Euclidean MST (the paper's EMST substrate, \[39\]).
+//!
+//! Each round, every point finds its nearest neighbour in a *different*
+//! component via the kd-tree ([`KdTree::nearest_foreign`]); every component
+//! then keeps its minimum outgoing edge (atomic min on a packed
+//! `(distance, point)` key — deterministic tie-break), the chosen edges are
+//! added and the components merged. Components at least halve per round, so
+//! there are ≤ ⌈log₂ n⌉ rounds.
+//!
+//! Works for any [`Metric`]; with [`crate::metric::MutualReachability`] it produces exactly
+//! the MST HDBSCAN\* needs. Component purity of kd-subtrees prunes
+//! intra-component traversal, the standard trick that keeps Borůvka rounds
+//! near-linear.
+
+use std::sync::atomic::Ordering;
+
+use pandora_exec::atomic::{as_atomic_u64, f32_to_ordered_u32};
+use pandora_exec::dsu::AtomicDsu;
+use pandora_exec::trace::KernelKind;
+use pandora_exec::{ExecCtx, UnsafeSlice, DEFAULT_GRAIN};
+
+use pandora_core::Edge;
+
+use crate::kdtree::KdTree;
+use crate::metric::Metric;
+use crate::point::PointSet;
+
+/// Packs `(squared distance, point)` so numeric `min` picks the smallest
+/// distance, ties broken by smaller point index.
+#[inline(always)]
+fn pack_candidate(d2: f32, p: u32) -> u64 {
+    ((f32_to_ordered_u32(d2) as u64) << 32) | p as u64
+}
+
+/// Computes the MST of `points` under `metric` using parallel Borůvka.
+///
+/// The `tree` must index the same point set (and must carry core distances
+/// via [`KdTree::attach_core2`] when `metric` is mutual reachability).
+/// Returns the `n-1` edges with weights = `sqrt` of the metric's squared
+/// distance.
+pub fn boruvka_mst<M: Metric>(
+    ctx: &ExecCtx,
+    points: &PointSet,
+    tree: &KdTree,
+    metric: &M,
+) -> Vec<Edge> {
+    let n = points.len();
+    if n <= 1 {
+        return Vec::new();
+    }
+    let dsu = AtomicDsu::new(n);
+    let mut comp: Vec<u32> = (0..n as u32).collect();
+    let mut n_components = n;
+    let mut edges: Vec<Edge> = Vec::with_capacity(n - 1);
+    // Per-component best outgoing candidate, indexed by component root.
+    let mut candidate = vec![u64::MAX; n];
+    // Nearest foreign point per point, filled each round.
+    let mut best_of = vec![(f32::INFINITY, u32::MAX); n];
+
+    while n_components > 1 {
+        let purity = tree.component_purity(&comp);
+
+        // Reset candidates (only roots are read, clearing all is simpler).
+        {
+            let cand_view = UnsafeSlice::new(&mut candidate);
+            ctx.for_each_chunk(n, DEFAULT_GRAIN * 4, |range| {
+                for i in range {
+                    // SAFETY: disjoint writes.
+                    unsafe { cand_view.write(i, u64::MAX) };
+                }
+            });
+        }
+
+        // Every point proposes its nearest foreign neighbour to its
+        // component (paper's "find minimum outgoing edge" step).
+        {
+            let cand_view = as_atomic_u64(&mut candidate);
+            let best_view = UnsafeSlice::new(&mut best_of);
+            let comp_ref = &comp;
+            let purity_ref = &purity;
+            ctx.for_each_chunk_traced(
+                n,
+                256,
+                KernelKind::TreeTraverse,
+                (n as u64) * 64,
+                |range| {
+                    for q in range {
+                        let found = tree.nearest_foreign(
+                            points,
+                            metric,
+                            q as u32,
+                            comp_ref,
+                            purity_ref,
+                        );
+                        if let Some((d2, p)) = found {
+                            // SAFETY: slot q written only by this task.
+                            unsafe { best_view.write(q, (d2, p)) };
+                            let root = comp_ref[q] as usize;
+                            cand_view[root].fetch_min(pack_candidate(d2, q as u32), Ordering::Relaxed);
+                        }
+                    }
+                },
+            );
+        }
+
+        // Collect winning edges; deduplicate reciprocal pairs with a
+        // sequential pass over components (O(#components)).
+        let mut added = 0usize;
+        {
+            let roots: Vec<u32> = (0..n as u32).filter(|&v| comp[v as usize] == v).collect();
+            ctx.record(KernelKind::DsuUnion, roots.len() as u64, (roots.len() as u64) * 24);
+            for &root in &roots {
+                let packed = candidate[root as usize];
+                if packed == u64::MAX {
+                    continue;
+                }
+                let q = packed as u32;
+                let (d2, p) = best_of[q as usize];
+                debug_assert_ne!(p, u32::MAX);
+                // Reciprocal edges (a↔b) must be added once: accept only if
+                // the DSU still separates the endpoints.
+                let ra = dsu.find(q);
+                let rb = dsu.find(p);
+                if ra != rb {
+                    dsu.union(ra, rb);
+                    edges.push(Edge::new(q, p, d2.sqrt()));
+                    added += 1;
+                }
+            }
+        }
+        debug_assert!(added > 0, "Borůvka made no progress");
+        n_components -= added;
+
+        // Refresh component labels.
+        {
+            let comp_view = UnsafeSlice::new(&mut comp);
+            let dsu_ref = &dsu;
+            ctx.for_each_chunk_traced(
+                n,
+                DEFAULT_GRAIN,
+                KernelKind::DsuFind,
+                (n as u64) * 8,
+                |range| {
+                    for v in range {
+                        // SAFETY: disjoint writes.
+                        unsafe { comp_view.write(v, dsu_ref.find(v as u32)) };
+                    }
+                },
+            );
+        }
+    }
+    debug_assert_eq!(edges.len(), n - 1);
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kruskal::total_weight;
+    use crate::metric::{Euclidean, MutualReachability};
+    use crate::prim::prim_mst;
+    use rand::prelude::*;
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> PointSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PointSet::new(
+            (0..n * dim).map(|_| rng.gen_range(-5.0..5.0f32)).collect(),
+            dim,
+        )
+    }
+
+    #[test]
+    fn matches_prim_total_weight_euclidean() {
+        let ctx = ExecCtx::serial();
+        for (n, dim, seed) in [(50usize, 2usize, 1u64), (200, 3, 2), (300, 5, 3)] {
+            let points = random_points(n, dim, seed);
+            let tree = KdTree::build(&ctx, &points);
+            let got = boruvka_mst(&ctx, &points, &tree, &Euclidean);
+            assert_eq!(got.len(), n - 1);
+            let expect = prim_mst(&points, &Euclidean);
+            let wa = total_weight(&got);
+            let wb = total_weight(&expect);
+            assert!(
+                (wa - wb).abs() < 1e-3 * wb.max(1.0),
+                "n={n} dim={dim}: {wa} vs {wb}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_prim_with_mutual_reachability() {
+        let ctx = ExecCtx::serial();
+        let points = random_points(150, 2, 9);
+        // Core distances: squared distance to the 4th neighbour.
+        let tree0 = KdTree::build(&ctx, &points);
+        let core2: Vec<f32> = (0..points.len())
+            .map(|q| tree0.knn(&points, q as u32, 4)[3].0)
+            .collect();
+        let metric = MutualReachability { core2: &core2 };
+        let mut tree = KdTree::build(&ctx, &points);
+        tree.attach_core2(&core2);
+        let got = boruvka_mst(&ctx, &points, &tree, &metric);
+        let expect = prim_mst(&points, &metric);
+        let wa = total_weight(&got);
+        let wb = total_weight(&expect);
+        assert!((wa - wb).abs() < 1e-3 * wb.max(1.0), "{wa} vs {wb}");
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let points = random_points(500, 2, 17);
+        let tree_s = KdTree::build(&ExecCtx::serial(), &points);
+        let tree_p = KdTree::build(&ExecCtx::threads(), &points);
+        let a = boruvka_mst(&ExecCtx::serial(), &points, &tree_s, &Euclidean);
+        let b = boruvka_mst(&ExecCtx::threads(), &points, &tree_p, &Euclidean);
+        assert!((total_weight(&a) - total_weight(&b)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let ctx = ExecCtx::serial();
+        let one = PointSet::new(vec![0.0, 0.0], 2);
+        let tree = KdTree::build(&ctx, &one);
+        assert!(boruvka_mst(&ctx, &one, &tree, &Euclidean).is_empty());
+        let two = PointSet::new(vec![0.0, 0.0, 1.0, 0.0], 2);
+        let tree = KdTree::build(&ctx, &two);
+        let edges = boruvka_mst(&ctx, &two, &tree, &Euclidean);
+        assert_eq!(edges.len(), 1);
+        assert!((edges[0].w - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duplicate_points_still_form_tree() {
+        let ctx = ExecCtx::serial();
+        // 10 identical points: zero-weight tree.
+        let points = PointSet::new(vec![1.0; 20], 2);
+        let tree = KdTree::build(&ctx, &points);
+        let edges = boruvka_mst(&ctx, &points, &tree, &Euclidean);
+        assert_eq!(edges.len(), 9);
+        assert!(edges.iter().all(|e| e.w == 0.0));
+    }
+}

@@ -1,0 +1,539 @@
+//! A bounding-box kd-tree over a [`PointSet`].
+//!
+//! This plays the role ArborX's BVH plays in the paper's EMST pipeline
+//! (\[39\]): it answers k-nearest-neighbour queries (core distances) and
+//! component-aware nearest-foreign-point queries (Borůvka rounds).
+//!
+//! Construction is level-synchronous: all nodes of a level are partitioned
+//! in parallel (median split along the widest box dimension), which is the
+//! standard GPU-friendly formulation and maps onto the substrate's
+//! `for_each`. Subtree point ranges stay contiguous in the permutation
+//! array, so per-node metadata (bounding boxes, min core distance,
+//! component purity) can be maintained with leaf-up sweeps.
+
+use pandora_exec::trace::KernelKind;
+use pandora_exec::{ExecCtx, UnsafeSlice};
+
+use crate::metric::{point_box_dist2, Metric};
+use crate::point::PointSet;
+
+const INVALID: u32 = u32::MAX;
+
+/// Default leaf capacity.
+pub const DEFAULT_LEAF_SIZE: usize = 32;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    /// Left child id, `INVALID` for leaves (right is then also `INVALID`).
+    left: u32,
+    /// Right child id.
+    right: u32,
+    /// Subtree range start in `perm`.
+    start: u32,
+    /// Subtree range end in `perm`.
+    end: u32,
+}
+
+impl Node {
+    #[inline(always)]
+    fn is_leaf(&self) -> bool {
+        self.left == INVALID
+    }
+}
+
+/// A static kd-tree.
+pub struct KdTree {
+    dim: usize,
+    nodes: Vec<Node>,
+    /// Per-node bounding boxes, flat `[node][dim]`.
+    bbox_min: Vec<f32>,
+    bbox_max: Vec<f32>,
+    /// Point indices, grouped so each subtree is a contiguous range.
+    perm: Vec<u32>,
+    /// Per-node minimum squared core distance (after [`KdTree::attach_core2`]).
+    min_core2: Option<Vec<f32>>,
+}
+
+impl KdTree {
+    /// Builds a tree with the default leaf size.
+    pub fn build(ctx: &ExecCtx, points: &PointSet) -> Self {
+        Self::build_with_leaf_size(ctx, points, DEFAULT_LEAF_SIZE)
+    }
+
+    /// Builds a tree with a caller-chosen leaf capacity.
+    pub fn build_with_leaf_size(ctx: &ExecCtx, points: &PointSet, leaf_size: usize) -> Self {
+        let n = points.len();
+        let dim = points.dim();
+        let leaf_size = leaf_size.max(1);
+        ctx.record(KernelKind::TreeBuild, n as u64, (n * dim * 4) as u64);
+
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        let mut nodes = vec![Node {
+            left: INVALID,
+            right: INVALID,
+            start: 0,
+            end: n as u32,
+        }];
+        let mut bbox_min = vec![f32::INFINITY; dim];
+        let mut bbox_max = vec![f32::NEG_INFINITY; dim];
+        if n == 0 {
+            return Self {
+                dim,
+                nodes,
+                bbox_min,
+                bbox_max,
+                perm,
+                min_core2: None,
+            };
+        }
+
+        let mut frontier: Vec<u32> = vec![0];
+        while !frontier.is_empty() {
+            // Sequential: allocate children for nodes that will split.
+            let mut splitting: Vec<u32> = Vec::new();
+            let mut next_frontier: Vec<u32> = Vec::new();
+            for &nid in &frontier {
+                let node = nodes[nid as usize];
+                let len = (node.end - node.start) as usize;
+                if len > leaf_size {
+                    let mid = node.start + (len as u32) / 2;
+                    let left = nodes.len() as u32;
+                    nodes[nid as usize].left = left;
+                    nodes[nid as usize].right = left + 1;
+                    nodes.push(Node {
+                        left: INVALID,
+                        right: INVALID,
+                        start: node.start,
+                        end: mid,
+                    });
+                    nodes.push(Node {
+                        left: INVALID,
+                        right: INVALID,
+                        start: mid,
+                        end: node.end,
+                    });
+                    splitting.push(nid);
+                    next_frontier.push(left);
+                    next_frontier.push(left + 1);
+                }
+            }
+            // Parallel: bounding boxes for the whole frontier.
+            bbox_min.resize(nodes.len() * dim, f32::INFINITY);
+            bbox_max.resize(nodes.len() * dim, f32::NEG_INFINITY);
+            {
+                let min_view = UnsafeSlice::new(&mut bbox_min);
+                let max_view = UnsafeSlice::new(&mut bbox_max);
+                let (nodes_ref, perm_ref, frontier_ref) = (&nodes, &perm, &frontier);
+                ctx.for_each(frontier.len(), 1, |fi| {
+                    let nid = frontier_ref[fi] as usize;
+                    let node = nodes_ref[nid];
+                    let mut lo = vec![f32::INFINITY; dim];
+                    let mut hi = vec![f32::NEG_INFINITY; dim];
+                    for &p in &perm_ref[node.start as usize..node.end as usize] {
+                        let pt = points.point(p as usize);
+                        for d in 0..dim {
+                            lo[d] = lo[d].min(pt[d]);
+                            hi[d] = hi[d].max(pt[d]);
+                        }
+                    }
+                    for d in 0..dim {
+                        // SAFETY: each node's box slots are written by the
+                        // single task owning that frontier entry.
+                        unsafe {
+                            min_view.write(nid * dim + d, lo[d]);
+                            max_view.write(nid * dim + d, hi[d]);
+                        }
+                    }
+                });
+            }
+            // Parallel: partition splitting nodes around the median of the
+            // widest box dimension.
+            {
+                let perm_view = UnsafeSlice::new(&mut perm);
+                let (nodes_ref, splitting_ref) = (&nodes, &splitting);
+                let (bmin, bmax) = (&bbox_min, &bbox_max);
+                ctx.for_each(splitting.len(), 1, |si| {
+                    let nid = splitting_ref[si] as usize;
+                    let node = nodes_ref[nid];
+                    let mut split_dim = 0;
+                    let mut widest = f32::NEG_INFINITY;
+                    for d in 0..dim {
+                        let w = bmax[nid * dim + d] - bmin[nid * dim + d];
+                        if w > widest {
+                            widest = w;
+                            split_dim = d;
+                        }
+                    }
+                    let mid = (node.end - node.start) as usize / 2;
+                    // SAFETY: subtree ranges of distinct frontier nodes are
+                    // disjoint.
+                    let range =
+                        unsafe { perm_view.slice_mut(node.start as usize..node.end as usize) };
+                    range.select_nth_unstable_by(mid, |&a, &b| {
+                        let ca = points.point(a as usize)[split_dim];
+                        let cb = points.point(b as usize)[split_dim];
+                        ca.total_cmp(&cb).then(a.cmp(&b))
+                    });
+                });
+            }
+            frontier = next_frontier;
+        }
+
+        Self {
+            dim,
+            nodes,
+            bbox_min,
+            bbox_max,
+            perm,
+            min_core2: None,
+        }
+    }
+
+    /// Number of points indexed.
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+
+    /// Number of tree nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Attaches per-node minimum squared core distances (leaf-up sweep),
+    /// enabling mutual-reachability pruning bounds.
+    pub fn attach_core2(&mut self, core2: &[f32]) {
+        assert_eq!(core2.len(), self.perm.len());
+        let mut min_core = vec![f32::INFINITY; self.nodes.len()];
+        // Children have larger ids than parents: reverse order is leaf-up.
+        for nid in (0..self.nodes.len()).rev() {
+            let node = self.nodes[nid];
+            if node.is_leaf() {
+                let mut m = f32::INFINITY;
+                for &p in &self.perm[node.start as usize..node.end as usize] {
+                    m = m.min(core2[p as usize]);
+                }
+                min_core[nid] = m;
+            } else {
+                min_core[nid] =
+                    min_core[node.left as usize].min(min_core[node.right as usize]);
+            }
+        }
+        self.min_core2 = Some(min_core);
+    }
+
+    /// Per-node component purity: the component id shared by every point in
+    /// the subtree, or `u32::MAX` if mixed. Leaf-up sweep, O(n).
+    pub fn component_purity(&self, comp: &[u32]) -> Vec<u32> {
+        let mut purity = vec![INVALID; self.nodes.len()];
+        for nid in (0..self.nodes.len()).rev() {
+            let node = self.nodes[nid];
+            if node.is_leaf() {
+                let range = &self.perm[node.start as usize..node.end as usize];
+                purity[nid] = match range.first() {
+                    None => INVALID,
+                    Some(&first_point) => {
+                        let first = comp[first_point as usize];
+                        if range.iter().all(|&p| comp[p as usize] == first) {
+                            first
+                        } else {
+                            INVALID
+                        }
+                    }
+                };
+            } else {
+                let l = purity[node.left as usize];
+                let r = purity[node.right as usize];
+                purity[nid] = if l == r { l } else { INVALID };
+            }
+        }
+        purity
+    }
+
+    /// The `k` nearest neighbours of point `q` (excluding `q` itself),
+    /// returned as `(squared distance, index)` sorted ascending.
+    pub fn knn(&self, points: &PointSet, q: u32, k: usize) -> Vec<(f32, u32)> {
+        let mut heap = BoundedMaxHeap::new(k);
+        let qp = points.point(q as usize);
+        let mut stack: Vec<(u32, f32)> = vec![(0, self.node_box_dist2(0, qp))];
+        while let Some((nid, box_d2)) = stack.pop() {
+            if box_d2 > heap.worst() {
+                continue;
+            }
+            let node = self.nodes[nid as usize];
+            if node.is_leaf() {
+                for &p in &self.perm[node.start as usize..node.end as usize] {
+                    if p == q {
+                        continue;
+                    }
+                    let d2 = points.dist2(q as usize, p as usize);
+                    heap.push(d2, p);
+                }
+            } else {
+                let dl = self.node_box_dist2(node.left as usize, qp);
+                let dr = self.node_box_dist2(node.right as usize, qp);
+                // Push farther child first so the nearer is explored next.
+                if dl <= dr {
+                    stack.push((node.right, dr));
+                    stack.push((node.left, dl));
+                } else {
+                    stack.push((node.left, dl));
+                    stack.push((node.right, dr));
+                }
+            }
+        }
+        heap.into_sorted()
+    }
+
+    /// Nearest point to `q` in a *different component*, under `metric`.
+    ///
+    /// `purity` comes from [`KdTree::component_purity`] for the current
+    /// Borůvka round. Returns `(squared distance, index)`; ties broken by
+    /// smaller index for determinism.
+    pub fn nearest_foreign<M: Metric>(
+        &self,
+        points: &PointSet,
+        metric: &M,
+        q: u32,
+        comp: &[u32],
+        purity: &[u32],
+    ) -> Option<(f32, u32)> {
+        let mut best_d2 = f32::INFINITY;
+        let mut best_p = INVALID;
+        let qp = points.point(q as usize);
+        let my_comp = comp[q as usize];
+        let zero_core = [];
+        let min_core2: &[f32] = self.min_core2.as_deref().unwrap_or(&zero_core);
+        let node_bound = |nid: usize| -> f32 {
+            let box_d2 = self.node_box_dist2(nid, qp);
+            let mc = if min_core2.is_empty() {
+                0.0
+            } else {
+                min_core2[nid]
+            };
+            metric.box_bound2(points, q, box_d2, mc)
+        };
+        let mut stack: Vec<(u32, f32)> = vec![(0, node_bound(0))];
+        while let Some((nid, bound)) = stack.pop() {
+            // Strict comparison: an equal-bound subtree may still hold an
+            // equal-distance point with a smaller index (deterministic ties).
+            if bound > best_d2 {
+                continue;
+            }
+            if purity[nid as usize] == my_comp {
+                continue; // whole subtree is in q's component
+            }
+            let node = self.nodes[nid as usize];
+            if node.is_leaf() {
+                for &p in &self.perm[node.start as usize..node.end as usize] {
+                    if comp[p as usize] == my_comp {
+                        continue;
+                    }
+                    let d2 = metric.dist2(points, q, p);
+                    if d2 < best_d2 || (d2 == best_d2 && p < best_p) {
+                        best_d2 = d2;
+                        best_p = p;
+                    }
+                }
+            } else {
+                let bl = node_bound(node.left as usize);
+                let br = node_bound(node.right as usize);
+                if bl <= br {
+                    stack.push((node.right, br));
+                    stack.push((node.left, bl));
+                } else {
+                    stack.push((node.left, bl));
+                    stack.push((node.right, br));
+                }
+            }
+        }
+        (best_p != INVALID).then_some((best_d2, best_p))
+    }
+
+    #[inline(always)]
+    fn node_box_dist2(&self, nid: usize, qp: &[f32]) -> f32 {
+        point_box_dist2(
+            qp,
+            &self.bbox_min[nid * self.dim..(nid + 1) * self.dim],
+            &self.bbox_max[nid * self.dim..(nid + 1) * self.dim],
+        )
+    }
+}
+
+/// Fixed-capacity max-heap keeping the `k` smallest `(d2, index)` pairs.
+struct BoundedMaxHeap {
+    k: usize,
+    items: Vec<(f32, u32)>,
+}
+
+impl BoundedMaxHeap {
+    fn new(k: usize) -> Self {
+        Self {
+            k,
+            items: Vec::with_capacity(k),
+        }
+    }
+
+    #[inline(always)]
+    fn worst(&self) -> f32 {
+        if self.items.len() < self.k {
+            f32::INFINITY
+        } else {
+            self.items[0].0
+        }
+    }
+
+    fn push(&mut self, d2: f32, p: u32) {
+        if self.items.len() < self.k {
+            self.items.push((d2, p));
+            // Sift up.
+            let mut i = self.items.len() - 1;
+            while i > 0 {
+                let parent = (i - 1) / 2;
+                if self.items[parent].0 < self.items[i].0 {
+                    self.items.swap(parent, i);
+                    i = parent;
+                } else {
+                    break;
+                }
+            }
+        } else if d2 < self.items[0].0 {
+            self.items[0] = (d2, p);
+            // Sift down.
+            let mut i = 0;
+            loop {
+                let (l, r) = (2 * i + 1, 2 * i + 2);
+                let mut largest = i;
+                if l < self.items.len() && self.items[l].0 > self.items[largest].0 {
+                    largest = l;
+                }
+                if r < self.items.len() && self.items[r].0 > self.items[largest].0 {
+                    largest = r;
+                }
+                if largest == i {
+                    break;
+                }
+                self.items.swap(i, largest);
+                i = largest;
+            }
+        }
+    }
+
+    fn into_sorted(mut self) -> Vec<(f32, u32)> {
+        self.items
+            .sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Euclidean;
+    use rand::prelude::*;
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> PointSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PointSet::new(
+            (0..n * dim).map(|_| rng.gen_range(-10.0..10.0f32)).collect(),
+            dim,
+        )
+    }
+
+    fn brute_knn(points: &PointSet, q: usize, k: usize) -> Vec<(f32, u32)> {
+        let mut all: Vec<(f32, u32)> = (0..points.len())
+            .filter(|&p| p != q)
+            .map(|p| (points.dist2(q, p), p as u32))
+            .collect();
+        all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let ctx = ExecCtx::serial();
+        for dim in [2usize, 3, 5] {
+            let points = random_points(500, dim, 42 + dim as u64);
+            let tree = KdTree::build(&ctx, &points);
+            for q in [0u32, 17, 250, 499] {
+                for k in [1usize, 4, 16] {
+                    let got = tree.knn(&points, q, k);
+                    let expect = brute_knn(&points, q as usize, k);
+                    let got_d: Vec<f32> = got.iter().map(|x| x.0).collect();
+                    let exp_d: Vec<f32> = expect.iter().map(|x| x.0).collect();
+                    assert_eq!(got_d, exp_d, "dim={dim} q={q} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_k_larger_than_n() {
+        let ctx = ExecCtx::serial();
+        let points = random_points(5, 2, 1);
+        let tree = KdTree::build(&ctx, &points);
+        let got = tree.knn(&points, 0, 10);
+        assert_eq!(got.len(), 4);
+    }
+
+    #[test]
+    fn parallel_build_same_knn_results() {
+        let points = random_points(2000, 3, 7);
+        let serial = KdTree::build(&ExecCtx::serial(), &points);
+        let parallel = KdTree::build(&ExecCtx::threads(), &points);
+        for q in [0u32, 999, 1999] {
+            let a: Vec<f32> = serial.knn(&points, q, 8).iter().map(|x| x.0).collect();
+            let b: Vec<f32> = parallel.knn(&points, q, 8).iter().map(|x| x.0).collect();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn nearest_foreign_respects_components() {
+        let ctx = ExecCtx::serial();
+        let points = random_points(300, 2, 3);
+        let tree = KdTree::build(&ctx, &points);
+        // Components: evens vs odds.
+        let comp: Vec<u32> = (0..300u32).map(|i| i % 2).collect();
+        let purity = tree.component_purity(&comp);
+        for q in [0u32, 7, 150] {
+            let (d2, p) = tree
+                .nearest_foreign(&points, &Euclidean, q, &comp, &purity)
+                .unwrap();
+            assert_ne!(comp[p as usize], comp[q as usize]);
+            // Brute force check.
+            let expect = (0..300usize)
+                .filter(|&x| comp[x] % 2 != comp[q as usize] % 2)
+                .map(|x| (points.dist2(q as usize, x), x as u32))
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+                .unwrap();
+            assert_eq!((d2, p), expect, "q={q}");
+        }
+    }
+
+    #[test]
+    fn purity_detects_uniform_subtrees() {
+        let ctx = ExecCtx::serial();
+        let points = random_points(100, 2, 9);
+        let tree = KdTree::build(&ctx, &points);
+        let comp_all_same = vec![3u32; 100];
+        let purity = tree.component_purity(&comp_all_same);
+        assert!(purity.iter().all(|&p| p == 3));
+    }
+
+    #[test]
+    fn empty_and_single_point() {
+        let ctx = ExecCtx::serial();
+        let empty = PointSet::new(vec![], 2);
+        let tree = KdTree::build(&ctx, &empty);
+        assert!(tree.is_empty());
+        let single = PointSet::new(vec![1.0, 2.0], 2);
+        let tree = KdTree::build(&ctx, &single);
+        assert_eq!(tree.knn(&single, 0, 3), vec![]);
+    }
+}

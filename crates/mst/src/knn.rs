@@ -1,0 +1,133 @@
+//! Batched k-nearest-neighbour queries and core distances.
+//!
+//! HDBSCAN\*'s `minPts` parameter defines the **core distance** of a point:
+//! the distance to its `minPts`-th nearest neighbour, counting the point
+//! itself (paper §6.5; `minPts = 2` means "distance to the nearest other
+//! point"). Queries run embarrassingly parallel over points.
+
+use pandora_exec::trace::KernelKind;
+use pandora_exec::{ExecCtx, UnsafeSlice};
+
+use crate::kdtree::KdTree;
+use crate::point::PointSet;
+
+/// Squared core distance of every point for the given `min_pts`.
+///
+/// `min_pts` counts the point itself (HDBSCAN\* convention), so the
+/// neighbour query uses `k = min_pts - 1`. `min_pts = 1` gives all-zero
+/// core distances (plain single linkage).
+pub fn core_distances2(
+    ctx: &ExecCtx,
+    points: &PointSet,
+    tree: &KdTree,
+    min_pts: usize,
+) -> Vec<f32> {
+    let n = points.len();
+    assert!(min_pts >= 1, "min_pts must be at least 1");
+    let k = min_pts - 1;
+    let mut core2 = vec![0.0f32; n];
+    if k == 0 || n <= 1 {
+        return core2;
+    }
+    {
+        let view = UnsafeSlice::new(&mut core2);
+        ctx.for_each_chunk_traced(
+            n,
+            256,
+            KernelKind::TreeTraverse,
+            (n as u64) * 48 * k as u64,
+            |range| {
+                for q in range {
+                    let nn = tree.knn(points, q as u32, k);
+                    let d2 = nn.last().map(|x| x.0).unwrap_or(0.0);
+                    // SAFETY: disjoint writes.
+                    unsafe { view.write(q, d2) };
+                }
+            },
+        );
+    }
+    core2
+}
+
+/// Batched k-NN: indices of the `k` nearest neighbours of every point,
+/// row-major `n × k` (padded with `u32::MAX` when fewer exist).
+pub fn knn_indices(ctx: &ExecCtx, points: &PointSet, tree: &KdTree, k: usize) -> Vec<u32> {
+    let n = points.len();
+    let mut out = vec![u32::MAX; n * k];
+    {
+        let view = UnsafeSlice::new(&mut out);
+        ctx.for_each_chunk_traced(
+            n,
+            256,
+            KernelKind::TreeTraverse,
+            (n as u64) * 48 * k as u64,
+            |range| {
+                for q in range {
+                    let nn = tree.knn(points, q as u32, k);
+                    for (j, &(_, p)) in nn.iter().enumerate() {
+                        // SAFETY: row q is owned by this iteration.
+                        unsafe { view.write(q * k + j, p) };
+                    }
+                }
+            },
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> PointSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PointSet::new(
+            (0..n * dim).map(|_| rng.gen_range(0.0..1.0f32)).collect(),
+            dim,
+        )
+    }
+
+    #[test]
+    fn min_pts_two_is_nearest_other_point() {
+        let ctx = ExecCtx::serial();
+        let points = PointSet::new(vec![0.0, 0.0, 1.0, 0.0, 5.0, 0.0], 2);
+        let tree = KdTree::build(&ctx, &points);
+        let core2 = core_distances2(&ctx, &points, &tree, 2);
+        assert_eq!(core2, vec![1.0, 1.0, 16.0]);
+    }
+
+    #[test]
+    fn min_pts_one_is_zero() {
+        let ctx = ExecCtx::serial();
+        let points = random_points(20, 2, 4);
+        let tree = KdTree::build(&ctx, &points);
+        assert!(core_distances2(&ctx, &points, &tree, 1)
+            .iter()
+            .all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn core_distances_monotone_in_min_pts() {
+        let ctx = ExecCtx::serial();
+        let points = random_points(200, 3, 5);
+        let tree = KdTree::build(&ctx, &points);
+        let c2 = core_distances2(&ctx, &points, &tree, 2);
+        let c4 = core_distances2(&ctx, &points, &tree, 4);
+        let c8 = core_distances2(&ctx, &points, &tree, 8);
+        for i in 0..points.len() {
+            assert!(c2[i] <= c4[i] && c4[i] <= c8[i]);
+        }
+    }
+
+    #[test]
+    fn knn_indices_shape_and_content() {
+        let ctx = ExecCtx::serial();
+        let points = PointSet::new(vec![0.0, 0.0, 1.0, 0.0, 2.0, 0.0], 2);
+        let tree = KdTree::build(&ctx, &points);
+        let idx = knn_indices(&ctx, &points, &tree, 2);
+        assert_eq!(idx.len(), 6);
+        assert_eq!(idx[0], 1); // nearest to point 0 is point 1
+        assert_eq!(idx[2], 0); // nearest to point 1 is point 0 (tie → smaller)
+    }
+}

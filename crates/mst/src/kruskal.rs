@@ -1,0 +1,84 @@
+//! Kruskal's algorithm for explicit edge lists, plus small MST utilities.
+//!
+//! Used when the input is already a (distance) graph — the paper notes that
+//! for network/graph clustering the distance graph is given directly (§2.1)
+//! — and as a second oracle in tests.
+
+use pandora_core::Edge;
+use pandora_exec::dsu::SeqDsu;
+use pandora_exec::sort::par_sort_by_key;
+use pandora_exec::ExecCtx;
+
+/// Computes an MST (or minimum spanning forest) of an explicit undirected
+/// graph by Kruskal's algorithm with a parallel sort.
+///
+/// Ties are broken by `(weight, u, v)` for determinism.
+pub fn kruskal_mst(ctx: &ExecCtx, n_vertices: usize, edges: &[Edge]) -> Vec<Edge> {
+    let mut order: Vec<(u32, u32, u32)> = edges
+        .iter()
+        .map(|e| {
+            let (a, b) = if e.u < e.v { (e.u, e.v) } else { (e.v, e.u) };
+            (pandora_exec::atomic::f32_to_ordered_u32(e.w), a, b)
+        })
+        .collect();
+    par_sort_by_key(ctx, &mut order, |&t| t);
+
+    let mut dsu = SeqDsu::new(n_vertices);
+    let mut mst = Vec::with_capacity(n_vertices.saturating_sub(1));
+    for &(wk, a, b) in &order {
+        if dsu.union(a, b).is_some() {
+            mst.push(Edge::new(
+                a,
+                b,
+                pandora_exec::atomic::ordered_u32_to_f32(wk),
+            ));
+            if mst.len() + 1 == n_vertices {
+                break;
+            }
+        }
+    }
+    mst
+}
+
+/// Sum of edge weights (f64 accumulation).
+pub fn total_weight(edges: &[Edge]) -> f64 {
+    edges.iter().map(|e| e.w as f64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_graph() {
+        let ctx = ExecCtx::serial();
+        let edges = vec![
+            Edge::new(0, 1, 1.0),
+            Edge::new(1, 2, 2.0),
+            Edge::new(0, 2, 3.0),
+        ];
+        let mst = kruskal_mst(&ctx, 3, &edges);
+        assert_eq!(mst.len(), 2);
+        assert!((total_weight(&mst) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forest_when_disconnected() {
+        let ctx = ExecCtx::serial();
+        let edges = vec![Edge::new(0, 1, 1.0), Edge::new(2, 3, 2.0)];
+        let mst = kruskal_mst(&ctx, 4, &edges);
+        assert_eq!(mst.len(), 2);
+    }
+
+    #[test]
+    fn prefers_lighter_parallel_edges() {
+        let ctx = ExecCtx::serial();
+        let edges = vec![
+            Edge::new(0, 1, 5.0),
+            Edge::new(0, 1, 1.0),
+            Edge::new(1, 2, 1.0),
+        ];
+        let mst = kruskal_mst(&ctx, 3, &edges);
+        assert!((total_weight(&mst) - 2.0).abs() < 1e-9);
+    }
+}

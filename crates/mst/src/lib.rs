@@ -1,0 +1,28 @@
+//! # pandora-mst
+//!
+//! Euclidean and mutual-reachability minimum spanning trees — the substrate
+//! the paper takes from ArborX (\[39\]) rebuilt in Rust:
+//!
+//! * [`point::PointSet`] — flat f32 point storage;
+//! * [`kdtree::KdTree`] — parallel-built bounding-box kd-tree with k-NN and
+//!   component-aware nearest-foreign queries;
+//! * [`knn`] — batched k-NN / HDBSCAN\* core distances;
+//! * [`boruvka`] — parallel Borůvka MST over any [`metric::Metric`]
+//!   (Euclidean or mutual reachability);
+//! * [`prim`] / [`kruskal`] — exact oracles and graph-input MST.
+
+pub mod boruvka;
+pub mod kdtree;
+pub mod knn;
+pub mod knn_graph;
+pub mod kruskal;
+pub mod metric;
+pub mod point;
+pub mod prim;
+
+pub use boruvka::boruvka_mst;
+pub use kdtree::KdTree;
+pub use knn::core_distances2;
+pub use knn_graph::knn_graph_mst;
+pub use metric::{Euclidean, Metric, MutualReachability};
+pub use point::PointSet;

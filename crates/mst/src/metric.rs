@@ -1,0 +1,120 @@
+//! Distance metrics for MST construction.
+//!
+//! HDBSCAN\* runs single-linkage over the **mutual reachability distance**
+//! `d_mreach(a,b) = max(core_k(a), core_k(b), d(a,b))` (paper §6.5). All
+//! internal computation uses *squared* distances: `max` commutes with the
+//! monotone square, so comparisons are unaffected and `sqrt` is deferred to
+//! the final edge weights.
+
+use crate::point::PointSet;
+
+/// A metric usable by the Borůvka EMST and k-NN code paths.
+///
+/// All values are squared distances.
+pub trait Metric: Sync {
+    /// Squared distance between points `a` and `b`.
+    fn dist2(&self, points: &PointSet, a: u32, b: u32) -> f32;
+
+    /// Lower bound on the squared distance from query point `q` to any point
+    /// inside the axis-aligned box `[bbox_min, bbox_max]`, given the minimum
+    /// (squared) core distance of the points inside the box.
+    fn box_bound2(&self, points: &PointSet, q: u32, box_dist2: f32, box_min_core2: f32) -> f32;
+}
+
+/// Squared distance from a point to an axis-aligned bounding box.
+#[inline(always)]
+pub fn point_box_dist2(p: &[f32], bbox_min: &[f32], bbox_max: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for d in 0..p.len() {
+        let c = p[d];
+        let lo = bbox_min[d];
+        let hi = bbox_max[d];
+        let diff = if c < lo {
+            lo - c
+        } else if c > hi {
+            c - hi
+        } else {
+            0.0
+        };
+        acc += diff * diff;
+    }
+    acc
+}
+
+/// Plain Euclidean distance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Euclidean;
+
+impl Metric for Euclidean {
+    #[inline(always)]
+    fn dist2(&self, points: &PointSet, a: u32, b: u32) -> f32 {
+        points.dist2(a as usize, b as usize)
+    }
+
+    #[inline(always)]
+    fn box_bound2(&self, _points: &PointSet, _q: u32, box_dist2: f32, _box_min_core2: f32) -> f32 {
+        box_dist2
+    }
+}
+
+/// HDBSCAN\*'s mutual reachability distance over squared core distances.
+#[derive(Debug, Clone, Copy)]
+pub struct MutualReachability<'a> {
+    /// Squared core distance (distance to the `minPts`-th neighbour) per point.
+    pub core2: &'a [f32],
+}
+
+impl Metric for MutualReachability<'_> {
+    #[inline(always)]
+    fn dist2(&self, points: &PointSet, a: u32, b: u32) -> f32 {
+        let d2 = points.dist2(a as usize, b as usize);
+        d2.max(self.core2[a as usize]).max(self.core2[b as usize])
+    }
+
+    #[inline(always)]
+    fn box_bound2(&self, _points: &PointSet, q: u32, box_dist2: f32, box_min_core2: f32) -> f32 {
+        // d_mreach(q, x) ≥ max(core(q), d(q,x), min core in box) for any x
+        // in the box.
+        box_dist2.max(self.core2[q as usize]).max(box_min_core2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_box_distance() {
+        let bbox_min = [0.0, 0.0];
+        let bbox_max = [1.0, 1.0];
+        assert_eq!(point_box_dist2(&[0.5, 0.5], &bbox_min, &bbox_max), 0.0);
+        assert_eq!(point_box_dist2(&[2.0, 0.5], &bbox_min, &bbox_max), 1.0);
+        assert_eq!(point_box_dist2(&[2.0, 2.0], &bbox_min, &bbox_max), 2.0);
+        assert_eq!(point_box_dist2(&[-1.0, 0.5], &bbox_min, &bbox_max), 1.0);
+    }
+
+    #[test]
+    fn mutual_reachability_takes_max() {
+        let points = PointSet::new(vec![0.0, 0.0, 1.0, 0.0], 2);
+        let core2 = vec![4.0, 0.25];
+        let m = MutualReachability { core2: &core2 };
+        // d² = 1, core²(0) = 4 dominates.
+        assert_eq!(m.dist2(&points, 0, 1), 4.0);
+        let m2 = MutualReachability {
+            core2: &[0.0, 0.0],
+        };
+        assert_eq!(m2.dist2(&points, 0, 1), 1.0);
+    }
+
+    #[test]
+    fn bounds_never_exceed_distance() {
+        let points = PointSet::new(vec![0.0, 0.0, 3.0, 4.0], 2);
+        let core2 = vec![1.0, 9.0];
+        let m = MutualReachability { core2: &core2 };
+        let d2 = m.dist2(&points, 0, 1);
+        // Box containing point 1 exactly.
+        let bd2 = point_box_dist2(points.point(0), points.point(1), points.point(1));
+        let bound = m.box_bound2(&points, 0, bd2, 9.0);
+        assert!(bound <= d2);
+    }
+}

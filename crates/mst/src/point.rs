@@ -1,0 +1,106 @@
+//! Point sets: flat, dimension-generic f32 coordinates.
+
+/// A set of `len` points in `dim` dimensions, stored row-major.
+#[derive(Debug, Clone)]
+pub struct PointSet {
+    coords: Vec<f32>,
+    dim: usize,
+}
+
+impl PointSet {
+    /// Wraps a flat coordinate buffer (`len * dim` values, row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length is not a multiple of `dim`, or if any
+    /// coordinate is not finite.
+    pub fn new(coords: Vec<f32>, dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(
+            coords.len() % dim,
+            0,
+            "coordinate buffer not a multiple of dim"
+        );
+        debug_assert!(
+            coords.iter().all(|c| c.is_finite()),
+            "non-finite coordinate"
+        );
+        Self { coords, dim }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.coords.len() / self.dim
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Coordinates of point `i`.
+    #[inline(always)]
+    pub fn point(&self, i: usize) -> &[f32] {
+        &self.coords[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The raw coordinate buffer.
+    pub fn coords(&self) -> &[f32] {
+        &self.coords
+    }
+
+    /// Squared Euclidean distance between points `a` and `b`.
+    #[inline(always)]
+    pub fn dist2(&self, a: usize, b: usize) -> f32 {
+        let pa = self.point(a);
+        let pb = self.point(b);
+        let mut acc = 0.0f32;
+        for d in 0..self.dim {
+            let diff = pa[d] - pb[d];
+            acc += diff * diff;
+        }
+        acc
+    }
+
+    /// Keeps only the points at the given indices (in order).
+    pub fn select(&self, indices: &[u32]) -> PointSet {
+        let mut coords = Vec::with_capacity(indices.len() * self.dim);
+        for &i in indices {
+            coords.extend_from_slice(self.point(i as usize));
+        }
+        PointSet::new(coords, self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let ps = PointSet::new(vec![0.0, 0.0, 3.0, 4.0], 2);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.dim(), 2);
+        assert_eq!(ps.point(1), &[3.0, 4.0]);
+        assert_eq!(ps.dist2(0, 1), 25.0);
+    }
+
+    #[test]
+    fn select_subsets() {
+        let ps = PointSet::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2);
+        let sub = ps.select(&[2, 0]);
+        assert_eq!(sub.point(0), &[5.0, 6.0]);
+        assert_eq!(sub.point(1), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dim")]
+    fn bad_buffer_panics() {
+        let _ = PointSet::new(vec![1.0, 2.0, 3.0], 2);
+    }
+}

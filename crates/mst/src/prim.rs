@@ -1,0 +1,83 @@
+//! Dense Prim's algorithm — an O(n²) oracle for MST tests.
+//!
+//! Exact and metric-generic; used to validate the Borůvka implementation on
+//! small inputs (the paper cites Prim \[38\] among the classical choices).
+
+use pandora_core::Edge;
+
+use crate::metric::Metric;
+use crate::point::PointSet;
+
+/// Computes the MST of `points` under `metric` with dense Prim.
+///
+/// Intended for n ≲ 10⁴ (oracle use only).
+pub fn prim_mst<M: Metric>(points: &PointSet, metric: &M) -> Vec<Edge> {
+    let n = points.len();
+    if n <= 1 {
+        return Vec::new();
+    }
+    let mut in_tree = vec![false; n];
+    let mut best_d2 = vec![f32::INFINITY; n];
+    let mut best_from = vec![0u32; n];
+    let mut edges = Vec::with_capacity(n - 1);
+
+    in_tree[0] = true;
+    for v in 1..n {
+        best_d2[v] = metric.dist2(points, 0, v as u32);
+    }
+    for _ in 1..n {
+        // Cheapest frontier vertex; ties by smaller index (deterministic).
+        let mut pick = usize::MAX;
+        let mut pick_d2 = f32::INFINITY;
+        for v in 0..n {
+            if !in_tree[v] && best_d2[v] < pick_d2 {
+                pick = v;
+                pick_d2 = best_d2[v];
+            }
+        }
+        debug_assert_ne!(pick, usize::MAX);
+        in_tree[pick] = true;
+        edges.push(Edge::new(best_from[pick], pick as u32, pick_d2.sqrt()));
+        for v in 0..n {
+            if !in_tree[v] {
+                let d2 = metric.dist2(points, pick as u32, v as u32);
+                if d2 < best_d2[v] {
+                    best_d2[v] = d2;
+                    best_from[v] = pick as u32;
+                }
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Euclidean;
+
+    #[test]
+    fn unit_square() {
+        // 4 corners: MST weight = 3 sides.
+        let points = PointSet::new(vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0], 2);
+        let edges = prim_mst(&points, &Euclidean);
+        assert_eq!(edges.len(), 3);
+        let total: f32 = edges.iter().map(|e| e.w).sum();
+        assert!((total - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn collinear_points() {
+        let points = PointSet::new(vec![0.0, 0.0, 10.0, 0.0, 1.0, 0.0, 11.0, 0.0], 2);
+        let edges = prim_mst(&points, &Euclidean);
+        let total: f32 = edges.iter().map(|e| e.w).sum();
+        // 0-2 (1) + 2-1 (9) + 1-3 (1) = 11.
+        assert!((total - 11.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(prim_mst(&PointSet::new(vec![], 2), &Euclidean).is_empty());
+        assert!(prim_mst(&PointSet::new(vec![1.0, 1.0], 2), &Euclidean).is_empty());
+    }
+}

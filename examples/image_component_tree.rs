@@ -1,0 +1,106 @@
+//! Extension (paper §2.3.4 / future work): image morphological trees via
+//! PANDORA.
+//!
+//! Single-linkage variants used in image analysis (max-tree, α-tree,
+//! component tree) are dendrograms of the image's 4-neighbour grid graph
+//! with dissimilarity edge weights. The paper notes its algorithm "can be
+//! modified to work for these problems" — and indeed no modification is
+//! needed: build the grid MST (Kruskal; the grid graph is already sparse)
+//! and hand it to PANDORA. This reproduces the α-tree (constrained
+//! connectivity of Soille, the paper's [42]) of a synthetic image.
+//!
+//! ```sh
+//! cargo run --release --example image_component_tree
+//! ```
+
+use pandora::core::pandora as pandora_algo;
+use pandora::core::{Edge, SortedMst};
+use pandora::exec::ExecCtx;
+use pandora::mst::kruskal::kruskal_mst;
+
+const W: usize = 96;
+const H: usize = 64;
+
+/// Synthetic test card: flat regions, a gradient ramp and speckle noise.
+fn synthetic_image() -> Vec<f32> {
+    let mut img = vec![0.0f32; W * H];
+    let mut state = 0x1234_5678u64;
+    let mut rand01 = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 40) as f32 / (1 << 24) as f32
+    };
+    for y in 0..H {
+        for x in 0..W {
+            let v = if x < W / 3 {
+                10.0 // flat dark region
+            } else if x < 2 * W / 3 {
+                10.0 + 80.0 * (x - W / 3) as f32 / (W / 3) as f32 // ramp
+            } else if (x / 8 + y / 8) % 2 == 0 {
+                200.0 // bright checker
+            } else {
+                40.0 // dark checker
+            };
+            img[y * W + x] = v + rand01() * 2.0;
+        }
+    }
+    img
+}
+
+fn main() {
+    let ctx = ExecCtx::threads();
+    let img = synthetic_image();
+    println!("α-tree of a {W}×{H} synthetic image ({} pixels)", W * H);
+
+    // 4-connectivity grid edges, weight = |Δ intensity| (the α-tree
+    // dissimilarity).
+    let mut edges = Vec::with_capacity(2 * W * H);
+    for y in 0..H {
+        for x in 0..W {
+            let p = (y * W + x) as u32;
+            if x + 1 < W {
+                edges.push(Edge::new(p, p + 1, (img[p as usize] - img[p as usize + 1]).abs()));
+            }
+            if y + 1 < H {
+                let q = p + W as u32;
+                edges.push(Edge::new(p, q, (img[p as usize] - img[q as usize]).abs()));
+            }
+        }
+    }
+    println!("grid graph: {} edges", edges.len());
+
+    // MST of the grid, then the dendrogram = the α-tree hierarchy.
+    let mst_edges = kruskal_mst(&ctx, W * H, &edges);
+    let mst = SortedMst::from_edges(&ctx, W * H, &mst_edges);
+    let (tree, stats) = pandora_algo::dendrogram_from_sorted(&ctx, &mst);
+    println!(
+        "α-tree built in {:.1} ms ({} contraction levels, height {}, skew {:.1})",
+        stats.timings.total() * 1e3,
+        stats.n_levels,
+        tree.height(),
+        tree.skewness()
+    );
+
+    // Flat zones at increasing α: count of connected components whose
+    // internal contrast stays ≤ α.
+    println!("\n{:>6}  {:>10}  {:>14}", "alpha", "segments", "largest");
+    for alpha in [1.0f32, 3.0, 10.0, 30.0, 90.0] {
+        let labels = tree.cut(alpha, &mst.src, &mst.dst);
+        let k = labels.iter().copied().max().unwrap() as usize + 1;
+        let mut sizes = vec![0usize; k];
+        for &l in &labels {
+            sizes[l as usize] += 1;
+        }
+        println!(
+            "{alpha:>6.1}  {k:>10}  {:>14}",
+            sizes.iter().copied().max().unwrap_or(0)
+        );
+    }
+    println!(
+        "\nreading: α below the noise amplitude keeps every pixel separate; \
+         α past the noise merges the flat regions; the ramp fuses only once \
+         α exceeds its local step — the α-tree in one pass, no thresholds \
+         chosen in advance."
+    );
+}

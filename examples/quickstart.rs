@@ -1,0 +1,69 @@
+//! Quickstart: cluster a 2-D mixture with HDBSCAN\* and inspect the result.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pandora::data::synthetic::gaussian_blobs;
+use pandora::hdbscan::{Hdbscan, HdbscanParams};
+
+fn main() {
+    // 2 000 points in five well-separated Gaussian blobs.
+    let (points, truth) = gaussian_blobs(2_000, 2, 5, 60.0, 1.0, 42);
+    println!(
+        "clustering {} points in {} dimensions (5 planted blobs)",
+        points.len(),
+        points.dim()
+    );
+
+    let params = HdbscanParams {
+        min_pts: 4,
+        min_cluster_size: 20,
+        allow_single_cluster: false,
+    };
+    let result = Hdbscan::new(params).run(&points);
+
+    println!("\nfound {} clusters, {} noise points", result.n_clusters(), result.n_noise());
+    println!(
+        "pipeline: emst {:.1}ms | dendrogram {:.1}ms | extract {:.1}ms",
+        result.timings.emst_s() * 1e3,
+        result.timings.dendrogram_s * 1e3,
+        result.timings.extract_s * 1e3,
+    );
+    println!(
+        "dendrogram: height {}, skew {:.1}, {} contraction levels",
+        result.dendrogram.height(),
+        result.dendrogram.skewness(),
+        result.pandora_stats.n_levels,
+    );
+
+    // Cluster sizes.
+    let mut sizes = vec![0usize; result.n_clusters()];
+    for &l in &result.labels {
+        if l >= 0 {
+            sizes[l as usize] += 1;
+        }
+    }
+    for (c, s) in sizes.iter().enumerate() {
+        println!("  cluster {c}: {s} points");
+    }
+
+    // Agreement with the planted labels (pairwise, sampled).
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in (0..points.len()).step_by(13) {
+        for j in (i + 1..points.len()).step_by(29) {
+            if result.labels[i] < 0 || result.labels[j] < 0 {
+                continue;
+            }
+            total += 1;
+            if (truth[i] == truth[j]) == (result.labels[i] == result.labels[j]) {
+                agree += 1;
+            }
+        }
+    }
+    println!(
+        "\npairwise agreement with planted clustering: {:.1}% ({agree}/{total} pairs)",
+        100.0 * agree as f64 / total as f64
+    );
+}

@@ -1,0 +1,50 @@
+//! # pandora
+//!
+//! A from-scratch Rust reproduction of **PANDORA** (Sao, Prokopenko,
+//! Lebrun-Grandié, ICPP 2024): a work-optimal, fully parallel algorithm for
+//! constructing single-linkage dendrograms from minimum spanning trees, and
+//! the full HDBSCAN\* stack built around it.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`exec`] — parallel execution substrate (thread pool, parallel
+//!   for/reduce/scan, sorts, lock-free union-find, device cost models);
+//! * [`core`] — the PANDORA dendrogram algorithm and its baselines;
+//! * [`mst`] — kd-tree, k-nearest-neighbour and Borůvka Euclidean MST;
+//! * [`data`] — synthetic dataset generators mirroring the paper's Table 2;
+//! * [`hdbscan`] — HDBSCAN\* pipeline (condensed tree, stability extraction).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pandora::hdbscan::{Hdbscan, HdbscanParams};
+//! use pandora::mst::PointSet;
+//!
+//! // Three tight 2-D blobs.
+//! let mut coords = Vec::new();
+//! for c in 0..3 {
+//!     for i in 0..50 {
+//!         let (cx, cy) = (c as f32 * 10.0, c as f32 * -7.0);
+//!         coords.push(cx + (i % 7) as f32 * 0.01);
+//!         coords.push(cy + (i / 7) as f32 * 0.01);
+//!     }
+//! }
+//! let points = PointSet::new(coords, 2);
+//! let result = Hdbscan::new(HdbscanParams::default()).run(&points);
+//! assert_eq!(result.n_clusters(), 3);
+//! ```
+
+pub use pandora_core as core;
+pub use pandora_data as data;
+pub use pandora_exec as exec;
+pub use pandora_hdbscan as hdbscan;
+pub use pandora_mst as mst;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use pandora_core::pandora::{dendrogram, dendrogram_with_stats};
+    pub use pandora_core::{Dendrogram, Edge, SortedMst};
+    pub use pandora_exec::ExecCtx;
+    pub use pandora_hdbscan::{Hdbscan, HdbscanParams, HdbscanResult};
+    pub use pandora_mst::{boruvka_mst, core_distances2, Euclidean, KdTree, MutualReachability, PointSet};
+}

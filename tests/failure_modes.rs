@@ -1,0 +1,126 @@
+//! Failure injection: malformed inputs must fail loudly and precisely, not
+//! corrupt results.
+
+use pandora::core::pandora as pandora_algo;
+use pandora::core::{Edge, SortedMst};
+use pandora::exec::ExecCtx;
+use pandora::mst::PointSet;
+
+#[test]
+#[should_panic(expected = "must have")]
+fn too_few_edges_rejected() {
+    let ctx = ExecCtx::serial();
+    let _ = SortedMst::from_edges(&ctx, 4, &[Edge::new(0, 1, 1.0)]);
+}
+
+#[test]
+#[should_panic(expected = "must have")]
+fn too_many_edges_rejected() {
+    let ctx = ExecCtx::serial();
+    let edges = vec![
+        Edge::new(0, 1, 1.0),
+        Edge::new(1, 2, 1.0),
+        Edge::new(0, 2, 1.0),
+    ];
+    let _ = SortedMst::from_edges(&ctx, 3, &edges);
+}
+
+#[test]
+#[should_panic(expected = "self-loop")]
+fn self_loops_rejected() {
+    let ctx = ExecCtx::serial();
+    let _ = SortedMst::from_edges(&ctx, 2, &[Edge::new(1, 1, 1.0)]);
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn out_of_range_endpoint_rejected() {
+    let ctx = ExecCtx::serial();
+    let _ = SortedMst::from_edges(&ctx, 2, &[Edge::new(0, 5, 1.0)]);
+}
+
+#[test]
+#[should_panic(expected = "NaN")]
+fn nan_weight_rejected() {
+    let ctx = ExecCtx::serial();
+    let _ = SortedMst::from_edges(&ctx, 2, &[Edge::new(0, 1, f32::NAN)]);
+}
+
+#[test]
+fn cycle_detected_by_validation() {
+    // A "tree" with a duplicated edge instead of a connector: right count,
+    // wrong topology; from_sorted_arrays defers to validate_tree.
+    let mst = SortedMst::from_sorted_arrays(
+        4,
+        vec![0, 0, 0],
+        vec![1, 1, 2],
+        vec![3.0, 2.0, 1.0],
+    );
+    assert!(mst.validate_tree().is_err());
+}
+
+#[test]
+fn disconnected_forest_fails_validation() {
+    // Edge count is taken on faith by from_sorted_arrays; the DSU check
+    // must catch the cycle implied by a disconnected "tree".
+    let mst = SortedMst::from_sorted_arrays(
+        4,
+        vec![0, 2, 0],
+        vec![1, 3, 1],
+        vec![3.0, 2.0, 1.0],
+    );
+    assert!(mst.validate_tree().is_err());
+}
+
+#[test]
+#[should_panic(expected = "multiple of dim")]
+fn pointset_dimension_mismatch() {
+    let _ = PointSet::new(vec![1.0, 2.0, 3.0], 2);
+}
+
+#[test]
+fn pandora_on_degenerate_weights_is_exact() {
+    // All-equal weights: maximal tie-breaking stress. PANDORA must still
+    // match union-find exactly via the canonical order.
+    let ctx = ExecCtx::threads();
+    use rand::prelude::*;
+    let mut rng = StdRng::seed_from_u64(4);
+    for n in [10usize, 100, 1000] {
+        let edges: Vec<Edge> = (1..n)
+            .map(|v| Edge::new(rng.gen_range(0..v) as u32, v as u32, 1.0))
+            .collect();
+        let mst = SortedMst::from_edges(&ctx, n, &edges);
+        let (got, _) = pandora_algo::dendrogram_from_sorted(&ctx, &mst);
+        got.validate().unwrap();
+        assert_eq!(
+            got,
+            pandora::core::baseline::dendrogram_union_find(&mst),
+            "n={n}"
+        );
+    }
+}
+
+#[test]
+fn zero_and_negative_weights_handled() {
+    let ctx = ExecCtx::serial();
+    let edges = vec![
+        Edge::new(0, 1, 0.0),
+        Edge::new(1, 2, -1.5),
+        Edge::new(2, 3, 2.0),
+    ];
+    let mst = SortedMst::from_edges(&ctx, 4, &edges);
+    let (d, _) = pandora_algo::dendrogram_from_sorted(&ctx, &mst);
+    d.validate().unwrap();
+    // Heaviest (2.0) is the root; the negative weight sorts last.
+    assert_eq!(mst.weight[0], 2.0);
+    assert_eq!(mst.weight[2], -1.5);
+}
+
+#[test]
+fn io_rejects_corrupt_files() {
+    use pandora::data::io;
+    assert!(io::from_bytes(b"garbage").is_err());
+    let mut truncated = io::to_bytes(&PointSet::new(vec![1.0, 2.0], 2));
+    truncated.pop();
+    assert!(io::from_bytes(&truncated).is_err());
+}

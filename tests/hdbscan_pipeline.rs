@@ -1,0 +1,102 @@
+//! End-to-end HDBSCAN\* behaviour on planted structure.
+
+use pandora::data::synthetic::gaussian_blobs;
+use pandora::hdbscan::{Hdbscan, HdbscanParams};
+use pandora::mst::PointSet;
+
+fn pairwise_agreement(truth: &[u32], labels: &[i32], n: usize) -> f64 {
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in (0..n).step_by(7) {
+        for j in (i + 1..n).step_by(11) {
+            if labels[i] < 0 || labels[j] < 0 {
+                continue;
+            }
+            total += 1;
+            if (truth[i] == truth[j]) == (labels[i] == labels[j]) {
+                agree += 1;
+            }
+        }
+    }
+    agree as f64 / total.max(1) as f64
+}
+
+#[test]
+fn recovers_blob_count_across_dimensions() {
+    for (dim, k) in [(2usize, 4usize), (3, 3), (5, 2), (7, 3)] {
+        let (points, truth) = gaussian_blobs(1_200, dim, k, 120.0, 1.0, dim as u64);
+        let result = Hdbscan::new(HdbscanParams {
+            min_pts: 4,
+            min_cluster_size: 15,
+            allow_single_cluster: false,
+        })
+        .run(&points);
+        assert_eq!(result.n_clusters(), k, "dim={dim}");
+        let agreement = pairwise_agreement(&truth, &result.labels, points.len());
+        assert!(agreement > 0.99, "dim={dim}: agreement {agreement}");
+    }
+}
+
+#[test]
+fn varying_density_blobs_are_separated() {
+    // One tight and one diffuse blob — the case plain DBSCAN struggles with
+    // and HDBSCAN* motivates.
+    let (tight, _) = gaussian_blobs(400, 2, 1, 1.0, 0.2, 1);
+    let (diffuse, _) = gaussian_blobs(400, 2, 1, 1.0, 4.0, 2);
+    let mut coords = Vec::new();
+    coords.extend_from_slice(tight.coords());
+    for i in 0..diffuse.len() {
+        coords.push(diffuse.point(i)[0] + 200.0);
+        coords.push(diffuse.point(i)[1]);
+    }
+    let points = PointSet::new(coords, 2);
+    let result = Hdbscan::new(HdbscanParams {
+        min_pts: 8,
+        min_cluster_size: 30,
+        allow_single_cluster: false,
+    })
+    .run(&points);
+    assert_eq!(result.n_clusters(), 2);
+    // The two halves must not share labels.
+    let first = result.labels[..400].iter().filter(|&&l| l >= 0).max();
+    let second = result.labels[400..].iter().filter(|&&l| l >= 0).max();
+    assert_ne!(first, second);
+}
+
+#[test]
+fn probabilities_bounded_and_noise_zero() {
+    let (points, _) = gaussian_blobs(600, 3, 3, 90.0, 1.0, 9);
+    let result = Hdbscan::new(HdbscanParams::default()).run(&points);
+    for (i, &p) in result.probabilities.iter().enumerate() {
+        assert!((0.0..=1.0).contains(&p));
+        if result.labels[i] == -1 {
+            assert_eq!(p, 0.0, "noise point {i} with probability {p}");
+        }
+    }
+}
+
+#[test]
+fn condensed_tree_sizes_are_consistent() {
+    let (points, _) = gaussian_blobs(800, 2, 4, 70.0, 0.9, 33);
+    let result = Hdbscan::new(HdbscanParams::default()).run(&points);
+    let ct = &result.condensed;
+    // Sum of point rows per cluster + cluster rows equals parent sizes.
+    let mut fallout = vec![0u64; ct.n_clusters()];
+    for row in 0..ct.parent.len() {
+        fallout[ct.parent[row] as usize] += ct.size[row] as u64;
+    }
+    // The root's fall-outs + child-cluster sizes must cover all points.
+    assert_eq!(fallout[0], points.len() as u64);
+}
+
+#[test]
+fn single_linkage_cut_matches_cluster_structure() {
+    let (points, truth) = gaussian_blobs(500, 2, 5, 200.0, 0.5, 21);
+    let result = Hdbscan::new(HdbscanParams::default()).run(&points);
+    // Cut far below the blob separation: exactly 5 clusters.
+    let labels = result.cut(50.0);
+    let k = labels.iter().copied().max().unwrap() + 1;
+    assert_eq!(k, 5);
+    let as_i32: Vec<i32> = labels.iter().map(|&l| l as i32).collect();
+    assert!(pairwise_agreement(&truth, &as_i32, points.len()) > 0.999);
+}

@@ -1,0 +1,123 @@
+//! Property tests for the newer substrate and algorithm pieces: partition,
+//! histogram, radix pairs, the mixed baseline, single-level expansion and
+//! the k-NN-graph MST.
+
+use proptest::prelude::*;
+
+use pandora::core::baseline::{dendrogram_mixed, dendrogram_union_find};
+use pandora::core::single_level::dendrogram_single_level;
+use pandora::core::{Edge, SortedMst};
+use pandora::exec::histogram::histogram;
+use pandora::exec::partition::partition_indices;
+use pandora::exec::radix::par_radix_sort_pairs;
+use pandora::exec::ExecCtx;
+
+fn tree_strategy() -> impl Strategy<Value = (usize, Vec<Edge>)> {
+    (2usize..300).prop_flat_map(|n| {
+        let edges = (1..n)
+            .map(|v| {
+                (0..v, 0u32..32).prop_map(move |(parent, w)| {
+                    Edge::new(parent as u32, v as u32, w as f32 * 0.5)
+                })
+            })
+            .collect::<Vec<_>>();
+        edges.prop_map(move |e| (n, e))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn partition_is_a_stable_split(flags in prop::collection::vec(any::<bool>(), 0..50_000)) {
+        let ctx = ExecCtx::threads();
+        let n = flags.len();
+        let flags_ref = &flags;
+        let (yes, no) = partition_indices(&ctx, n, |i| flags_ref[i]);
+        prop_assert_eq!(yes.len() + no.len(), n);
+        prop_assert!(yes.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(no.windows(2).all(|w| w[0] < w[1]));
+        for &i in &yes {
+            prop_assert!(flags[i as usize]);
+        }
+        for &i in &no {
+            prop_assert!(!flags[i as usize]);
+        }
+    }
+
+    #[test]
+    fn histogram_counts_everything(keys in prop::collection::vec(0usize..32, 0..40_000)) {
+        let ctx = ExecCtx::threads();
+        let keys_ref = &keys;
+        let hist = histogram(&ctx, keys.len(), 32, |i| keys_ref[i]);
+        prop_assert_eq!(hist.iter().sum::<u64>() as usize, keys.len());
+        for (bin, &count) in hist.iter().enumerate() {
+            let expect = keys.iter().filter(|&&k| k == bin).count() as u64;
+            prop_assert_eq!(count, expect);
+        }
+    }
+
+    #[test]
+    fn radix_pairs_keep_key_value_binding(
+        pairs in prop::collection::vec((any::<u64>(), any::<u32>()), 0..40_000)
+    ) {
+        let ctx = ExecCtx::threads();
+        let mut keys: Vec<u64> = pairs.iter().map(|&(k, _)| k).collect();
+        let mut values: Vec<u32> = pairs.iter().map(|&(_, v)| v).collect();
+        par_radix_sort_pairs(&ctx, &mut keys, &mut values);
+        prop_assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        // The multiset of (key, value) pairs is preserved.
+        let mut got: Vec<(u64, u32)> = keys.into_iter().zip(values).collect();
+        let mut expect = pairs;
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn mixed_baseline_matches_union_find((n, edges) in tree_strategy()) {
+        let ctx = ExecCtx::serial();
+        let mst = SortedMst::from_edges(&ctx, n, &edges);
+        let expect = dendrogram_union_find(&mst);
+        for fraction in [0.1f64, 0.5] {
+            prop_assert_eq!(dendrogram_mixed(&ctx, &mst, fraction), expect.clone());
+        }
+    }
+
+    #[test]
+    fn single_level_matches_union_find((n, edges) in tree_strategy()) {
+        let ctx = ExecCtx::serial();
+        let mst = SortedMst::from_edges(&ctx, n, &edges);
+        prop_assert_eq!(dendrogram_single_level(&ctx, &mst), dendrogram_union_find(&mst));
+    }
+
+    #[test]
+    fn linkage_matrix_is_well_formed((n, edges) in tree_strategy()) {
+        let ctx = ExecCtx::serial();
+        let mst = SortedMst::from_edges(&ctx, n, &edges);
+        let d = dendrogram_union_find(&mst);
+        let z = d.to_linkage();
+        prop_assert_eq!(z.len(), n - 1);
+        for w in z.windows(2) {
+            prop_assert!(w[0].2 <= w[1].2);
+        }
+        prop_assert_eq!(z.last().unwrap().3 as usize, n);
+    }
+}
+
+#[test]
+fn knn_graph_mst_is_spanning_on_clusters() {
+    use pandora::data::synthetic::gaussian_blobs;
+    use pandora::mst::{knn_graph_mst, Euclidean, KdTree};
+    let ctx = ExecCtx::threads();
+    let (points, _) = gaussian_blobs(800, 2, 4, 500.0, 0.5, 3);
+    let tree = KdTree::build(&ctx, &points);
+    for k in [1usize, 3, 8] {
+        let edges = knn_graph_mst(&ctx, &points, &tree, &Euclidean, k);
+        let mst = SortedMst::from_edges(&ctx, points.len(), &edges);
+        mst.validate_tree().unwrap();
+        // Exactly 3 long bridges between the 4 far-apart blobs.
+        let bridges = edges.iter().filter(|e| e.w > 100.0).count();
+        assert_eq!(bridges, 3, "k={k}");
+    }
+}
