@@ -45,7 +45,10 @@ fn bench_expansion_modes(c: &mut Criterion) {
     group.sample_size(10);
     for (label, mst) in [
         ("random_100k", random_mst(100_000, 3)),
-        ("adversarial_deep_chain", walk_adversarial_mst(30_000, 3_000)),
+        (
+            "adversarial_deep_chain",
+            walk_adversarial_mst(30_000, 3_000),
+        ),
     ] {
         group.bench_with_input(BenchmarkId::new("multilevel", label), &mst, |b, mst| {
             b.iter(|| pandora::dendrogram_from_sorted(&ctx, mst).0)

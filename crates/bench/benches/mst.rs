@@ -44,14 +44,10 @@ fn bench_boruvka(c: &mut Criterion) {
     for (name, n) in [("Uniform100M2D", 12_000usize), ("Hacc37M", 12_000)] {
         let points = by_name(name).unwrap().generate(n, 4);
         group.throughput(Throughput::Elements(points.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("euclidean", name),
-            &points,
-            |b, points| {
-                let tree = KdTree::build(&ctx, points);
-                b.iter(|| boruvka_mst(&ctx, points, &tree, &Euclidean))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("euclidean", name), &points, |b, points| {
+            let tree = KdTree::build(&ctx, points);
+            b.iter(|| boruvka_mst(&ctx, points, &tree, &Euclidean))
+        });
         group.bench_with_input(
             BenchmarkId::new("mutual_reachability", name),
             &points,

@@ -10,7 +10,10 @@ fn bench_for_each(c: &mut Criterion) {
     group.sample_size(20);
     for n in [100_000usize, 1_000_000] {
         group.throughput(Throughput::Elements(n as u64));
-        for (label, ctx) in [("serial", ExecCtx::serial()), ("threads", ExecCtx::threads())] {
+        for (label, ctx) in [
+            ("serial", ExecCtx::serial()),
+            ("threads", ExecCtx::threads()),
+        ] {
             group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
                 let mut out = vec![0u64; n];
                 b.iter(|| {
@@ -34,7 +37,10 @@ fn bench_reduce(c: &mut Criterion) {
     let n = 1_000_000usize;
     let data: Vec<u64> = (0..n as u64).collect();
     group.throughput(Throughput::Elements(n as u64));
-    for (label, ctx) in [("serial", ExecCtx::serial()), ("threads", ExecCtx::threads())] {
+    for (label, ctx) in [
+        ("serial", ExecCtx::serial()),
+        ("threads", ExecCtx::threads()),
+    ] {
         let data_ref = &data;
         group.bench_function(label, |b| {
             b.iter(|| {
@@ -56,7 +62,10 @@ fn bench_scan(c: &mut Criterion) {
     group.sample_size(20);
     for n in [100_000usize, 1_000_000] {
         group.throughput(Throughput::Elements(n as u64));
-        for (label, ctx) in [("serial", ExecCtx::serial()), ("threads", ExecCtx::threads())] {
+        for (label, ctx) in [
+            ("serial", ExecCtx::serial()),
+            ("threads", ExecCtx::threads()),
+        ] {
             group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
                 let template: Vec<u32> = (0..n as u32).map(|i| i % 7).collect();
                 let mut buf = template.clone();

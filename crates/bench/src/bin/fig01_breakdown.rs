@@ -42,7 +42,14 @@ fn main() {
 
     print_table(
         "Fig 1 — HDBSCAN* stage times at paper scale (modeled from real kernel traces)",
-        &["configuration", "MST", "dendrogram", "total", "dendro %", "speedup"],
+        &[
+            "configuration",
+            "MST",
+            "dendrogram",
+            "total",
+            "dendro %",
+            "speedup",
+        ],
         &[
             vec![
                 "CPU (EPYC 64c)".into(),
@@ -79,11 +86,11 @@ fn main() {
         "Reference — measured on this host (2-core CPU, real wall clock)",
         &["stage", "time"],
         &[
-            vec!["EMST (kd-tree + core + Borůvka)".into(), fmt_s(run.mst_wall_s)],
             vec![
-                "PANDORA dendrogram".into(),
-                fmt_s(run.pandora_wall.total()),
+                "EMST (kd-tree + core + Borůvka)".into(),
+                fmt_s(run.mst_wall_s),
             ],
+            vec!["PANDORA dendrogram".into(), fmt_s(run.pandora_wall.total())],
             vec![
                 "UnionFind-MT dendrogram".into(),
                 fmt_s(run.ufmt_wall.0 + run.ufmt_wall.1),

@@ -47,7 +47,14 @@ fn main() {
     }
     print_table(
         "Fig 12 — modeled speedup (MI250X over EPYC 64c) per phase",
-        &["dataset", "mst", "dendrogram", "sort", "contraction", "expansion"],
+        &[
+            "dataset",
+            "mst",
+            "dendrogram",
+            "sort",
+            "contraction",
+            "expansion",
+        ],
         &rows,
     );
     println!(

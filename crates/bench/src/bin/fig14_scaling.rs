@@ -27,10 +27,12 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(120_000);
-    let sizes: Vec<usize> = [1_000usize, 3_000, 10_000, 30_000, 100_000, 300_000, 1_000_000]
-        .into_iter()
-        .filter(|&s| s <= max_n)
-        .collect();
+    let sizes: Vec<usize> = [
+        1_000usize, 3_000, 10_000, 30_000, 100_000, 300_000, 1_000_000,
+    ]
+    .into_iter()
+    .filter(|&s| s <= max_n)
+    .collect();
     println!(
         "Figure 14 reproduction — throughput vs sample count (max n = {max_n}, \
          PANDORA_SCALE to raise)"

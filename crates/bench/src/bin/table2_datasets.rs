@@ -36,7 +36,15 @@ fn main() {
     }
     print_table(
         "Table 2 — datasets (measured Imb at scaled n vs paper Imb at full n)",
-        &["Name", "Dim", "n (here)", "Imb (here)", "Imb (paper)", "n (paper)", "Desc"],
+        &[
+            "Name",
+            "Dim",
+            "n (here)",
+            "Imb (here)",
+            "Imb (paper)",
+            "n (paper)",
+            "Desc",
+        ],
         &rows,
     );
     println!(

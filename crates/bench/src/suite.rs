@@ -15,8 +15,7 @@ pub struct FigDataset {
 impl FigDataset {
     /// The Table 2 spec.
     pub fn spec(&self) -> DatasetSpec {
-        by_name(self.table2_name)
-            .unwrap_or_else(|| panic!("unknown dataset {}", self.table2_name))
+        by_name(self.table2_name).unwrap_or_else(|| panic!("unknown dataset {}", self.table2_name))
     }
 
     /// Generates the scaled instance.

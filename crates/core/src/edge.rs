@@ -62,10 +62,7 @@ impl SortedMst {
             "a spanning tree over {n_vertices} vertices must have {} edges",
             n_vertices.saturating_sub(1)
         );
-        assert!(
-            n_vertices < u32::MAX as usize,
-            "vertex ids must fit in u32"
-        );
+        assert!(n_vertices < u32::MAX as usize, "vertex ids must fit in u32");
         // Canonicalize endpoint order and build sortable triples.
         let mut triples: Vec<(u32, u32, u32)> = edges
             .iter()
@@ -204,12 +201,8 @@ mod tests {
 
     #[test]
     fn cycle_detected() {
-        let mst = SortedMst::from_sorted_arrays(
-            4,
-            vec![0, 0, 0],
-            vec![1, 1, 2],
-            vec![3.0, 2.0, 1.0],
-        );
+        let mst =
+            SortedMst::from_sorted_arrays(4, vec![0, 0, 0], vec![1, 1, 2], vec![3.0, 2.0, 1.0]);
         assert!(mst.validate_tree().is_err());
     }
 

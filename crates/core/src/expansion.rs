@@ -88,7 +88,7 @@ pub fn assign_chain_keys(ctx: &ExecCtx, hierarchy: &ContractionHierarchy) -> Vec
 /// The final sort of the algorithm: orders `(chain_key, edge)` pairs so each
 /// chain becomes a contiguous ascending run. Counted in the paper's "sort"
 /// phase (§6.4.3: sorting "includes both initial and final sort").
-pub fn sort_chain_keys(ctx: &ExecCtx, keys: &mut Vec<u64>) {
+pub fn sort_chain_keys(ctx: &ExecCtx, keys: &mut [u64]) {
     par_radix_sort_u64(ctx, keys);
 }
 
@@ -180,8 +180,8 @@ mod tests {
         let mst = SortedMst::from_edges(&ctx, 10, &edges);
         let (edge_parent, vertex_parent) = expand_all(&ctx, &mst);
         assert_eq!(edge_parent[0], INVALID);
-        for e in 1..9 {
-            assert_eq!(edge_parent[e], e as u32 - 1, "chain parent");
+        for (e, &parent) in edge_parent.iter().enumerate().take(9).skip(1) {
+            assert_eq!(parent, e as u32 - 1, "chain parent");
         }
         // Vertex 9 hangs off the lightest edge (index 8); vertex 0 off the
         // heaviest (index 0).

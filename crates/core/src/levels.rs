@@ -86,13 +86,19 @@ pub fn max_incident(ctx: &ExecCtx, tree: &LevelTree) -> Vec<u64> {
         let view = as_atomic_u64(&mut packed);
         let (src, dst, ids) = (&tree.src, &tree.dst, &tree.ids);
         ctx.record(KernelKind::Gather, n as u64, (n as u64) * 24);
-        ctx.for_each_chunk_traced(n, DEFAULT_GRAIN, KernelKind::For, (n as u64) * 12, |range| {
-            for i in range {
-                let key = pack_incident(ids[i], i as u32);
-                view[src[i] as usize].fetch_max(key, std::sync::atomic::Ordering::Relaxed);
-                view[dst[i] as usize].fetch_max(key, std::sync::atomic::Ordering::Relaxed);
-            }
-        });
+        ctx.for_each_chunk_traced(
+            n,
+            DEFAULT_GRAIN,
+            KernelKind::For,
+            (n as u64) * 12,
+            |range| {
+                for i in range {
+                    let key = pack_incident(ids[i], i as u32);
+                    view[src[i] as usize].fetch_max(key, std::sync::atomic::Ordering::Relaxed);
+                    view[dst[i] as usize].fetch_max(key, std::sync::atomic::Ordering::Relaxed);
+                }
+            },
+        );
     }
     packed
 }
@@ -410,7 +416,14 @@ pub(crate) mod tests {
             }
         }
         // Tail chain off the last fan leaf.
-        for (a, b) in [(17u32, 18u32), (18, 19), (19, 20), (20, 21), (21, 22), (22, 23)] {
+        for (a, b) in [
+            (17u32, 18u32),
+            (18, 19),
+            (19, 20),
+            (20, 21),
+            (21, 22),
+            (22, 23),
+        ] {
             push(&mut edges, a, b);
         }
         SortedMst::from_edges(&ExecCtx::serial(), 24, &edges)

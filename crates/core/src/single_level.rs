@@ -83,8 +83,8 @@ pub fn dendrogram_single_level(ctx: &ExecCtx, mst: &SortedMst) -> Dendrogram {
     if split.alpha.is_empty() {
         // No α edges: the dendrogram is the sorted root chain.
         let mut edge_parent = vec![INVALID; n];
-        for e in 1..n {
-            edge_parent[e] = e as u32 - 1;
+        for (e, parent) in edge_parent.iter_mut().enumerate().skip(1) {
+            *parent = e as u32 - 1;
         }
         return Dendrogram {
             edge_parent,

@@ -36,7 +36,9 @@ impl SoneiraPeebles {
         let eta = 4usize;
         let n_halos = 32.max(n / 500_000);
         let per_halo = (n / n_halos).max(1);
-        let levels = ((per_halo as f64).ln() / (eta as f64).ln()).round().max(1.0) as usize;
+        let levels = ((per_halo as f64).ln() / (eta as f64).ln())
+            .round()
+            .max(1.0) as usize;
         Self {
             dim,
             eta,
@@ -128,7 +130,7 @@ mod tests {
         let sp = SoneiraPeebles::with_target_size(100_000, 3);
         let n = sp.n_points();
         assert!(
-            n >= 20_000 && n <= 500_000,
+            (20_000..=500_000).contains(&n),
             "target 100k produced {n} points"
         );
     }

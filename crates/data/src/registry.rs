@@ -70,21 +70,126 @@ pub struct DatasetSpec {
 pub fn all_datasets() -> Vec<DatasetSpec> {
     use DatasetKind::*;
     vec![
-        DatasetSpec { kind: Ngsimlocation3, name: "Ngsimlocation3", dim: 2, paper_npts: 6_000_000, paper_imb: 1e3, desc: "GPS loc" },
-        DatasetSpec { kind: RoadNetwork3, name: "RoadNetwork3", dim: 2, paper_npts: 400_000, paper_imb: 150.0, desc: "Road network" },
-        DatasetSpec { kind: Pamap2, name: "Pamap2", dim: 4, paper_npts: 3_800_000, paper_imb: 6e3, desc: "Activity monitoring" },
-        DatasetSpec { kind: Farm, name: "Farm", dim: 5, paper_npts: 3_600_000, paper_imb: 5e4, desc: "VZ-features" },
-        DatasetSpec { kind: Household, name: "Household", dim: 7, paper_npts: 2_000_000, paper_imb: 1e3, desc: "Household power" },
-        DatasetSpec { kind: Hacc37M, name: "Hacc37M", dim: 3, paper_npts: 37_000_000, paper_imb: 1e5, desc: "Cosmology" },
-        DatasetSpec { kind: Hacc497M, name: "Hacc497M", dim: 3, paper_npts: 497_000_000, paper_imb: 6e5, desc: "Cosmology" },
-        DatasetSpec { kind: VisualVar10M2D, name: "VisualVar10M2D", dim: 2, paper_npts: 10_000_000, paper_imb: 3e3, desc: "GAN (var. density)" },
-        DatasetSpec { kind: VisualVar10M3D, name: "VisualVar10M3D", dim: 3, paper_npts: 10_000_000, paper_imb: 1e4, desc: "GAN (var. density)" },
-        DatasetSpec { kind: VisualSim10M5D, name: "VisualSim10M5D", dim: 5, paper_npts: 10_000_000, paper_imb: 43.0, desc: "GAN (sim. density)" },
-        DatasetSpec { kind: Normal100M2D, name: "Normal100M2D", dim: 2, paper_npts: 100_000_000, paper_imb: 1e5, desc: "Random (normal)" },
-        DatasetSpec { kind: Normal300M2D, name: "Normal300M2D", dim: 2, paper_npts: 300_000_000, paper_imb: 4e5, desc: "Random (normal)" },
-        DatasetSpec { kind: Normal100M3D, name: "Normal100M3D", dim: 3, paper_npts: 100_000_000, paper_imb: 4e5, desc: "Random (normal)" },
-        DatasetSpec { kind: Uniform100M2D, name: "Uniform100M2D", dim: 2, paper_npts: 100_000_000, paper_imb: 1e5, desc: "Random (uniform)" },
-        DatasetSpec { kind: Uniform100M3D, name: "Uniform100M3D", dim: 3, paper_npts: 100_000_000, paper_imb: 4e5, desc: "Random (uniform)" },
+        DatasetSpec {
+            kind: Ngsimlocation3,
+            name: "Ngsimlocation3",
+            dim: 2,
+            paper_npts: 6_000_000,
+            paper_imb: 1e3,
+            desc: "GPS loc",
+        },
+        DatasetSpec {
+            kind: RoadNetwork3,
+            name: "RoadNetwork3",
+            dim: 2,
+            paper_npts: 400_000,
+            paper_imb: 150.0,
+            desc: "Road network",
+        },
+        DatasetSpec {
+            kind: Pamap2,
+            name: "Pamap2",
+            dim: 4,
+            paper_npts: 3_800_000,
+            paper_imb: 6e3,
+            desc: "Activity monitoring",
+        },
+        DatasetSpec {
+            kind: Farm,
+            name: "Farm",
+            dim: 5,
+            paper_npts: 3_600_000,
+            paper_imb: 5e4,
+            desc: "VZ-features",
+        },
+        DatasetSpec {
+            kind: Household,
+            name: "Household",
+            dim: 7,
+            paper_npts: 2_000_000,
+            paper_imb: 1e3,
+            desc: "Household power",
+        },
+        DatasetSpec {
+            kind: Hacc37M,
+            name: "Hacc37M",
+            dim: 3,
+            paper_npts: 37_000_000,
+            paper_imb: 1e5,
+            desc: "Cosmology",
+        },
+        DatasetSpec {
+            kind: Hacc497M,
+            name: "Hacc497M",
+            dim: 3,
+            paper_npts: 497_000_000,
+            paper_imb: 6e5,
+            desc: "Cosmology",
+        },
+        DatasetSpec {
+            kind: VisualVar10M2D,
+            name: "VisualVar10M2D",
+            dim: 2,
+            paper_npts: 10_000_000,
+            paper_imb: 3e3,
+            desc: "GAN (var. density)",
+        },
+        DatasetSpec {
+            kind: VisualVar10M3D,
+            name: "VisualVar10M3D",
+            dim: 3,
+            paper_npts: 10_000_000,
+            paper_imb: 1e4,
+            desc: "GAN (var. density)",
+        },
+        DatasetSpec {
+            kind: VisualSim10M5D,
+            name: "VisualSim10M5D",
+            dim: 5,
+            paper_npts: 10_000_000,
+            paper_imb: 43.0,
+            desc: "GAN (sim. density)",
+        },
+        DatasetSpec {
+            kind: Normal100M2D,
+            name: "Normal100M2D",
+            dim: 2,
+            paper_npts: 100_000_000,
+            paper_imb: 1e5,
+            desc: "Random (normal)",
+        },
+        DatasetSpec {
+            kind: Normal300M2D,
+            name: "Normal300M2D",
+            dim: 2,
+            paper_npts: 300_000_000,
+            paper_imb: 4e5,
+            desc: "Random (normal)",
+        },
+        DatasetSpec {
+            kind: Normal100M3D,
+            name: "Normal100M3D",
+            dim: 3,
+            paper_npts: 100_000_000,
+            paper_imb: 4e5,
+            desc: "Random (normal)",
+        },
+        DatasetSpec {
+            kind: Uniform100M2D,
+            name: "Uniform100M2D",
+            dim: 2,
+            paper_npts: 100_000_000,
+            paper_imb: 1e5,
+            desc: "Random (uniform)",
+        },
+        DatasetSpec {
+            kind: Uniform100M3D,
+            name: "Uniform100M3D",
+            dim: 3,
+            paper_npts: 100_000_000,
+            paper_imb: 4e5,
+            desc: "Random (uniform)",
+        },
     ]
 }
 

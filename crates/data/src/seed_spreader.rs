@@ -84,15 +84,15 @@ impl SeedSpreader {
             // Emit a burst around the current position.
             let burst = self.points_per_step.min(n_clustered - emitted);
             for _ in 0..burst {
-                for d in 0..dim {
+                for &p in pos.iter().take(dim) {
                     let offset = rng.gen_range(-radius..=radius);
-                    coords.push((pos[d] + offset).clamp(0.0, DOMAIN));
+                    coords.push((p + offset).clamp(0.0, DOMAIN));
                 }
             }
             emitted += burst;
             // Step the walk.
             for p in pos.iter_mut() {
-                *p = (*p + rng.gen_range(-1.0..=1.0) * radius * self.step_frac)
+                *p = (*p + rng.gen_range(-1.0f32..=1.0) * radius * self.step_frac)
                     .clamp(0.0, DOMAIN);
             }
         }

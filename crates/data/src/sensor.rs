@@ -128,11 +128,12 @@ mod tests {
         let ps = activity(20_000, 3);
         let col = |i: usize| ps.point(i)[0] as f64;
         let all_mean = (0..ps.len()).map(col).sum::<f64>() / ps.len() as f64;
-        let all_var = (0..ps.len()).map(|i| (col(i) - all_mean).powi(2)).sum::<f64>()
+        let all_var = (0..ps.len())
+            .map(|i| (col(i) - all_mean).powi(2))
+            .sum::<f64>()
             / ps.len() as f64;
         let win_mean = (0..100).map(col).sum::<f64>() / 100.0;
-        let win_var =
-            (0..100).map(|i| (col(i) - win_mean).powi(2)).sum::<f64>() / 100.0;
+        let win_var = (0..100).map(|i| (col(i) - win_mean).powi(2)).sum::<f64>() / 100.0;
         assert!(all_var > 4.0 * win_var, "{all_var} vs {win_var}");
     }
 

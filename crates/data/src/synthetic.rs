@@ -57,8 +57,8 @@ pub fn gaussian_blobs(
     for i in 0..n {
         let c = i % k;
         labels.push(c as u32);
-        for d in 0..dim {
-            coords.push(centers[c][d] + sigma * normal_sample(&mut rng));
+        for &center in centers[c].iter().take(dim) {
+            coords.push(center + sigma * normal_sample(&mut rng));
         }
     }
     (PointSet::new(coords, dim), labels)

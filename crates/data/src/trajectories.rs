@@ -43,14 +43,14 @@ pub fn gps_trajectories(n: usize, seed: u64) -> PointSet {
                 }
                 along_x = !along_x;
             }
-            coords.push(x + NOISE * rng.gen_range(-1.0..=1.0));
-            coords.push(y + NOISE * rng.gen_range(-1.0..=1.0));
+            coords.push(x + NOISE * rng.gen_range(-1.0f32..=1.0));
+            coords.push(y + NOISE * rng.gen_range(-1.0f32..=1.0));
         }
     }
     coords.truncate(n * 2);
     // Pad if vehicle/step rounding fell short.
     while coords.len() < n * 2 {
-        let v = coords[coords.len() - 2] + rng.gen_range(-1.0..=1.0);
+        let v = coords[coords.len() - 2] + rng.gen_range(-1.0f32..=1.0);
         coords.push(v);
     }
     PointSet::new(coords, 2)
@@ -87,8 +87,8 @@ pub fn road_network(n: usize, seed: u64) -> PointSet {
     for _ in 0..n {
         let &(a, b) = &segments[rng.gen_range(0..segments.len())];
         let t: f32 = rng.gen();
-        let x = a.0 + t * (b.0 - a.0) + rng.gen_range(-5.0..=5.0);
-        let y = a.1 + t * (b.1 - a.1) + rng.gen_range(-5.0..=5.0);
+        let x = a.0 + t * (b.0 - a.0) + rng.gen_range(-5.0f32..=5.0);
+        let y = a.1 + t * (b.1 - a.1) + rng.gen_range(-5.0f32..=5.0);
         coords.push(x);
         coords.push(y);
     }

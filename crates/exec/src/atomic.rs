@@ -72,16 +72,7 @@ mod tests {
 
     #[test]
     fn float_key_order_matches_float_order() {
-        let mut vals = vec![
-            -1.0e30f32,
-            -3.5,
-            -0.0,
-            0.0,
-            1e-20,
-            1.0,
-            7.25,
-            3.4e38,
-        ];
+        let mut vals = vec![-1.0e30f32, -3.5, -0.0, 0.0, 1e-20, 1.0, 7.25, 3.4e38];
         let mut by_key = vals.clone();
         by_key.sort_by_key(|&x| f32_to_ordered_u32(x));
         vals.sort_by(|a, b| a.partial_cmp(b).unwrap());

@@ -108,10 +108,7 @@ impl AtomicDsu {
     /// unions have completed; roots satisfy `parent[i] == i`).
     pub fn into_parents(self) -> Vec<u32> {
         self.flatten();
-        self.parent
-            .into_iter()
-            .map(|a| a.into_inner())
-            .collect()
+        self.parent.into_iter().map(|a| a.into_inner()).collect()
     }
 }
 

@@ -239,10 +239,7 @@ impl ExecCtx {
                         partials.lock().push(local);
                     }
                 });
-                partials
-                    .into_inner()
-                    .into_iter()
-                    .fold(identity, combine)
+                partials.into_inner().into_iter().fold(identity, combine)
             }
         }
     }

@@ -44,8 +44,7 @@ impl ThreadPool {
                     .name(format!("pandora-worker-{worker_idx}"))
                     .spawn(move || {
                         for job in rx.iter() {
-                            let result =
-                                catch_unwind(AssertUnwindSafe(|| (job.func)(worker_idx)));
+                            let result = catch_unwind(AssertUnwindSafe(|| (job.func)(worker_idx)));
                             if result.is_err() {
                                 job.latch.poison();
                             }

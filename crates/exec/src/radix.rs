@@ -21,7 +21,7 @@ const RADIX_SIZE: usize = 1 << RADIX_BITS; // 256
 const SEQ_THRESHOLD: usize = 16 * 1024;
 
 /// Sorts `keys` ascending (stable, not that it matters for bare keys).
-pub fn par_radix_sort_u64(ctx: &ExecCtx, keys: &mut Vec<u64>) {
+pub fn par_radix_sort_u64(ctx: &ExecCtx, keys: &mut [u64]) {
     let n = keys.len();
     if ctx.is_serial() || n < SEQ_THRESHOLD {
         ctx.record(KernelKind::RadixPass, (n * 4) as u64, (n * 8 * 4) as u64);
@@ -80,13 +80,9 @@ pub fn par_radix_sort_pairs(ctx: &ExecCtx, keys: &mut Vec<u64>, values: &mut Vec
         } else {
             let vals_view = UnsafeSlice::new(values);
             let val_aux_view = UnsafeSlice::new(&mut val_aux);
-            radix_pass(
-                ctx,
-                &key_aux,
-                keys,
-                shift,
-                |i, out| unsafe { vals_view.write(out, val_aux_view.read(i)) },
-            )
+            radix_pass(ctx, &key_aux, keys, shift, |i, out| unsafe {
+                vals_view.write(out, val_aux_view.read(i))
+            })
         };
         if reordered {
             src_is_primary = !src_is_primary;

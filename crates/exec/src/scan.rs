@@ -34,7 +34,11 @@ const BLOCK_MIN: usize = 4096;
 /// Exclusive prefix sum of `xs` in place; returns the total.
 pub fn exclusive_scan_in_place<T: ScanNum>(ctx: &ExecCtx, xs: &mut [T]) -> T {
     let n = xs.len();
-    ctx.record(KernelKind::Scan, n as u64, (2 * n * std::mem::size_of::<T>()) as u64);
+    ctx.record(
+        KernelKind::Scan,
+        n as u64,
+        (2 * n * std::mem::size_of::<T>()) as u64,
+    );
     if ctx.is_serial() || n < 4 * BLOCK_MIN {
         return seq_exclusive_scan(xs);
     }
@@ -99,7 +103,11 @@ pub fn seq_exclusive_scan<T: ScanNum>(xs: &mut [T]) -> T {
 /// Inclusive prefix sum of `xs` in place; returns the total.
 pub fn inclusive_scan_in_place<T: ScanNum>(ctx: &ExecCtx, xs: &mut [T]) -> T {
     let n = xs.len();
-    ctx.record(KernelKind::Scan, n as u64, (2 * n * std::mem::size_of::<T>()) as u64);
+    ctx.record(
+        KernelKind::Scan,
+        n as u64,
+        (2 * n * std::mem::size_of::<T>()) as u64,
+    );
     if ctx.is_serial() || n < 4 * BLOCK_MIN {
         let mut running = T::ZERO;
         for x in xs.iter_mut() {

@@ -203,7 +203,12 @@ impl Trace {
         KernelKind::ALL
             .iter()
             .map(|&k| {
-                let total: u64 = self.events.iter().filter(|e| e.kind == k).map(|e| e.n).sum();
+                let total: u64 = self
+                    .events
+                    .iter()
+                    .filter(|e| e.kind == k)
+                    .map(|e| e.n)
+                    .sum();
                 let count = self.events.iter().filter(|e| e.kind == k).count();
                 (k, total, count)
             })
@@ -258,7 +263,10 @@ mod tests {
         tracer.record(KernelKind::For, 20, 160);
         tracer.record(KernelKind::Scan, 5, 40);
         let totals = tracer.snapshot().kind_totals();
-        let for_entry = totals.iter().find(|(k, _, _)| *k == KernelKind::For).unwrap();
+        let for_entry = totals
+            .iter()
+            .find(|(k, _, _)| *k == KernelKind::For)
+            .unwrap();
         assert_eq!((for_entry.1, for_entry.2), (30, 2));
     }
 }

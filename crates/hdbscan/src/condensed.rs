@@ -248,8 +248,8 @@ mod tests {
     #[test]
     fn large_min_cluster_size_keeps_single_cluster() {
         let ct = condense(&two_pair_dendrogram(), 3);
-        assert_eq!(ct.n_clusters(), 1); // no split survives
-        // All 4 points fall out of the root.
+        // No split survives; all 4 points fall out of the root.
+        assert_eq!(ct.n_clusters(), 1);
         assert_eq!(ct.parent.len(), 4);
         assert!(ct.parent.iter().all(|&p| p == 0));
     }

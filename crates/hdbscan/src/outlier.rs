@@ -75,9 +75,7 @@ mod tests {
     #[test]
     fn uniform_chain_scores_bounded() {
         let ctx = ExecCtx::serial();
-        let edges: Vec<Edge> = (0..20)
-            .map(|i| Edge::new(i, i + 1, 1.0))
-            .collect();
+        let edges: Vec<Edge> = (0..20).map(|i| Edge::new(i, i + 1, 1.0)).collect();
         let d = pandora::dendrogram(&ctx, 21, &edges);
         let ct = condense(&d, 3);
         let scores = glosh_scores(&ct);

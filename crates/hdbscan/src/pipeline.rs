@@ -92,7 +92,11 @@ pub struct HdbscanResult {
 impl HdbscanResult {
     /// Number of flat clusters.
     pub fn n_clusters(&self) -> usize {
-        self.labels.iter().copied().max().map_or(0, |m| (m + 1) as usize)
+        self.labels
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| (m + 1) as usize)
     }
 
     /// Number of noise points.
@@ -244,8 +248,7 @@ mod tests {
         let mut coords = blob_pts.coords().to_vec();
         coords.extend_from_slice(&[5000.0, 5000.0, -4000.0, 7000.0, 9000.0, -3000.0]);
         blob_pts = PointSet::new(coords, 2);
-        let result =
-            Hdbscan::with_ctx(HdbscanParams::default(), ExecCtx::serial()).run(&blob_pts);
+        let result = Hdbscan::with_ctx(HdbscanParams::default(), ExecCtx::serial()).run(&blob_pts);
         assert_eq!(result.n_clusters(), 2);
         for outlier in 200..203 {
             assert_eq!(result.labels[outlier], -1, "outlier {outlier} not noise");

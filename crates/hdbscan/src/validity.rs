@@ -58,10 +58,7 @@ pub fn dbcv(ctx: &ExecCtx, points: &PointSet, labels: &[i32], min_pts: usize) ->
         sub_tree.attach_core2(&sub_core2);
         let sub_metric = MutualReachability { core2: &sub_core2 };
         let mst = boruvka_mst(ctx, &sub, &sub_tree, &sub_metric);
-        sparseness[c] = mst
-            .iter()
-            .map(|e| e.w as f64)
-            .fold(0.0f64, f64::max);
+        sparseness[c] = mst.iter().map(|e| e.w as f64).fold(0.0f64, f64::max);
     }
 
     // Pairwise density separation: min mutual-reachability distance between

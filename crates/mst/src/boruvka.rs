@@ -78,29 +78,18 @@ pub fn boruvka_mst<M: Metric>(
             let best_view = UnsafeSlice::new(&mut best_of);
             let comp_ref = &comp;
             let purity_ref = &purity;
-            ctx.for_each_chunk_traced(
-                n,
-                256,
-                KernelKind::TreeTraverse,
-                (n as u64) * 64,
-                |range| {
-                    for q in range {
-                        let found = tree.nearest_foreign(
-                            points,
-                            metric,
-                            q as u32,
-                            comp_ref,
-                            purity_ref,
-                        );
-                        if let Some((d2, p)) = found {
-                            // SAFETY: slot q written only by this task.
-                            unsafe { best_view.write(q, (d2, p)) };
-                            let root = comp_ref[q] as usize;
-                            cand_view[root].fetch_min(pack_candidate(d2, q as u32), Ordering::Relaxed);
-                        }
+            ctx.for_each_chunk_traced(n, 256, KernelKind::TreeTraverse, (n as u64) * 64, |range| {
+                for q in range {
+                    let found =
+                        tree.nearest_foreign(points, metric, q as u32, comp_ref, purity_ref);
+                    if let Some((d2, p)) = found {
+                        // SAFETY: slot q written only by this task.
+                        unsafe { best_view.write(q, (d2, p)) };
+                        let root = comp_ref[q] as usize;
+                        cand_view[root].fetch_min(pack_candidate(d2, q as u32), Ordering::Relaxed);
                     }
-                },
-            );
+                }
+            });
         }
 
         // Collect winning edges; deduplicate reciprocal pairs with a
@@ -108,7 +97,11 @@ pub fn boruvka_mst<M: Metric>(
         let mut added = 0usize;
         {
             let roots: Vec<u32> = (0..n as u32).filter(|&v| comp[v as usize] == v).collect();
-            ctx.record(KernelKind::DsuUnion, roots.len() as u64, (roots.len() as u64) * 24);
+            ctx.record(
+                KernelKind::DsuUnion,
+                roots.len() as u64,
+                (roots.len() as u64) * 24,
+            );
             for &root in &roots {
                 let packed = candidate[root as usize];
                 if packed == u64::MAX {

@@ -219,8 +219,7 @@ impl KdTree {
                 }
                 min_core[nid] = m;
             } else {
-                min_core[nid] =
-                    min_core[node.left as usize].min(min_core[node.right as usize]);
+                min_core[nid] = min_core[node.left as usize].min(min_core[node.right as usize]);
             }
         }
         self.min_core2 = Some(min_core);
@@ -439,7 +438,9 @@ mod tests {
     fn random_points(n: usize, dim: usize, seed: u64) -> PointSet {
         let mut rng = StdRng::seed_from_u64(seed);
         PointSet::new(
-            (0..n * dim).map(|_| rng.gen_range(-10.0..10.0f32)).collect(),
+            (0..n * dim)
+                .map(|_| rng.gen_range(-10.0..10.0f32))
+                .collect(),
             dim,
         )
     }

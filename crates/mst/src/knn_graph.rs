@@ -77,7 +77,11 @@ pub fn knn_graph_mst<M: Metric>(
 
     // Kruskal over the candidates (sorted ascending by squared distance).
     par_sort_by_key(ctx, &mut candidates, |&t| t);
-    ctx.record(KernelKind::SeqLoop, candidates.len() as u64, (candidates.len() * 12) as u64);
+    ctx.record(
+        KernelKind::SeqLoop,
+        candidates.len() as u64,
+        (candidates.len() * 12) as u64,
+    );
     let mut dsu = SeqDsu::new(n);
     let mut edges: Vec<Edge> = Vec::with_capacity(n - 1);
     for &(wkey, a, b) in &candidates {
@@ -103,32 +107,26 @@ pub fn knn_graph_mst<M: Metric>(
             comp[v as usize] = dsu.find(v);
         }
         let purity = tree.component_purity(&comp);
-        let candidate: Vec<std::sync::atomic::AtomicU64> =
-            (0..n).map(|_| std::sync::atomic::AtomicU64::new(u64::MAX)).collect();
+        let candidate: Vec<std::sync::atomic::AtomicU64> = (0..n)
+            .map(|_| std::sync::atomic::AtomicU64::new(u64::MAX))
+            .collect();
         let mut best_of = vec![(f32::INFINITY, u32::MAX); n];
         {
             let best_view = UnsafeSlice::new(&mut best_of);
             let (comp_ref, purity_ref, cand_ref) = (&comp, &purity, &candidate);
-            ctx.for_each_chunk_traced(
-                n,
-                256,
-                KernelKind::TreeTraverse,
-                (n * 64) as u64,
-                |range| {
-                    for q in range {
-                        if let Some((d2, p)) =
-                            tree.nearest_foreign(points, metric, q as u32, comp_ref, purity_ref)
-                        {
-                            // SAFETY: slot q owned by this iteration.
-                            unsafe { best_view.write(q, (d2, p)) };
-                            let key = ((pandora_exec::atomic::f32_to_ordered_u32(d2) as u64)
-                                << 32)
-                                | q as u64;
-                            cand_ref[comp_ref[q] as usize].fetch_min(key, Ordering::Relaxed);
-                        }
+            ctx.for_each_chunk_traced(n, 256, KernelKind::TreeTraverse, (n * 64) as u64, |range| {
+                for q in range {
+                    if let Some((d2, p)) =
+                        tree.nearest_foreign(points, metric, q as u32, comp_ref, purity_ref)
+                    {
+                        // SAFETY: slot q owned by this iteration.
+                        unsafe { best_view.write(q, (d2, p)) };
+                        let key = ((pandora_exec::atomic::f32_to_ordered_u32(d2) as u64) << 32)
+                            | q as u64;
+                        cand_ref[comp_ref[q] as usize].fetch_min(key, Ordering::Relaxed);
                     }
-                },
-            );
+                }
+            });
         }
         let mut progressed = false;
         for root in 0..n as u32 {
@@ -190,10 +188,7 @@ mod tests {
         for k in [2usize, 4, 8] {
             let approx = total_weight(&knn_graph_mst(&ctx, &points, &tree, &Euclidean, k));
             let ratio = approx / exact;
-            assert!(
-                (1.0 - 1e-6..1.10).contains(&ratio),
-                "k={k}: ratio {ratio}"
-            );
+            assert!((1.0 - 1e-6..1.10).contains(&ratio), "k={k}: ratio {ratio}");
             assert!(ratio <= prev_ratio + 1e-9, "ratio not improving at k={k}");
             prev_ratio = ratio;
         }

@@ -100,9 +100,7 @@ mod tests {
         let m = MutualReachability { core2: &core2 };
         // d² = 1, core²(0) = 4 dominates.
         assert_eq!(m.dist2(&points, 0, 1), 4.0);
-        let m2 = MutualReachability {
-            core2: &[0.0, 0.0],
-        };
+        let m2 = MutualReachability { core2: &[0.0, 0.0] };
         assert_eq!(m2.dist2(&points, 0, 1), 1.0);
     }
 

@@ -22,8 +22,8 @@ pub fn prim_mst<M: Metric>(points: &PointSet, metric: &M) -> Vec<Edge> {
     let mut edges = Vec::with_capacity(n - 1);
 
     in_tree[0] = true;
-    for v in 1..n {
-        best_d2[v] = metric.dist2(points, 0, v as u32);
+    for (v, d2) in best_d2.iter_mut().enumerate().skip(1) {
+        *d2 = metric.dist2(points, 0, v as u32);
     }
     for _ in 1..n {
         // Cheapest frontier vertex; ties by smaller index (deterministic).

@@ -17,9 +17,7 @@ use pandora::core::SortedMst;
 use pandora::data::seed_spreader::{Density, SeedSpreader};
 use pandora::exec::ExecCtx;
 use pandora::mst::kruskal::total_weight;
-use pandora::mst::{
-    boruvka_mst, core_distances2, knn_graph_mst, KdTree, MutualReachability,
-};
+use pandora::mst::{boruvka_mst, core_distances2, knn_graph_mst, KdTree, MutualReachability};
 
 fn main() {
     let ctx = ExecCtx::threads();
@@ -28,7 +26,10 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(30_000);
     let points = SeedSpreader::new(n, 2, Density::Variable).generate(8);
-    println!("approximate vs exact mutual-reachability MST, n = {}", points.len());
+    println!(
+        "approximate vs exact mutual-reachability MST, n = {}",
+        points.len()
+    );
 
     let mut tree = KdTree::build(&ctx, &points);
     let core2 = core_distances2(&ctx, &points, &tree, 4);
@@ -46,7 +47,14 @@ fn main() {
         "\n{:>4} {:>12} {:>12} {:>14} {:>12}",
         "k", "time", "speedup", "weight ratio", "height Δ"
     );
-    println!("{:>4} {:>11.0}ms {:>12} {:>14} {:>12}", "∞", exact_s * 1e3, "1.0x", "1.000000", "0");
+    println!(
+        "{:>4} {:>11.0}ms {:>12} {:>14} {:>12}",
+        "∞",
+        exact_s * 1e3,
+        "1.0x",
+        "1.000000",
+        "0"
+    );
     for k in [2usize, 4, 8, 16] {
         let t = Instant::now();
         let approx_edges = knn_graph_mst(&ctx, &points, &tree, &metric, k);
@@ -54,8 +62,7 @@ fn main() {
         let ratio = total_weight(&approx_edges) / exact_weight;
         let approx_mst = SortedMst::from_edges(&ctx, points.len(), &approx_edges);
         let approx_dendro = dendrogram_union_find(&approx_mst);
-        let height_delta =
-            approx_dendro.height() as i64 - exact_dendro.height() as i64;
+        let height_delta = approx_dendro.height() as i64 - exact_dendro.height() as i64;
         println!(
             "{k:>4} {:>11.0}ms {:>11.1}x {ratio:>14.6} {height_delta:>12}",
             approx_s * 1e3,

@@ -18,7 +18,10 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(80_000);
     let points = SeedSpreader::new(n, 3, Density::Variable).generate(5);
-    println!("tracing PANDORA on {} points (VisualVar-style, 3-D)…", points.len());
+    println!(
+        "tracing PANDORA on {} points (VisualVar-style, 3-D)…",
+        points.len()
+    );
 
     let (ctx, tracer) = ExecCtx::threads().with_tracing();
     let mut tree = KdTree::build(&ctx, &points);

@@ -60,7 +60,11 @@ fn main() {
         for x in 0..W {
             let p = (y * W + x) as u32;
             if x + 1 < W {
-                edges.push(Edge::new(p, p + 1, (img[p as usize] - img[p as usize + 1]).abs()));
+                edges.push(Edge::new(
+                    p,
+                    p + 1,
+                    (img[p as usize] - img[p as usize + 1]).abs(),
+                ));
             }
             if y + 1 < H {
                 let q = p + W as u32;

@@ -23,7 +23,11 @@ fn main() {
     };
     let result = Hdbscan::new(params).run(&points);
 
-    println!("\nfound {} clusters, {} noise points", result.n_clusters(), result.n_noise());
+    println!(
+        "\nfound {} clusters, {} noise points",
+        result.n_clusters(),
+        result.n_noise()
+    );
     println!(
         "pipeline: emst {:.1}ms | dendrogram {:.1}ms | extract {:.1}ms",
         result.timings.emst_s() * 1e3,

@@ -33,7 +33,10 @@ fn main() {
     );
 
     // Scale sweep: cut the hierarchy at growing thresholds.
-    println!("\n{:>10}  {:>9}  {:>14}  {:>10}", "cut (m)", "clusters", "largest", "singletons");
+    println!(
+        "\n{:>10}  {:>9}  {:>14}  {:>10}",
+        "cut (m)", "clusters", "largest", "singletons"
+    );
     for cut in [5.0f32, 15.0, 40.0, 100.0, 300.0, 1000.0] {
         let labels = dendro.cut(cut, &mst.src, &mst.dst);
         let k = labels.iter().copied().max().map_or(0, |m| m as usize + 1);

@@ -162,7 +162,10 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_info(args: &Args) -> Result<(), String> {
-    let input = args.positional.first().ok_or("usage: pandora-cli info <points>")?;
+    let input = args
+        .positional
+        .first()
+        .ok_or("usage: pandora-cli info <points>")?;
     let points = load_points(Path::new(input))?;
     println!("points: {}", points.len());
     println!("dim:    {}", points.dim());
@@ -180,7 +183,10 @@ fn cmd_info(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_datasets() -> Result<(), String> {
-    println!("{:<16} {:>3} {:>12} {:>10}  description", "name", "dim", "paper n", "paper Imb");
+    println!(
+        "{:<16} {:>3} {:>12} {:>10}  description",
+        "name", "dim", "paper n", "paper Imb"
+    );
     for spec in all_datasets() {
         println!(
             "{:<16} {:>3} {:>12} {:>10.0e}  {}",

@@ -46,5 +46,7 @@ pub mod prelude {
     pub use pandora_core::{Dendrogram, Edge, SortedMst};
     pub use pandora_exec::ExecCtx;
     pub use pandora_hdbscan::{Hdbscan, HdbscanParams, HdbscanResult};
-    pub use pandora_mst::{boruvka_mst, core_distances2, Euclidean, KdTree, MutualReachability, PointSet};
+    pub use pandora_mst::{
+        boruvka_mst, core_distances2, Euclidean, KdTree, MutualReachability, PointSet,
+    };
 }

@@ -1,0 +1,68 @@
+//! Smoke tests for the workspace facade: the `pandora::` re-exports must
+//! resolve, the prelude must cover the common entry points, and the README /
+//! crate-root quickstart snippet must actually run.
+
+use pandora::prelude::*;
+
+/// Every workspace member is reachable through its `pandora::` re-export.
+#[test]
+fn reexports_resolve() {
+    // exec
+    let ctx: pandora::exec::ExecCtx = pandora::exec::ExecCtx::serial();
+    assert!(ctx.is_serial());
+    // core
+    let edges = vec![
+        pandora::core::Edge::new(0, 1, 2.0),
+        pandora::core::Edge::new(1, 2, 1.0),
+    ];
+    let dendro = pandora::core::pandora::dendrogram(&ctx, 3, &edges);
+    assert_eq!(dendro.root(), Some(0));
+    // mst
+    let points = pandora::mst::PointSet::new(vec![0.0, 0.0, 1.0, 0.0], 2);
+    assert_eq!(points.len(), 2);
+    // data
+    assert!(!pandora::data::all_datasets().is_empty());
+    // hdbscan
+    let _params = pandora::hdbscan::HdbscanParams::default();
+}
+
+/// The prelude exposes the names the examples and docs lean on.
+#[test]
+fn prelude_covers_common_entry_points() {
+    let ctx = ExecCtx::threads();
+    let edges = vec![Edge::new(0, 1, 2.0), Edge::new(1, 2, 1.0)];
+    let mst = SortedMst::from_edges(&ctx, 3, &edges);
+    assert_eq!(mst.n_edges(), 2);
+    let (d, stats) = dendrogram_with_stats(&ctx, 3, &edges);
+    d.validate().unwrap();
+    assert!(stats.n_levels >= 1);
+    assert_eq!(dendrogram(&ctx, 3, &edges), d);
+
+    let points = PointSet::new(vec![0.0, 0.0, 0.1, 0.0, 5.0, 5.0], 2);
+    let tree = KdTree::build(&ctx, &points);
+    let core2 = core_distances2(&ctx, &points, &tree, 2);
+    assert_eq!(core2.len(), points.len());
+    let mst_edges = boruvka_mst(&ctx, &points, &tree, &Euclidean);
+    assert_eq!(mst_edges.len(), points.len() - 1);
+    let _metric = MutualReachability { core2: &core2 };
+}
+
+/// The quickstart from `README.md` / the `pandora` crate root, verbatim.
+#[test]
+fn readme_quickstart_runs() {
+    use pandora::hdbscan::{Hdbscan, HdbscanParams};
+    use pandora::mst::PointSet;
+
+    // Three tight 2-D blobs.
+    let mut coords = Vec::new();
+    for c in 0..3 {
+        for i in 0..50 {
+            let (cx, cy) = (c as f32 * 10.0, c as f32 * -7.0);
+            coords.push(cx + (i % 7) as f32 * 0.01);
+            coords.push(cy + (i / 7) as f32 * 0.01);
+        }
+    }
+    let points = PointSet::new(coords, 2);
+    let result = Hdbscan::new(HdbscanParams::default()).run(&points);
+    assert_eq!(result.n_clusters(), 3);
+}

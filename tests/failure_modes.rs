@@ -50,12 +50,7 @@ fn nan_weight_rejected() {
 fn cycle_detected_by_validation() {
     // A "tree" with a duplicated edge instead of a connector: right count,
     // wrong topology; from_sorted_arrays defers to validate_tree.
-    let mst = SortedMst::from_sorted_arrays(
-        4,
-        vec![0, 0, 0],
-        vec![1, 1, 2],
-        vec![3.0, 2.0, 1.0],
-    );
+    let mst = SortedMst::from_sorted_arrays(4, vec![0, 0, 0], vec![1, 1, 2], vec![3.0, 2.0, 1.0]);
     assert!(mst.validate_tree().is_err());
 }
 
@@ -63,12 +58,7 @@ fn cycle_detected_by_validation() {
 fn disconnected_forest_fails_validation() {
     // Edge count is taken on faith by from_sorted_arrays; the DSU check
     // must catch the cycle implied by a disconnected "tree".
-    let mst = SortedMst::from_sorted_arrays(
-        4,
-        vec![0, 2, 0],
-        vec![1, 3, 1],
-        vec![3.0, 2.0, 1.0],
-    );
+    let mst = SortedMst::from_sorted_arrays(4, vec![0, 2, 0], vec![1, 3, 1], vec![3.0, 2.0, 1.0]);
     assert!(mst.validate_tree().is_err());
 }
 

@@ -49,7 +49,9 @@ fn boruvka_matches_prim_under_mutual_reachability() {
 #[test]
 fn boruvka_output_is_a_spanning_tree() {
     let ctx = ExecCtx::threads();
-    let points = pandora::data::by_name("Normal100M2D").unwrap().generate(5_000, 8);
+    let points = pandora::data::by_name("Normal100M2D")
+        .unwrap()
+        .generate(5_000, 8);
     let tree = KdTree::build(&ctx, &points);
     let edges = boruvka_mst(&ctx, &points, &tree, &Euclidean);
     let mst = SortedMst::from_edges(&ctx, points.len(), &edges);

@@ -4,8 +4,8 @@ use proptest::prelude::*;
 
 use pandora::core::baseline::dendrogram_union_find;
 use pandora::core::levels::build_hierarchy;
-use pandora::core::validate::check_lcda_theorem;
 use pandora::core::pandora as pandora_algo;
+use pandora::core::validate::check_lcda_theorem;
 use pandora::core::{Edge, SortedMst};
 use pandora::exec::scan::{exclusive_scan_in_place, seq_exclusive_scan};
 use pandora::exec::sort::par_sort_by_key;

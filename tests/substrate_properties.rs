@@ -16,9 +16,8 @@ fn tree_strategy() -> impl Strategy<Value = (usize, Vec<Edge>)> {
     (2usize..300).prop_flat_map(|n| {
         let edges = (1..n)
             .map(|v| {
-                (0..v, 0u32..32).prop_map(move |(parent, w)| {
-                    Edge::new(parent as u32, v as u32, w as f32 * 0.5)
-                })
+                (0..v, 0u32..32)
+                    .prop_map(move |(parent, w)| Edge::new(parent as u32, v as u32, w as f32 * 0.5))
             })
             .collect::<Vec<_>>();
         edges.prop_map(move |e| (n, e))

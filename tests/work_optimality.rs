@@ -85,10 +85,7 @@ fn traced_work_is_n_log_n_independent_of_skew() {
         let (ctx, tracer) = ExecCtx::serial().with_tracing();
         let _ = pandora_algo::dendrogram(&ctx, n, edges);
         let trace = tracer.snapshot();
-        let total: u64 = KernelKind::ALL
-            .iter()
-            .map(|&k| trace.total_n(k))
-            .sum();
+        let total: u64 = KernelKind::ALL.iter().map(|&k| trace.total_n(k)).sum();
         totals.push((label, total));
     }
     let (a, b) = (totals[0].1 as f64, totals[1].1 as f64);

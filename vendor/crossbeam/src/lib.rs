@@ -1,0 +1,79 @@
+//! Offline shim for the `crossbeam` crate (see `vendor/README.md`).
+//!
+//! Only `crossbeam::channel::{bounded, Sender, Receiver}` is provided,
+//! backed by `std::sync::mpsc::sync_channel`. Semantics relevant to this
+//! workspace match crossbeam: `bounded(cap)` blocks senders once `cap`
+//! messages are in flight, and dropping every `Sender` terminates the
+//! receiver's iterator.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// The sending half of a bounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is in the channel (or all receivers are
+        /// gone, in which case the message is handed back in the error).
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner.send(msg)
+        }
+    }
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next message; `Err` when the channel is closed.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Blocking iterator over messages; ends when every sender is gone.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+
+    /// Creates a bounded channel holding at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn roundtrip_and_close() {
+            let (tx, rx) = bounded::<u32>(1);
+            let tx2 = tx.clone();
+            std::thread::spawn(move || {
+                tx2.send(7).unwrap();
+            });
+            assert_eq!(rx.recv().unwrap(), 7);
+            drop(tx);
+            assert_eq!(rx.iter().count(), 0);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Offline shim for the `parking_lot` crate (see `vendor/README.md`).
+//!
+//! Provides `Mutex` and `Condvar` with parking_lot's ergonomics (no poison
+//! `Result`s) on top of `std::sync`. A poisoned std mutex is recovered
+//! transparently: parking_lot has no poisoning, so neither does this shim.
+
+use std::ops::{Deref, DerefMut};
+
+/// A mutual-exclusion lock whose `lock()` returns the guard directly.
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+///
+/// The inner `Option` is only ever `None` transiently inside
+/// [`Condvar::wait`], which moves the std guard out and back.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        unpoison_inner(self.inner.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(unpoison(self.inner.lock())),
+        }
+    }
+
+    /// Returns a mutable reference to the underlying data (no locking
+    /// needed: `&mut self` proves exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        unpoison_mut(self.inner.get_mut())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Avoid blocking in Debug: report lock state only, like upstream.
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+fn unpoison<G>(r: Result<G, std::sync::PoisonError<G>>) -> G {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn unpoison_mut<'a, T: ?Sized>(
+    r: Result<&'a mut T, std::sync::PoisonError<&'a mut T>>,
+) -> &'a mut T {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn unpoison_inner<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner
+            .as_ref()
+            .expect("guard taken during condvar wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_mut()
+            .expect("guard taken during condvar wait")
+    }
+}
+
+/// A condition variable usable with [`MutexGuard`] (`wait(&mut guard)`).
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Self {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases the guard's lock and blocks until notified; the
+    /// lock is re-acquired before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.inner.take().expect("guard taken during condvar wait");
+        guard.inner = Some(unpoison(self.inner.wait(std_guard)));
+    }
+
+    /// Wakes one blocked waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all blocked waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn condvar_roundtrip() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut done = m.lock();
+        while !*done {
+            cv.wait(&mut done);
+        }
+        t.join().unwrap();
+    }
+}
