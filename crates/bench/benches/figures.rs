@@ -9,15 +9,11 @@ use pandora_bench::suite::fig12_suite;
 use pandora_core::baseline::dendrogram_union_find;
 use pandora_core::{pandora, SortedMst};
 use pandora_exec::ExecCtx;
-use pandora_mst::{boruvka_mst, core_distances2, KdTree, MutualReachability};
+use pandora_mst::{emst, EmstParams};
 
 fn mst_of(points: &pandora_mst::PointSet, min_pts: usize) -> SortedMst {
     let ctx = ExecCtx::threads();
-    let mut tree = KdTree::build(&ctx, points);
-    let core2 = core_distances2(&ctx, points, &tree, min_pts);
-    tree.attach_core2(&core2);
-    let metric = MutualReachability { core2: &core2 };
-    let edges = boruvka_mst(&ctx, points, &tree, &metric);
+    let edges = emst(&ctx, points, &EmstParams::with_min_pts(min_pts)).edges;
     SortedMst::from_edges(&ctx, points.len(), &edges)
 }
 

@@ -4,7 +4,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 
 use pandora_data::by_name;
 use pandora_exec::ExecCtx;
-use pandora_mst::{boruvka_mst, core_distances2, Euclidean, KdTree, MutualReachability};
+use pandora_mst::{
+    boruvka_mst, core_distances2, emst, EmstParams, Euclidean, KdTree, MutualReachability,
+};
 
 fn bench_kdtree_build(c: &mut Criterion) {
     let ctx = ExecCtx::threads();
@@ -63,9 +65,26 @@ fn bench_boruvka(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_emst_pipeline(c: &mut Criterion) {
+    // The orchestrated end-to-end EMST (build → core → Borůvka) — the
+    // number the tentpole speedup claims are measured on (fig01's EMST
+    // stage at PR scale).
+    let ctx = ExecCtx::threads();
+    let mut group = c.benchmark_group("emst_pipeline");
+    group.sample_size(10);
+    for (name, n) in [("Hacc37M", 20_000usize), ("Uniform100M2D", 20_000)] {
+        let points = by_name(name).unwrap().generate(n, 42);
+        group.throughput(Throughput::Elements(points.len() as u64));
+        group.bench_with_input(BenchmarkId::new("min_pts2", name), &points, |b, points| {
+            b.iter(|| emst(&ctx, points, &EmstParams::default()))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().measurement_time(std::time::Duration::from_secs(4));
-    targets = bench_kdtree_build, bench_core_distances, bench_boruvka
+    targets = bench_kdtree_build, bench_core_distances, bench_boruvka, bench_emst_pipeline
 );
 criterion_main!(benches);

@@ -10,7 +10,7 @@ use pandora_core::census::{chain_lengths, hierarchy_census};
 use pandora_core::levels::build_hierarchy;
 use pandora_core::{pandora, SortedMst};
 use pandora_exec::ExecCtx;
-use pandora_mst::{boruvka_mst, core_distances2, KdTree, MutualReachability};
+use pandora_mst::{emst, EmstParams};
 
 fn main() {
     let n = bench_scale();
@@ -20,11 +20,7 @@ fn main() {
     let mut rows = Vec::new();
     for ds in fig12_suite() {
         let points = ds.generate(n, 9);
-        let mut tree = KdTree::build(&ctx, &points);
-        let core2 = core_distances2(&ctx, &points, &tree, 2);
-        tree.attach_core2(&core2);
-        let metric = MutualReachability { core2: &core2 };
-        let edges = boruvka_mst(&ctx, &points, &tree, &metric);
+        let edges = emst(&ctx, &points, &EmstParams::default()).edges;
         let mst = SortedMst::from_edges(&ctx, points.len(), &edges);
 
         let hierarchy = build_hierarchy(&ctx, &mst);

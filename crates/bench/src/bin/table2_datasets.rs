@@ -9,7 +9,7 @@ use pandora_bench::suite::bench_scale;
 use pandora_core::pandora;
 use pandora_data::all_datasets;
 use pandora_exec::ExecCtx;
-use pandora_mst::{boruvka_mst, core_distances2, KdTree, MutualReachability};
+use pandora_mst::{emst, EmstParams};
 
 fn main() {
     let n = bench_scale();
@@ -18,11 +18,7 @@ fn main() {
     let mut rows = Vec::new();
     for spec in all_datasets() {
         let points = spec.generate(n, 7);
-        let mut tree = KdTree::build(&ctx, &points);
-        let core2 = core_distances2(&ctx, &points, &tree, 2);
-        tree.attach_core2(&core2);
-        let metric = MutualReachability { core2: &core2 };
-        let edges = boruvka_mst(&ctx, &points, &tree, &metric);
+        let edges = emst(&ctx, &points, &EmstParams::default()).edges;
         let dendro = pandora::dendrogram(&ctx, points.len(), &edges);
         rows.push(vec![
             spec.name.to_string(),

@@ -7,7 +7,7 @@ use pandora_core::{pandora, Edge, PhaseTimings};
 use pandora_exec::device::DeviceModel;
 use pandora_exec::trace::Trace;
 use pandora_exec::ExecCtx;
-use pandora_mst::{boruvka_mst, core_distances2, KdTree, MutualReachability, PointSet};
+use pandora_mst::{emst, EmstParams, EmstTimings, PointSet};
 
 /// Everything the figure binaries need from one dataset run: real wall-clock
 /// numbers on this host plus kernel traces for device projection.
@@ -17,6 +17,8 @@ pub struct PipelineRun {
     pub n: usize,
     /// Measured EMST wall time (tree build + core distances + Borůvka).
     pub mst_wall_s: f64,
+    /// EMST stage decomposition (build / core / Borůvka).
+    pub emst_timings: EmstTimings,
     /// Measured PANDORA phase times (sort / contraction / expansion).
     pub pandora_wall: PhaseTimings,
     /// Measured UnionFind-MT baseline: (parallel sort, sequential pass).
@@ -38,14 +40,11 @@ pub fn run_pipeline(points: &PointSet, min_pts: usize) -> PipelineRun {
     let (ctx, tracer) = ExecCtx::threads().with_tracing();
     let n = points.len();
 
-    // EMST stage (traced as phase "mst").
-    ctx.set_phase("mst");
+    // EMST stage (traced as phases "emst_build" / "emst_core" /
+    // "emst_boruvka" by the orchestrator).
     let t = Instant::now();
-    let mut tree = KdTree::build(&ctx, points);
-    let core2 = core_distances2(&ctx, points, &tree, min_pts);
-    tree.attach_core2(&core2);
-    let metric = MutualReachability { core2: &core2 };
-    let edges: Vec<Edge> = boruvka_mst(&ctx, points, &tree, &metric);
+    let result = emst(&ctx, points, &EmstParams::with_min_pts(min_pts));
+    let edges: Vec<Edge> = result.edges;
     let mst_wall_s = t.elapsed().as_secs_f64();
     let mst_trace = tracer.snapshot();
     tracer.reset();
@@ -63,6 +62,7 @@ pub fn run_pipeline(points: &PointSet, min_pts: usize) -> PipelineRun {
     PipelineRun {
         n,
         mst_wall_s,
+        emst_timings: result.timings,
         pandora_wall: stats.timings,
         ufmt_wall: (uf_sort_s, uf_pass_s),
         mst_trace,

@@ -7,12 +7,28 @@
 //! exactly `available_parallelism` lanes. Work distribution *within* a region
 //! is done by the parallel primitives in `crate::par` via shared atomic
 //! cursors, so the pool itself stays tiny and allocation-free per call.
+//!
+//! # Panic safety
+//!
+//! A panic inside a worker's share of a job is caught on that worker: a
+//! drop guard poisons and counts down the region's latch first (so the
+//! caller never deadlocks and `broadcast` re-raises the panic once all
+//! lanes have finished), then the worker returns to its queue — the thread
+//! survives and the pool keeps its full lane count. Should a worker thread
+//! ever die anyway (e.g. a panic payload whose `Drop` panics), the next
+//! `broadcast` detects it and **respawns** that lane before sending work.
+//! The worker may not simply let panics unwind its thread: a concurrent
+//! `broadcast` could already have queued a job on the dying worker's
+//! channel, and that job's latch would never be counted. Catching keeps
+//! every queued job owned by a live consumer; a panicking job degrades one
+//! region, not the process (north-star requirement for service use).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
 
 use crate::latch::Latch;
 
@@ -23,10 +39,37 @@ struct Job {
     latch: Arc<Latch>,
 }
 
+/// One background worker: its job channel and thread handle.
+struct Worker {
+    tx: Sender<Job>,
+    handle: JoinHandle<()>,
+}
+
+fn spawn_worker(worker_idx: usize) -> Worker {
+    let (tx, rx) = bounded::<Job>(1);
+    let handle = std::thread::Builder::new()
+        .name(format!("pandora-worker-{worker_idx}"))
+        .spawn(move || {
+            for job in rx.iter() {
+                let result = catch_unwind(AssertUnwindSafe(|| (job.func)(worker_idx)));
+                if result.is_err() {
+                    job.latch.poison();
+                }
+                // Count down strictly after the poison so the waiter
+                // observes it; the worker then loops for the next job.
+                job.latch.count_down();
+            }
+        })
+        .expect("failed to spawn pool worker");
+    Worker { tx, handle }
+}
+
 /// A fixed-size fork–join worker pool.
 pub struct ThreadPool {
-    senders: Vec<Sender<Job>>,
-    handles: Vec<JoinHandle<()>>,
+    n_workers: usize,
+    /// Locked only for the send phase of a broadcast (and respawns); the
+    /// caller's own work and the latch wait happen outside the lock.
+    workers: Mutex<Vec<Worker>>,
 }
 
 impl ThreadPool {
@@ -34,27 +77,10 @@ impl ThreadPool {
     /// calling thread), i.e. `lanes - 1` background workers.
     pub fn new(lanes: usize) -> Self {
         let n_workers = lanes.max(1) - 1;
-        let mut senders = Vec::with_capacity(n_workers);
-        let mut handles = Vec::with_capacity(n_workers);
-        for worker_idx in 0..n_workers {
-            let (tx, rx) = bounded::<Job>(1);
-            senders.push(tx);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("pandora-worker-{worker_idx}"))
-                    .spawn(move || {
-                        for job in rx.iter() {
-                            let result = catch_unwind(AssertUnwindSafe(|| (job.func)(worker_idx)));
-                            if result.is_err() {
-                                job.latch.poison();
-                            }
-                            job.latch.count_down();
-                        }
-                    })
-                    .expect("failed to spawn pool worker"),
-            );
+        Self {
+            n_workers,
+            workers: Mutex::new((0..n_workers).map(spawn_worker).collect()),
         }
-        Self { senders, handles }
     }
 
     /// Creates a pool sized to `std::thread::available_parallelism`.
@@ -67,36 +93,58 @@ impl ThreadPool {
 
     /// The number of execution lanes (workers + the calling thread).
     pub fn lanes(&self) -> usize {
-        self.senders.len() + 1
+        self.n_workers + 1
     }
 
     /// Runs `f(lane_index)` once on every lane (workers and the caller),
     /// returning when all lanes have finished.
     ///
+    /// Workers that died in an earlier panicking region are respawned
+    /// before the job is sent, so every broadcast runs on the full lane
+    /// count.
+    ///
     /// # Panics
     ///
-    /// Re-raises a panic on the calling thread if any worker panicked.
+    /// Re-raises a panic on the calling thread if any lane panicked.
     pub fn broadcast<F: Fn(usize) + Sync>(&self, f: &F) {
-        let n_workers = self.senders.len();
-        if n_workers == 0 {
+        if self.n_workers == 0 {
             f(0);
             return;
         }
-        let latch = Arc::new(Latch::new(n_workers));
+        let latch = Arc::new(Latch::new(self.n_workers));
         let erased: &(dyn Fn(usize) + Sync) = f;
         // SAFETY: the job borrows `f` only until `latch.wait()` returns below,
         // and `broadcast` does not return before that, so the reference never
-        // outlives the closure. The latch is counted down even on panic.
+        // outlives the closure. The latch is counted down even on panic (the
+        // worker-side JobGuard runs during unwinds).
         let erased: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(erased) };
-        for tx in &self.senders {
-            tx.send(Job {
-                func: erased,
-                latch: Arc::clone(&latch),
-            })
-            .expect("pool worker exited prematurely");
+        {
+            let mut workers = self.workers.lock();
+            for (idx, worker) in workers.iter_mut().enumerate() {
+                // A worker that panicked in a previous region is gone; give
+                // its lane a fresh thread before handing out the job.
+                if worker.handle.is_finished() {
+                    *worker = spawn_worker(idx);
+                }
+                let job = Job {
+                    func: erased,
+                    latch: Arc::clone(&latch),
+                };
+                if let Err(failed) = worker.tx.send(job) {
+                    // The worker died between the liveness check and the
+                    // send (it can only exit by panicking mid-job, and jobs
+                    // are not in flight here — but stay defensive).
+                    *worker = spawn_worker(idx);
+                    worker
+                        .tx
+                        .send(failed.0)
+                        .expect("freshly spawned pool worker rejected its job");
+                }
+            }
         }
         // The caller participates as the last lane.
-        let caller_result = catch_unwind(AssertUnwindSafe(|| f(n_workers)));
+        let caller_result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(self.n_workers)));
         let poisoned = latch.wait();
         if let Err(payload) = caller_result {
             std::panic::resume_unwind(payload);
@@ -109,8 +157,10 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        self.senders.clear(); // closes channels; workers exit their loops
-        for handle in self.handles.drain(..) {
+        let workers = std::mem::take(&mut *self.workers.lock());
+        // Dropping the senders closes the channels; workers exit their loops.
+        let handles: Vec<JoinHandle<()>> = workers.into_iter().map(|w| w.handle).collect();
+        for handle in handles {
             let _ = handle.join();
         }
     }
@@ -185,5 +235,62 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    #[test]
+    fn pool_keeps_full_lane_count_across_worker_panics() {
+        // Regression for the ROADMAP liveness item: broadcast across a
+        // panicking job, then broadcast again — the second region must run
+        // on ALL lanes (the dead worker is respawned), not silently fewer,
+        // and must not deadlock.
+        let pool = ThreadPool::new(4);
+        for round in 0..3 {
+            let panicking = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.broadcast(&|lane| {
+                    if lane < 2 {
+                        panic!("boom in lane {lane} round {round}");
+                    }
+                });
+            }));
+            assert!(panicking.is_err(), "worker panic must propagate");
+
+            let hits = AtomicUsize::new(0);
+            let lanes_seen = [
+                AtomicUsize::new(0),
+                AtomicUsize::new(0),
+                AtomicUsize::new(0),
+                AtomicUsize::new(0),
+            ];
+            pool.broadcast(&|lane| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                lanes_seen[lane].fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 4, "round {round}");
+            for (lane, seen) in lanes_seen.iter().enumerate() {
+                assert_eq!(
+                    seen.load(Ordering::Relaxed),
+                    1,
+                    "lane {lane} missing in round {round}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn caller_panic_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(3);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.broadcast(&|lane| {
+                if lane == pool.lanes() - 1 {
+                    panic!("caller lane boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        let hits = AtomicUsize::new(0);
+        pool.broadcast(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
     }
 }

@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use pandora_core::{pandora, Dendrogram, PandoraStats, SortedMst};
 use pandora_exec::ExecCtx;
-use pandora_mst::{boruvka_mst, core_distances2, KdTree, MutualReachability, PointSet};
+use pandora_mst::{emst, EmstParams, PointSet};
 
 use crate::condensed::{condense, CondensedTree};
 use crate::stability::{cluster_stabilities, extract_labels, select_clusters};
@@ -142,20 +142,13 @@ impl Hdbscan {
         let ctx = &self.ctx;
         let mut timings = StageTimings::default();
 
-        ctx.set_phase("mst");
-        let t = Instant::now();
-        let mut tree = KdTree::build(ctx, points);
-        timings.tree_build_s = t.elapsed().as_secs_f64();
-
-        let t = Instant::now();
-        let core2 = core_distances2(ctx, points, &tree, self.params.min_pts);
-        tree.attach_core2(&core2);
-        timings.core_s = t.elapsed().as_secs_f64();
-
-        let t = Instant::now();
-        let metric = MutualReachability { core2: &core2 };
-        let edges = boruvka_mst(ctx, points, &tree, &metric);
-        timings.mst_s = t.elapsed().as_secs_f64();
+        // EMST stage: the orchestrator sets the emst_* trace phases and
+        // times each sub-stage.
+        let result = emst(ctx, points, &EmstParams::with_min_pts(self.params.min_pts));
+        timings.tree_build_s = result.timings.tree_build_s;
+        timings.core_s = result.timings.core_s;
+        timings.mst_s = result.timings.boruvka_s;
+        let (core2, edges) = (result.core2, result.edges);
 
         let t = Instant::now();
         ctx.set_phase("sort");

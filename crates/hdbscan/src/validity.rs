@@ -15,7 +15,7 @@
 //! common simplification in practice.
 
 use pandora_exec::ExecCtx;
-use pandora_mst::{boruvka_mst, core_distances2, KdTree, Metric, MutualReachability, PointSet};
+use pandora_mst::{core_distances2, emst_with_core2, KdTree, Metric, MutualReachability, PointSet};
 
 /// DBCV score of a flat clustering (−1 = worst, 1 = best).
 ///
@@ -54,10 +54,7 @@ pub fn dbcv(ctx: &ExecCtx, points: &PointSet, labels: &[i32], min_pts: usize) ->
         }
         let sub = points.select(m);
         let sub_core2: Vec<f32> = m.iter().map(|&i| core2[i as usize]).collect();
-        let mut sub_tree = KdTree::build(ctx, &sub);
-        sub_tree.attach_core2(&sub_core2);
-        let sub_metric = MutualReachability { core2: &sub_core2 };
-        let mst = boruvka_mst(ctx, &sub, &sub_tree, &sub_metric);
+        let mst = emst_with_core2(ctx, &sub, &sub_core2);
         sparseness[c] = mst.iter().map(|e| e.w as f64).fold(0.0f64, f64::max);
     }
 

@@ -10,11 +10,16 @@
 //! Works for any [`Metric`]; with [`crate::metric::MutualReachability`] it produces exactly
 //! the MST HDBSCAN\* needs. Component purity of kd-subtrees prunes
 //! intra-component traversal, the standard trick that keeps Borůvka rounds
-//! near-linear.
+//! near-linear. Two further cuSLINK-style optimizations keep the rounds
+//! allocation-free and tightly bounded: the purity / candidate / root
+//! buffers are reused across rounds, and each query is **warm-started**
+//! with the previous round's winner (nearest-foreign distances only grow
+//! as components merge, so a still-foreign previous winner is a valid
+//! upper bound that prunes most of the traversal immediately).
 
 use std::sync::atomic::Ordering;
 
-use pandora_exec::atomic::{as_atomic_u64, f32_to_ordered_u32};
+use pandora_exec::atomic::{as_atomic_u64, f32_to_ordered_u32, ordered_u32_to_f32};
 use pandora_exec::dsu::AtomicDsu;
 use pandora_exec::trace::KernelKind;
 use pandora_exec::{ExecCtx, UnsafeSlice, DEFAULT_GRAIN};
@@ -38,6 +43,12 @@ fn pack_candidate(d2: f32, p: u32) -> u64 {
 /// via [`KdTree::attach_core2`] when `metric` is mutual reachability).
 /// Returns the `n-1` edges with weights = `sqrt` of the metric's squared
 /// distance.
+///
+/// # Panics
+///
+/// Panics if a round adds no edge, which cannot happen for finite metric
+/// distances ([`PointSet::new`] rejects non-finite coordinates) — the check
+/// is unconditional so corrupt distances fail loudly instead of spinning.
 pub fn boruvka_mst<M: Metric>(
     ctx: &ExecCtx,
     points: &PointSet,
@@ -52,13 +63,18 @@ pub fn boruvka_mst<M: Metric>(
     let mut comp: Vec<u32> = (0..n as u32).collect();
     let mut n_components = n;
     let mut edges: Vec<Edge> = Vec::with_capacity(n - 1);
+    // Round-persistent buffers (allocated once, reused every round).
+    let mut purity: Vec<u32> = Vec::new();
+    let mut roots: Vec<u32> = Vec::with_capacity(n);
     // Per-component best outgoing candidate, indexed by component root.
     let mut candidate = vec![u64::MAX; n];
-    // Nearest foreign point per point, filled each round.
+    // Nearest foreign point per point; carried across rounds as the next
+    // round's warm-start seed.
     let mut best_of = vec![(f32::INFINITY, u32::MAX); n];
+    let mut first_round = true;
 
     while n_components > 1 {
-        let purity = tree.component_purity(&comp);
+        tree.component_purity_into(&comp, &mut purity);
 
         // Reset candidates (only roots are read, clearing all is simpler).
         {
@@ -78,25 +94,50 @@ pub fn boruvka_mst<M: Metric>(
             let best_view = UnsafeSlice::new(&mut best_of);
             let comp_ref = &comp;
             let purity_ref = &purity;
+            let seed_from_last = !first_round;
             ctx.for_each_chunk_traced(n, 256, KernelKind::TreeTraverse, (n as u64) * 64, |range| {
                 for q in range {
-                    let found =
-                        tree.nearest_foreign(points, metric, q as u32, comp_ref, purity_ref);
+                    // Warm start: the previous round's winner is a valid
+                    // candidate iff its component is still foreign.
+                    // SAFETY: slot q is only accessed by this task.
+                    let prev = unsafe { best_view.read(q) };
+                    let mut seed = (seed_from_last
+                        && prev.1 != u32::MAX
+                        && comp_ref[prev.1 as usize] != comp_ref[q])
+                        .then_some(prev);
+                    // Component bound: only the minimum outgoing edge per
+                    // component survives, so the component's current best
+                    // candidate is a valid bound-only seed — members that
+                    // cannot beat it prune their whole search and stay
+                    // silent. The surviving (distance, proposer) minimum is
+                    // unchanged: ties at the bound are still reported, and
+                    // anything above it could never win the atomic min.
+                    let root = comp_ref[q] as usize;
+                    let packed = cand_view[root].load(Ordering::Relaxed);
+                    if packed != u64::MAX {
+                        let bound = ordered_u32_to_f32((packed >> 32) as u32);
+                        if seed.is_none_or(|(d2, _)| bound < d2) {
+                            seed = Some((bound, u32::MAX));
+                        }
+                    }
+                    let found = tree
+                        .nearest_foreign_from(points, metric, q as u32, comp_ref, purity_ref, seed);
                     if let Some((d2, p)) = found {
                         // SAFETY: slot q written only by this task.
                         unsafe { best_view.write(q, (d2, p)) };
-                        let root = comp_ref[q] as usize;
                         cand_view[root].fetch_min(pack_candidate(d2, q as u32), Ordering::Relaxed);
                     }
                 }
             });
         }
+        first_round = false;
 
         // Collect winning edges; deduplicate reciprocal pairs with a
         // sequential pass over components (O(#components)).
         let mut added = 0usize;
         {
-            let roots: Vec<u32> = (0..n as u32).filter(|&v| comp[v as usize] == v).collect();
+            roots.clear();
+            roots.extend((0..n as u32).filter(|&v| comp[v as usize] == v));
             ctx.record(
                 KernelKind::DsuUnion,
                 roots.len() as u64,
@@ -121,7 +162,15 @@ pub fn boruvka_mst<M: Metric>(
                 }
             }
         }
-        debug_assert!(added > 0, "Borůvka made no progress");
+        // Unconditional liveness check: every round must merge something.
+        // With finite coordinates this always holds; a violation means the
+        // candidate packing saw NaN/∞ distances, and spinning forever in
+        // release builds would be far worse than this panic.
+        assert!(
+            added > 0,
+            "boruvka_mst made no progress with {n_components} components left; \
+             the input metric produced non-finite or inconsistent distances"
+        );
         n_components -= added;
 
         // Refresh component labels.

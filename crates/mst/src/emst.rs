@@ -1,0 +1,237 @@
+//! End-to-end EMST orchestration: kd-tree build → core distances → Borůvka.
+//!
+//! The paper treats EMST construction (its ArborX stage, \[39\]) as a
+//! single pre-processing step ahead of the PANDORA dendrogram; this module
+//! is that step as one call. It owns the phase sequencing the individual
+//! kernels (`kdtree`, `knn`, `boruvka`) should not know about:
+//!
+//! 1. build the kd-tree over the points (traced phase `emst_build`);
+//! 2. compute `minPts` core distances and attach their per-subtree minima
+//!    to the tree for mutual-reachability pruning (phase `emst_core`);
+//! 3. run Borůvka under the mutual-reachability metric — or plain
+//!    Euclidean when `min_pts <= 1`, where both metrics coincide
+//!    (phase `emst_boruvka`).
+//!
+//! Every stage is wall-clock timed ([`EmstTimings`]) and kernel-traced via
+//! [`pandora_exec::trace`], so the bench harness and the HDBSCAN\* pipeline
+//! report the same decomposition the paper's Figures 1 and 12 use.
+
+use std::time::Instant;
+
+use pandora_core::Edge;
+use pandora_exec::ExecCtx;
+
+use crate::boruvka::boruvka_mst;
+use crate::kdtree::{KdTree, DEFAULT_LEAF_SIZE};
+use crate::knn::core_distances2;
+use crate::metric::{Euclidean, MutualReachability};
+use crate::point::PointSet;
+
+/// Parameters of an EMST run.
+#[derive(Debug, Clone, Copy)]
+pub struct EmstParams {
+    /// HDBSCAN\* `minPts` (counting the point itself). `min_pts <= 1`
+    /// yields the plain Euclidean MST. Must not exceed the point count;
+    /// see [`core_distances2`].
+    pub min_pts: usize,
+    /// kd-tree leaf capacity.
+    pub leaf_size: usize,
+}
+
+impl Default for EmstParams {
+    fn default() -> Self {
+        Self {
+            min_pts: 2,
+            leaf_size: DEFAULT_LEAF_SIZE,
+        }
+    }
+}
+
+impl EmstParams {
+    /// Parameters with the given `min_pts` and the default leaf size.
+    pub fn with_min_pts(min_pts: usize) -> Self {
+        Self {
+            min_pts,
+            ..Self::default()
+        }
+    }
+}
+
+/// Per-stage wall-clock seconds of an EMST run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EmstTimings {
+    /// kd-tree construction.
+    pub tree_build_s: f64,
+    /// Core-distance k-NN queries (incl. attaching subtree minima).
+    pub core_s: f64,
+    /// Borůvka rounds.
+    pub boruvka_s: f64,
+}
+
+impl EmstTimings {
+    /// Total EMST seconds.
+    pub fn total(&self) -> f64 {
+        self.tree_build_s + self.core_s + self.boruvka_s
+    }
+}
+
+/// The result of an EMST run.
+#[derive(Debug, Clone)]
+pub struct Emst {
+    /// The `n − 1` MST edges (weights are metric distances, not squared).
+    pub edges: Vec<Edge>,
+    /// Squared core distance per point (all zero when `min_pts <= 1`).
+    pub core2: Vec<f32>,
+    /// Stage timings.
+    pub timings: EmstTimings,
+}
+
+/// Runs the full EMST pipeline on `points`.
+///
+/// Returns the mutual-reachability MST for `params.min_pts >= 2`, the
+/// Euclidean MST otherwise. Non-finite coordinates are rejected by
+/// [`PointSet::new`], so every distance seen here is finite and the
+/// Borůvka liveness check can be unconditional.
+pub fn emst(ctx: &ExecCtx, points: &PointSet, params: &EmstParams) -> Emst {
+    let n = points.len();
+
+    ctx.set_phase("emst_build");
+    let t = Instant::now();
+    let mut tree = KdTree::build_with_leaf_size(ctx, points, params.leaf_size);
+    let tree_build_s = t.elapsed().as_secs_f64();
+
+    let mut timings = EmstTimings {
+        tree_build_s,
+        ..Default::default()
+    };
+
+    if params.min_pts <= 1 {
+        // Plain single linkage: zero core distances, Euclidean metric.
+        ctx.set_phase("emst_boruvka");
+        let t = Instant::now();
+        let edges = boruvka_mst(ctx, points, &tree, &Euclidean);
+        timings.boruvka_s = t.elapsed().as_secs_f64();
+        return Emst {
+            edges,
+            core2: vec![0.0; n],
+            timings,
+        };
+    }
+
+    ctx.set_phase("emst_core");
+    let t = Instant::now();
+    let core2 = core_distances2(ctx, points, &tree, params.min_pts);
+    tree.attach_core2(&core2);
+    timings.core_s = t.elapsed().as_secs_f64();
+
+    ctx.set_phase("emst_boruvka");
+    let t = Instant::now();
+    let metric = MutualReachability { core2: &core2 };
+    let edges = boruvka_mst(ctx, points, &tree, &metric);
+    timings.boruvka_s = t.elapsed().as_secs_f64();
+
+    Emst {
+        edges,
+        core2,
+        timings,
+    }
+}
+
+/// Mutual-reachability MST with **caller-provided** squared core distances
+/// (e.g. subset MSTs evaluated under a global metric, as DBCV needs).
+///
+/// Builds the tree, attaches the subtree core minima for pruning, and runs
+/// Borůvka; `core2.len()` must equal `points.len()`.
+pub fn emst_with_core2(ctx: &ExecCtx, points: &PointSet, core2: &[f32]) -> Vec<Edge> {
+    assert_eq!(core2.len(), points.len(), "one core distance per point");
+    let mut tree = KdTree::build(ctx, points);
+    tree.attach_core2(core2);
+    let metric = MutualReachability { core2 };
+    boruvka_mst(ctx, points, &tree, &metric)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kruskal::total_weight;
+    use crate::metric::Metric;
+    use crate::prim::prim_mst;
+    use rand::prelude::*;
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> PointSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PointSet::new(
+            (0..n * dim).map(|_| rng.gen_range(-5.0..5.0f32)).collect(),
+            dim,
+        )
+    }
+
+    #[test]
+    fn emst_matches_prim_for_default_params() {
+        let ctx = ExecCtx::serial();
+        let points = random_points(300, 3, 7);
+        let result = emst(&ctx, &points, &EmstParams::default());
+        assert_eq!(result.edges.len(), 299);
+        assert_eq!(result.core2.len(), 300);
+        let metric = MutualReachability {
+            core2: &result.core2,
+        };
+        let expect = prim_mst(&points, &metric);
+        let (wa, wb) = (total_weight(&result.edges), total_weight(&expect));
+        assert!((wa - wb).abs() < 1e-3 * wb.max(1.0), "{wa} vs {wb}");
+    }
+
+    #[test]
+    fn min_pts_one_is_euclidean() {
+        let ctx = ExecCtx::serial();
+        let points = random_points(200, 2, 3);
+        let result = emst(&ctx, &points, &EmstParams::with_min_pts(1));
+        assert!(result.core2.iter().all(|&c| c == 0.0));
+        let expect = prim_mst(&points, &Euclidean);
+        let (wa, wb) = (total_weight(&result.edges), total_weight(&expect));
+        assert!((wa - wb).abs() < 1e-3 * wb.max(1.0), "{wa} vs {wb}");
+    }
+
+    #[test]
+    fn timings_and_phases_are_recorded() {
+        let (ctx, tracer) = ExecCtx::serial().with_tracing();
+        let points = random_points(400, 2, 5);
+        let result = emst(&ctx, &points, &EmstParams::default());
+        assert!(result.timings.tree_build_s > 0.0);
+        assert!(result.timings.boruvka_s > 0.0);
+        assert!(result.timings.total() >= result.timings.core_s);
+        let phases = tracer.snapshot().phases();
+        for phase in ["emst_build", "emst_core", "emst_boruvka"] {
+            assert!(phases.contains(&phase), "missing phase {phase}");
+        }
+    }
+
+    #[test]
+    fn with_custom_core2_respects_metric() {
+        let ctx = ExecCtx::serial();
+        let points = random_points(120, 2, 9);
+        // Inflated core distances dominate every pairwise distance.
+        let core2 = vec![1.0e6f32; 120];
+        let edges = emst_with_core2(&ctx, &points, &core2);
+        assert_eq!(edges.len(), 119);
+        let metric = MutualReachability { core2: &core2 };
+        assert!(metric.dist2(&points, 0, 1) == 1.0e6);
+        assert!(edges.iter().all(|e| (e.w - 1000.0).abs() < 1e-3));
+    }
+
+    #[test]
+    fn tiny_and_empty_inputs() {
+        let ctx = ExecCtx::serial();
+        // Degenerate sets must stay trivially well-defined even with the
+        // default min_pts = 2 (there is no neighbour, but also nothing to
+        // cluster).
+        for params in [EmstParams::with_min_pts(1), EmstParams::default()] {
+            let empty = PointSet::new(vec![], 2);
+            assert!(emst(&ctx, &empty, &params).edges.is_empty());
+            let one = PointSet::new(vec![0.0, 0.0], 2);
+            let result = emst(&ctx, &one, &params);
+            assert!(result.edges.is_empty());
+            assert_eq!(result.core2, vec![0.0]);
+        }
+    }
+}

@@ -10,6 +10,21 @@
 //! `for_each`. Subtree point ranges stay contiguous in the permutation
 //! array, so per-node metadata (bounding boxes, min core distance,
 //! component purity) can be maintained with leaf-up sweeps.
+//!
+//! # Hot-path design
+//!
+//! Node metadata is stored **structure-of-arrays** (`left` / `start` /
+//! `end` / `split_dim` / `split_val` / flat bounding boxes) so traversal
+//! touches only the arrays it needs, and the split dimension and median
+//! value chosen at build time are cached per node rather than re-derived.
+//! Queries are **allocation-free in the steady state**: traversal uses a
+//! fixed-capacity stack (median splits bound the depth by ⌈log₂ n⌉ ≤ 32
+//! for `u32` indices), [`KdTree::knn_into`] writes into a caller-owned
+//! reusable [`KnnHeap`], and [`KdTree::nearest_foreign`] needs no scratch
+//! at all. Borůvka warm-starts searches by seeding the best-so-far bound
+//! from the previous round ([`KdTree::nearest_foreign_from`]) and prunes
+//! subtrees whose mutual-reachability bound (box distance, query core
+//! distance, subtree minimum core distance) cannot beat it.
 
 use pandora_exec::trace::KernelKind;
 use pandora_exec::{ExecCtx, UnsafeSlice};
@@ -22,29 +37,26 @@ const INVALID: u32 = u32::MAX;
 /// Default leaf capacity.
 pub const DEFAULT_LEAF_SIZE: usize = 32;
 
-#[derive(Debug, Clone, Copy)]
-struct Node {
-    /// Left child id, `INVALID` for leaves (right is then also `INVALID`).
-    left: u32,
-    /// Right child id.
-    right: u32,
-    /// Subtree range start in `perm`.
-    start: u32,
-    /// Subtree range end in `perm`.
-    end: u32,
-}
+/// Fixed traversal stack capacity. Median splits halve subtree sizes, so
+/// the tree depth is at most ⌈log₂ n⌉ ≤ 32 for `u32`-indexed points, and a
+/// traversal pushes at most one (far-child) entry per level; 64 leaves a
+/// 2× margin. Enforced at build time.
+const MAX_STACK: usize = 64;
 
-impl Node {
-    #[inline(always)]
-    fn is_leaf(&self) -> bool {
-        self.left == INVALID
-    }
-}
-
-/// A static kd-tree.
+/// A static kd-tree with structure-of-arrays node metadata.
 pub struct KdTree {
     dim: usize,
-    nodes: Vec<Node>,
+    /// Left child id per node; `INVALID` marks a leaf. The right child is
+    /// always `left + 1` (children are allocated in pairs).
+    left: Vec<u32>,
+    /// Subtree range start in `perm`, per node.
+    start: Vec<u32>,
+    /// Subtree range end in `perm`, per node.
+    end: Vec<u32>,
+    /// Split dimension chosen at build time (widest box side); 0 for leaves.
+    split_dim: Vec<u32>,
+    /// Median coordinate along `split_dim` at build time; 0 for leaves.
+    split_val: Vec<f32>,
     /// Per-node bounding boxes, flat `[node][dim]`.
     bbox_min: Vec<f32>,
     bbox_max: Vec<f32>,
@@ -52,6 +64,8 @@ pub struct KdTree {
     perm: Vec<u32>,
     /// Per-node minimum squared core distance (after [`KdTree::attach_core2`]).
     min_core2: Option<Vec<f32>>,
+    /// Tree depth (root = 0 counts as depth 1 when any node exists).
+    depth: usize,
 }
 
 impl KdTree {
@@ -67,94 +81,90 @@ impl KdTree {
         let leaf_size = leaf_size.max(1);
         ctx.record(KernelKind::TreeBuild, n as u64, (n * dim * 4) as u64);
 
-        let mut perm: Vec<u32> = (0..n as u32).collect();
-        let mut nodes = vec![Node {
-            left: INVALID,
-            right: INVALID,
-            start: 0,
-            end: n as u32,
-        }];
-        let mut bbox_min = vec![f32::INFINITY; dim];
-        let mut bbox_max = vec![f32::NEG_INFINITY; dim];
+        let mut tree = Self {
+            dim,
+            left: vec![INVALID],
+            start: vec![0],
+            end: vec![n as u32],
+            split_dim: vec![0],
+            split_val: vec![0.0],
+            bbox_min: vec![f32::INFINITY; dim],
+            bbox_max: vec![f32::NEG_INFINITY; dim],
+            perm: (0..n as u32).collect(),
+            min_core2: None,
+            depth: usize::from(n > 0),
+        };
         if n == 0 {
-            return Self {
-                dim,
-                nodes,
-                bbox_min,
-                bbox_max,
-                perm,
-                min_core2: None,
-            };
+            return tree;
         }
 
         let mut frontier: Vec<u32> = vec![0];
+        let mut levels = 0usize;
         while !frontier.is_empty() {
+            levels += 1;
             // Sequential: allocate children for nodes that will split.
             let mut splitting: Vec<u32> = Vec::new();
             let mut next_frontier: Vec<u32> = Vec::new();
             for &nid in &frontier {
-                let node = nodes[nid as usize];
-                let len = (node.end - node.start) as usize;
+                let (node_start, node_end) = (tree.start[nid as usize], tree.end[nid as usize]);
+                let len = (node_end - node_start) as usize;
                 if len > leaf_size {
-                    let mid = node.start + (len as u32) / 2;
-                    let left = nodes.len() as u32;
-                    nodes[nid as usize].left = left;
-                    nodes[nid as usize].right = left + 1;
-                    nodes.push(Node {
-                        left: INVALID,
-                        right: INVALID,
-                        start: node.start,
-                        end: mid,
-                    });
-                    nodes.push(Node {
-                        left: INVALID,
-                        right: INVALID,
-                        start: mid,
-                        end: node.end,
-                    });
+                    let mid = node_start + (len as u32) / 2;
+                    let left = tree.left.len() as u32;
+                    tree.left[nid as usize] = left;
+                    tree.push_node(node_start, mid);
+                    tree.push_node(mid, node_end);
                     splitting.push(nid);
                     next_frontier.push(left);
                     next_frontier.push(left + 1);
                 }
             }
-            // Parallel: bounding boxes for the whole frontier.
-            bbox_min.resize(nodes.len() * dim, f32::INFINITY);
-            bbox_max.resize(nodes.len() * dim, f32::NEG_INFINITY);
+            // Parallel: bounding boxes for the whole frontier (scratch is
+            // reused across the nodes of a chunk).
+            let n_nodes = tree.left.len();
+            tree.bbox_min.resize(n_nodes * dim, f32::INFINITY);
+            tree.bbox_max.resize(n_nodes * dim, f32::NEG_INFINITY);
             {
-                let min_view = UnsafeSlice::new(&mut bbox_min);
-                let max_view = UnsafeSlice::new(&mut bbox_max);
-                let (nodes_ref, perm_ref, frontier_ref) = (&nodes, &perm, &frontier);
-                ctx.for_each(frontier.len(), 1, |fi| {
-                    let nid = frontier_ref[fi] as usize;
-                    let node = nodes_ref[nid];
-                    let mut lo = vec![f32::INFINITY; dim];
-                    let mut hi = vec![f32::NEG_INFINITY; dim];
-                    for &p in &perm_ref[node.start as usize..node.end as usize] {
-                        let pt = points.point(p as usize);
-                        for d in 0..dim {
-                            lo[d] = lo[d].min(pt[d]);
-                            hi[d] = hi[d].max(pt[d]);
+                let min_view = UnsafeSlice::new(&mut tree.bbox_min);
+                let max_view = UnsafeSlice::new(&mut tree.bbox_max);
+                let (start_ref, end_ref) = (&tree.start, &tree.end);
+                let (perm_ref, frontier_ref) = (&tree.perm, &frontier);
+                ctx.for_each_chunk(frontier.len(), 1, |range| {
+                    let mut lo = vec![0.0f32; dim];
+                    let mut hi = vec![0.0f32; dim];
+                    for fi in range {
+                        let nid = frontier_ref[fi] as usize;
+                        lo.fill(f32::INFINITY);
+                        hi.fill(f32::NEG_INFINITY);
+                        for &p in &perm_ref[start_ref[nid] as usize..end_ref[nid] as usize] {
+                            let pt = points.point(p as usize);
+                            for d in 0..dim {
+                                lo[d] = lo[d].min(pt[d]);
+                                hi[d] = hi[d].max(pt[d]);
+                            }
                         }
-                    }
-                    for d in 0..dim {
-                        // SAFETY: each node's box slots are written by the
-                        // single task owning that frontier entry.
-                        unsafe {
-                            min_view.write(nid * dim + d, lo[d]);
-                            max_view.write(nid * dim + d, hi[d]);
+                        for d in 0..dim {
+                            // SAFETY: each node's box slots are written by
+                            // the single task owning that frontier entry.
+                            unsafe {
+                                min_view.write(nid * dim + d, lo[d]);
+                                max_view.write(nid * dim + d, hi[d]);
+                            }
                         }
                     }
                 });
             }
             // Parallel: partition splitting nodes around the median of the
-            // widest box dimension.
+            // widest box dimension, caching the split for traversal.
             {
-                let perm_view = UnsafeSlice::new(&mut perm);
-                let (nodes_ref, splitting_ref) = (&nodes, &splitting);
-                let (bmin, bmax) = (&bbox_min, &bbox_max);
+                let perm_view = UnsafeSlice::new(&mut tree.perm);
+                let sdim_view = UnsafeSlice::new(&mut tree.split_dim);
+                let sval_view = UnsafeSlice::new(&mut tree.split_val);
+                let (start_ref, end_ref, splitting_ref) = (&tree.start, &tree.end, &splitting);
+                let (bmin, bmax) = (&tree.bbox_min, &tree.bbox_max);
                 ctx.for_each(splitting.len(), 1, |si| {
                     let nid = splitting_ref[si] as usize;
-                    let node = nodes_ref[nid];
+                    let (node_start, node_end) = (start_ref[nid], end_ref[nid]);
                     let mut split_dim = 0;
                     let mut widest = f32::NEG_INFINITY;
                     for d in 0..dim {
@@ -164,29 +174,41 @@ impl KdTree {
                             split_dim = d;
                         }
                     }
-                    let mid = (node.end - node.start) as usize / 2;
+                    let mid = (node_end - node_start) as usize / 2;
                     // SAFETY: subtree ranges of distinct frontier nodes are
-                    // disjoint.
+                    // disjoint, and each node's split slots are owned by the
+                    // task partitioning that node.
                     let range =
-                        unsafe { perm_view.slice_mut(node.start as usize..node.end as usize) };
+                        unsafe { perm_view.slice_mut(node_start as usize..node_end as usize) };
                     range.select_nth_unstable_by(mid, |&a, &b| {
                         let ca = points.point(a as usize)[split_dim];
                         let cb = points.point(b as usize)[split_dim];
                         ca.total_cmp(&cb).then(a.cmp(&b))
                     });
+                    let median = points.point(range[mid] as usize)[split_dim];
+                    unsafe {
+                        sdim_view.write(nid, split_dim as u32);
+                        sval_view.write(nid, median);
+                    }
                 });
             }
             frontier = next_frontier;
         }
+        tree.depth = levels;
+        assert!(
+            levels + 1 < MAX_STACK,
+            "kd-tree depth {levels} exceeds the fixed traversal stack"
+        );
+        tree
+    }
 
-        Self {
-            dim,
-            nodes,
-            bbox_min,
-            bbox_max,
-            perm,
-            min_core2: None,
-        }
+    #[inline]
+    fn push_node(&mut self, start: u32, end: u32) {
+        self.left.push(INVALID);
+        self.start.push(start);
+        self.end.push(end);
+        self.split_dim.push(0);
+        self.split_val.push(0.0);
     }
 
     /// Number of points indexed.
@@ -201,26 +223,31 @@ impl KdTree {
 
     /// Number of tree nodes.
     pub fn n_nodes(&self) -> usize {
-        self.nodes.len()
+        self.left.len()
+    }
+
+    /// Tree depth in levels (1 for a single-leaf tree).
+    pub fn depth(&self) -> usize {
+        self.depth
     }
 
     /// Attaches per-node minimum squared core distances (leaf-up sweep),
     /// enabling mutual-reachability pruning bounds.
     pub fn attach_core2(&mut self, core2: &[f32]) {
         assert_eq!(core2.len(), self.perm.len());
-        let mut min_core = vec![f32::INFINITY; self.nodes.len()];
+        let mut min_core = vec![f32::INFINITY; self.n_nodes()];
         // Children have larger ids than parents: reverse order is leaf-up.
-        for nid in (0..self.nodes.len()).rev() {
-            let node = self.nodes[nid];
-            if node.is_leaf() {
+        for nid in (0..self.n_nodes()).rev() {
+            let left = self.left[nid];
+            min_core[nid] = if left == INVALID {
                 let mut m = f32::INFINITY;
-                for &p in &self.perm[node.start as usize..node.end as usize] {
+                for &p in &self.perm[self.start[nid] as usize..self.end[nid] as usize] {
                     m = m.min(core2[p as usize]);
                 }
-                min_core[nid] = m;
+                m
             } else {
-                min_core[nid] = min_core[node.left as usize].min(min_core[node.right as usize]);
-            }
+                min_core[left as usize].min(min_core[left as usize + 1])
+            };
         }
         self.min_core2 = Some(min_core);
     }
@@ -228,12 +255,22 @@ impl KdTree {
     /// Per-node component purity: the component id shared by every point in
     /// the subtree, or `u32::MAX` if mixed. Leaf-up sweep, O(n).
     pub fn component_purity(&self, comp: &[u32]) -> Vec<u32> {
-        let mut purity = vec![INVALID; self.nodes.len()];
-        for nid in (0..self.nodes.len()).rev() {
-            let node = self.nodes[nid];
-            if node.is_leaf() {
-                let range = &self.perm[node.start as usize..node.end as usize];
-                purity[nid] = match range.first() {
+        let mut purity = Vec::new();
+        self.component_purity_into(comp, &mut purity);
+        purity
+    }
+
+    /// [`KdTree::component_purity`] into a reusable buffer (resized as
+    /// needed) — Borůvka calls this every round, so the allocation is paid
+    /// once, not per round.
+    pub fn component_purity_into(&self, comp: &[u32], purity: &mut Vec<u32>) {
+        purity.clear();
+        purity.resize(self.n_nodes(), INVALID);
+        for nid in (0..self.n_nodes()).rev() {
+            let left = self.left[nid];
+            purity[nid] = if left == INVALID {
+                let range = &self.perm[self.start[nid] as usize..self.end[nid] as usize];
+                match range.first() {
                     None => INVALID,
                     Some(&first_point) => {
                         let first = comp[first_point as usize];
@@ -243,49 +280,94 @@ impl KdTree {
                             INVALID
                         }
                     }
-                };
+                }
             } else {
-                let l = purity[node.left as usize];
-                let r = purity[node.right as usize];
-                purity[nid] = if l == r { l } else { INVALID };
-            }
+                let l = purity[left as usize];
+                let r = purity[left as usize + 1];
+                if l == r {
+                    l
+                } else {
+                    INVALID
+                }
+            };
         }
-        purity
     }
 
     /// The `k` nearest neighbours of point `q` (excluding `q` itself),
     /// returned as `(squared distance, index)` sorted ascending.
+    ///
+    /// Convenience wrapper over [`KdTree::knn_into`]; allocates the result.
+    /// Hot paths should hold a [`KnnHeap`] and call `knn_into` instead.
     pub fn knn(&self, points: &PointSet, q: u32, k: usize) -> Vec<(f32, u32)> {
-        let mut heap = BoundedMaxHeap::new(k);
-        let qp = points.point(q as usize);
-        let mut stack: Vec<(u32, f32)> = vec![(0, self.node_box_dist2(0, qp))];
-        while let Some((nid, box_d2)) = stack.pop() {
-            if box_d2 > heap.worst() {
-                continue;
-            }
-            let node = self.nodes[nid as usize];
-            if node.is_leaf() {
-                for &p in &self.perm[node.start as usize..node.end as usize] {
-                    if p == q {
-                        continue;
-                    }
-                    let d2 = points.dist2(q as usize, p as usize);
-                    heap.push(d2, p);
-                }
-            } else {
-                let dl = self.node_box_dist2(node.left as usize, qp);
-                let dr = self.node_box_dist2(node.right as usize, qp);
-                // Push farther child first so the nearer is explored next.
-                if dl <= dr {
-                    stack.push((node.right, dr));
-                    stack.push((node.left, dl));
-                } else {
-                    stack.push((node.left, dl));
-                    stack.push((node.right, dr));
-                }
-            }
+        let mut heap = KnnHeap::new(k);
+        self.knn_into(points, q, k, &mut heap);
+        heap.sorted().to_vec()
+    }
+
+    /// Fills `heap` with the `k` nearest neighbours of `q` (excluding `q`),
+    /// allocation-free once the heap has capacity `k`.
+    ///
+    /// The heap is reset first, so it can be reused across queries. Read
+    /// the result via [`KnnHeap::sorted`] (ascending) or
+    /// [`KnnHeap::max_d2`] (the k-th squared distance, e.g. core distances).
+    pub fn knn_into(&self, points: &PointSet, q: u32, k: usize, heap: &mut KnnHeap) {
+        heap.reset(k);
+        if self.perm.is_empty() || k == 0 {
+            return;
         }
-        heap.into_sorted()
+        let qp = points.point(q as usize);
+        let mut stack = [(0u32, 0.0f32); MAX_STACK];
+        let mut sp = 0usize;
+        let mut nid = 0u32;
+        let mut bound = self.node_box_dist2(0, qp);
+        loop {
+            if bound <= heap.worst() {
+                // Descend along near children, pushing far children that
+                // can still contain a closer point.
+                loop {
+                    let left = self.left[nid as usize];
+                    if left == INVALID {
+                        break;
+                    }
+                    // Cached split: pick the near side in O(1); box
+                    // distances are only computed for pruning bounds.
+                    let near_is_left =
+                        qp[self.split_dim[nid as usize] as usize] <= self.split_val[nid as usize];
+                    let (near, far) = if near_is_left {
+                        (left, left + 1)
+                    } else {
+                        (left + 1, left)
+                    };
+                    let dfar = self.node_box_dist2(far as usize, qp);
+                    let worst = heap.worst();
+                    if dfar <= worst {
+                        stack[sp] = (far, dfar);
+                        sp += 1;
+                    }
+                    let dnear = self.node_box_dist2(near as usize, qp);
+                    if dnear > worst {
+                        nid = INVALID;
+                        break;
+                    }
+                    nid = near;
+                }
+                if nid != INVALID {
+                    for &p in &self.perm
+                        [self.start[nid as usize] as usize..self.end[nid as usize] as usize]
+                    {
+                        if p == q {
+                            continue;
+                        }
+                        heap.push(points.dist2(q as usize, p as usize), p);
+                    }
+                }
+            }
+            if sp == 0 {
+                break;
+            }
+            sp -= 1;
+            (nid, bound) = stack[sp];
+        }
     }
 
     /// Nearest point to `q` in a *different component*, under `metric`.
@@ -301,12 +383,39 @@ impl KdTree {
         comp: &[u32],
         purity: &[u32],
     ) -> Option<(f32, u32)> {
-        let mut best_d2 = f32::INFINITY;
-        let mut best_p = INVALID;
+        self.nearest_foreign_from(points, metric, q, comp, purity, None)
+    }
+
+    /// [`KdTree::nearest_foreign`] warm-started with a known candidate.
+    ///
+    /// `seed` is either a valid candidate — a point in a different
+    /// component than `q` with its exact squared metric distance, typically
+    /// the previous Borůvka round's winner when the two endpoints were not
+    /// merged — or a **bound-only** seed `(d2, u32::MAX)`: an upper bound
+    /// the caller no longer needs beaten (e.g. the component's current
+    /// best outgoing edge). Seeding tightens the pruning bound from the
+    /// first node visited. With a candidate seed the result is identical
+    /// to the unseeded query; with a bound-only seed the query returns
+    /// `None` unless it finds a point at distance ≤ the bound (equal-bound
+    /// subtrees are still visited, so smaller-index ties win regardless).
+    pub fn nearest_foreign_from<M: Metric>(
+        &self,
+        points: &PointSet,
+        metric: &M,
+        q: u32,
+        comp: &[u32],
+        purity: &[u32],
+        seed: Option<(f32, u32)>,
+    ) -> Option<(f32, u32)> {
+        if self.perm.is_empty() {
+            return None;
+        }
+        let (mut best_d2, mut best_p) = seed.unwrap_or((f32::INFINITY, INVALID));
+        debug_assert!(best_p == INVALID || comp[best_p as usize] != comp[q as usize]);
         let qp = points.point(q as usize);
         let my_comp = comp[q as usize];
-        let zero_core = [];
-        let min_core2: &[f32] = self.min_core2.as_deref().unwrap_or(&zero_core);
+        let zero_core: &[f32] = &[];
+        let min_core2: &[f32] = self.min_core2.as_deref().unwrap_or(zero_core);
         let node_bound = |nid: usize| -> f32 {
             let box_d2 = self.node_box_dist2(nid, qp);
             let mc = if min_core2.is_empty() {
@@ -316,41 +425,135 @@ impl KdTree {
             };
             metric.box_bound2(points, q, box_d2, mc)
         };
-        let mut stack: Vec<(u32, f32)> = vec![(0, node_bound(0))];
-        while let Some((nid, bound)) = stack.pop() {
+        let mut stack = [(0u32, 0.0f32); MAX_STACK];
+        let mut sp = 0usize;
+        let mut nid = 0u32;
+        let mut bound = node_bound(0);
+        loop {
             // Strict comparison: an equal-bound subtree may still hold an
-            // equal-distance point with a smaller index (deterministic ties).
-            if bound > best_d2 {
-                continue;
-            }
-            if purity[nid as usize] == my_comp {
-                continue; // whole subtree is in q's component
-            }
-            let node = self.nodes[nid as usize];
-            if node.is_leaf() {
-                for &p in &self.perm[node.start as usize..node.end as usize] {
-                    if comp[p as usize] == my_comp {
-                        continue;
+            // equal-distance point with a smaller index (deterministic
+            // ties). Pure subtrees of q's own component are skipped.
+            if bound <= best_d2 && purity[nid as usize] != my_comp {
+                loop {
+                    let left = self.left[nid as usize];
+                    if left == INVALID {
+                        break;
                     }
-                    let d2 = metric.dist2(points, q, p);
-                    if d2 < best_d2 || (d2 == best_d2 && p < best_p) {
-                        best_d2 = d2;
-                        best_p = p;
+                    let near_is_left =
+                        qp[self.split_dim[nid as usize] as usize] <= self.split_val[nid as usize];
+                    let (near, far) = if near_is_left {
+                        (left, left + 1)
+                    } else {
+                        (left + 1, left)
+                    };
+                    let bfar = node_bound(far as usize);
+                    if bfar <= best_d2 && purity[far as usize] != my_comp {
+                        stack[sp] = (far, bfar);
+                        sp += 1;
+                    }
+                    let bnear = node_bound(near as usize);
+                    if bnear > best_d2 || purity[near as usize] == my_comp {
+                        nid = INVALID;
+                        break;
+                    }
+                    nid = near;
+                }
+                if nid != INVALID {
+                    for &p in &self.perm
+                        [self.start[nid as usize] as usize..self.end[nid as usize] as usize]
+                    {
+                        if comp[p as usize] == my_comp {
+                            continue;
+                        }
+                        let d2 = metric.dist2(points, q, p);
+                        if d2 < best_d2 || (d2 == best_d2 && p < best_p) {
+                            best_d2 = d2;
+                            best_p = p;
+                        }
                     }
                 }
-            } else {
-                let bl = node_bound(node.left as usize);
-                let br = node_bound(node.right as usize);
-                if bl <= br {
-                    stack.push((node.right, br));
-                    stack.push((node.left, bl));
-                } else {
-                    stack.push((node.left, bl));
-                    stack.push((node.right, br));
+            }
+            if sp == 0 {
+                break;
+            }
+            sp -= 1;
+            (nid, bound) = stack[sp];
+        }
+        (best_p != INVALID).then_some((best_d2, best_p))
+    }
+
+    /// Verifies the structural invariants of the tree: `perm` is a
+    /// permutation, subtree ranges are contiguous (children exactly
+    /// partition their parent), cached splits separate the children, and
+    /// every node's bounding box contains its points. Used by the property
+    /// tests; `Err` carries a description of the first violation.
+    pub fn check_invariants(&self, points: &PointSet) -> Result<(), String> {
+        let n = self.perm.len();
+        if points.len() != n {
+            return Err(format!("tree indexes {n} points, set has {}", points.len()));
+        }
+        let mut seen = vec![false; n];
+        for &p in &self.perm {
+            let slot = seen
+                .get_mut(p as usize)
+                .ok_or_else(|| format!("perm entry {p} out of range"))?;
+            if std::mem::replace(slot, true) {
+                return Err(format!("perm entry {p} duplicated"));
+            }
+        }
+        if self.start[0] != 0 || self.end[0] != n as u32 {
+            return Err("root range does not cover all points".into());
+        }
+        for nid in 0..self.n_nodes() {
+            let (s, e) = (self.start[nid], self.end[nid]);
+            if s > e || e > n as u32 {
+                return Err(format!("node {nid} has invalid range {s}..{e}"));
+            }
+            // Bounding box contains every point of the subtree.
+            for &p in &self.perm[s as usize..e as usize] {
+                let pt = points.point(p as usize);
+                for (d, &c) in pt.iter().enumerate() {
+                    if c < self.bbox_min[nid * self.dim + d]
+                        || c > self.bbox_max[nid * self.dim + d]
+                    {
+                        return Err(format!("node {nid} box does not contain point {p}"));
+                    }
+                }
+            }
+            let left = self.left[nid];
+            if left == INVALID {
+                continue;
+            }
+            let (l, r) = (left as usize, left as usize + 1);
+            if r >= self.n_nodes() {
+                return Err(format!("node {nid} children out of range"));
+            }
+            if self.start[l] != s || self.end[r] != e || self.end[l] != self.start[r] {
+                return Err(format!(
+                    "node {nid} children do not partition {s}..{e}: \
+                     left {}..{}, right {}..{}",
+                    self.start[l], self.end[l], self.start[r], self.end[r]
+                ));
+            }
+            if self.start[l] == self.end[l] || self.start[r] == self.end[r] {
+                return Err(format!("node {nid} has an empty child"));
+            }
+            let (sd, sv) = (self.split_dim[nid] as usize, self.split_val[nid]);
+            if sd >= self.dim {
+                return Err(format!("node {nid} split dim {sd} out of range"));
+            }
+            for &p in &self.perm[self.start[l] as usize..self.end[l] as usize] {
+                if points.point(p as usize)[sd] > sv {
+                    return Err(format!("node {nid} left child violates split"));
+                }
+            }
+            for &p in &self.perm[self.start[r] as usize..self.end[r] as usize] {
+                if points.point(p as usize)[sd] < sv {
+                    return Err(format!("node {nid} right child violates split"));
                 }
             }
         }
-        (best_p != INVALID).then_some((best_d2, best_p))
+        Ok(())
     }
 
     #[inline(always)]
@@ -363,22 +566,47 @@ impl KdTree {
     }
 }
 
-/// Fixed-capacity max-heap keeping the `k` smallest `(d2, index)` pairs.
-struct BoundedMaxHeap {
+/// Reusable bounded max-heap keeping the `k` smallest `(d2, index)` pairs.
+///
+/// Allocates its storage once (grown to the largest `k` seen); every
+/// [`KdTree::knn_into`] call resets it in place, so batched query loops
+/// perform zero heap allocations per query in the steady state.
+pub struct KnnHeap {
     k: usize,
     items: Vec<(f32, u32)>,
 }
 
-impl BoundedMaxHeap {
-    fn new(k: usize) -> Self {
+impl KnnHeap {
+    /// Creates a heap with capacity for `k` neighbours.
+    pub fn new(k: usize) -> Self {
         Self {
             k,
             items: Vec::with_capacity(k),
         }
     }
 
+    /// Clears the heap and sets the neighbour budget (reserving only when
+    /// `k` grows past any previously seen value).
+    pub fn reset(&mut self, k: usize) {
+        self.items.clear();
+        self.items.reserve(k);
+        self.k = k;
+    }
+
+    /// Number of neighbours currently held.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no neighbour has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The current pruning bound: the k-th smallest distance seen so far,
+    /// or `+∞` while fewer than `k` neighbours are held.
     #[inline(always)]
-    fn worst(&self) -> f32 {
+    pub fn worst(&self) -> f32 {
         if self.items.len() < self.k {
             f32::INFINITY
         } else {
@@ -386,6 +614,13 @@ impl BoundedMaxHeap {
         }
     }
 
+    /// The largest held distance — the k-th-nearest-neighbour squared
+    /// distance once the heap is full (0.0 when empty).
+    pub fn max_d2(&self) -> f32 {
+        self.items.first().map_or(0.0, |x| x.0)
+    }
+
+    #[inline]
     fn push(&mut self, d2: f32, p: u32) {
         if self.items.len() < self.k {
             self.items.push((d2, p));
@@ -422,10 +657,12 @@ impl BoundedMaxHeap {
         }
     }
 
-    fn into_sorted(mut self) -> Vec<(f32, u32)> {
+    /// Sorts the held neighbours ascending by `(distance, index)` in place
+    /// and returns them. The heap stays usable (the next `reset` clears it).
+    pub fn sorted(&mut self) -> &[(f32, u32)] {
         self.items
-            .sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        self.items
+            .sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        &self.items
     }
 }
 
@@ -461,6 +698,7 @@ mod tests {
         for dim in [2usize, 3, 5] {
             let points = random_points(500, dim, 42 + dim as u64);
             let tree = KdTree::build(&ctx, &points);
+            tree.check_invariants(&points).unwrap();
             for q in [0u32, 17, 250, 499] {
                 for k in [1usize, 4, 16] {
                     let got = tree.knn(&points, q, k);
@@ -470,6 +708,23 @@ mod tests {
                     assert_eq!(got_d, exp_d, "dim={dim} q={q} k={k}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn knn_into_reuses_heap_across_queries_and_ks() {
+        let ctx = ExecCtx::serial();
+        let points = random_points(400, 3, 11);
+        let tree = KdTree::build(&ctx, &points);
+        let mut heap = KnnHeap::new(16);
+        for (q, k) in [(0u32, 16usize), (7, 1), (399, 8), (100, 16)] {
+            tree.knn_into(&points, q, k, &mut heap);
+            assert_eq!(heap.len(), k);
+            let expect = brute_knn(&points, q as usize, k);
+            assert_eq!(heap.max_d2(), expect.last().unwrap().0, "q={q} k={k}");
+            let got: Vec<f32> = heap.sorted().iter().map(|x| x.0).collect();
+            let exp: Vec<f32> = expect.iter().map(|x| x.0).collect();
+            assert_eq!(got, exp, "q={q} k={k}");
         }
     }
 
@@ -487,6 +742,8 @@ mod tests {
         let points = random_points(2000, 3, 7);
         let serial = KdTree::build(&ExecCtx::serial(), &points);
         let parallel = KdTree::build(&ExecCtx::threads(), &points);
+        serial.check_invariants(&points).unwrap();
+        parallel.check_invariants(&points).unwrap();
         for q in [0u32, 999, 1999] {
             let a: Vec<f32> = serial.knn(&points, q, 8).iter().map(|x| x.0).collect();
             let b: Vec<f32> = parallel.knn(&points, q, 8).iter().map(|x| x.0).collect();
@@ -518,13 +775,41 @@ mod tests {
     }
 
     #[test]
+    fn seeded_nearest_foreign_matches_unseeded() {
+        let ctx = ExecCtx::serial();
+        let points = random_points(500, 3, 13);
+        let tree = KdTree::build(&ctx, &points);
+        let comp: Vec<u32> = (0..500u32).map(|i| i % 3).collect();
+        let purity = tree.component_purity(&comp);
+        for q in 0..50u32 {
+            let plain = tree.nearest_foreign(&points, &Euclidean, q, &comp, &purity);
+            // Seed with an arbitrary valid foreign candidate (worse than
+            // the optimum) and with the optimum itself.
+            let any_foreign = (0..500u32)
+                .find(|&p| comp[p as usize] != comp[q as usize])
+                .unwrap();
+            let weak_seed = Some((points.dist2(q as usize, any_foreign as usize), any_foreign));
+            let seeded =
+                tree.nearest_foreign_from(&points, &Euclidean, q, &comp, &purity, weak_seed);
+            assert_eq!(plain, seeded, "weak seed, q={q}");
+            let tight = tree.nearest_foreign_from(&points, &Euclidean, q, &comp, &purity, plain);
+            assert_eq!(plain, tight, "tight seed, q={q}");
+        }
+    }
+
+    #[test]
     fn purity_detects_uniform_subtrees() {
         let ctx = ExecCtx::serial();
         let points = random_points(100, 2, 9);
         let tree = KdTree::build(&ctx, &points);
         let comp_all_same = vec![3u32; 100];
-        let purity = tree.component_purity(&comp_all_same);
+        let mut purity = Vec::new();
+        tree.component_purity_into(&comp_all_same, &mut purity);
         assert!(purity.iter().all(|&p| p == 3));
+        // Reuse the same buffer with a different labelling.
+        let comp_mixed: Vec<u32> = (0..100u32).collect();
+        tree.component_purity_into(&comp_mixed, &mut purity);
+        assert_eq!(purity[0], INVALID);
     }
 
     #[test]
@@ -533,8 +818,24 @@ mod tests {
         let empty = PointSet::new(vec![], 2);
         let tree = KdTree::build(&ctx, &empty);
         assert!(tree.is_empty());
+        tree.check_invariants(&empty).unwrap();
         let single = PointSet::new(vec![1.0, 2.0], 2);
         let tree = KdTree::build(&ctx, &single);
         assert_eq!(tree.knn(&single, 0, 3), vec![]);
+        tree.check_invariants(&single).unwrap();
+    }
+
+    #[test]
+    fn duplicate_points_build_bounded_depth() {
+        // All-identical coordinates: the index tie-break must still produce
+        // balanced median splits (depth stays logarithmic, not linear).
+        let ctx = ExecCtx::serial();
+        let points = PointSet::new(vec![1.0; 4096 * 2], 2);
+        let tree = KdTree::build(&ctx, &points);
+        tree.check_invariants(&points).unwrap();
+        assert!(tree.depth() <= 9, "depth {}", tree.depth());
+        let nn = tree.knn(&points, 0, 3);
+        assert_eq!(nn.len(), 3);
+        assert!(nn.iter().all(|&(d2, _)| d2 == 0.0));
     }
 }

@@ -3,12 +3,14 @@
 //! HDBSCAN\*'s `minPts` parameter defines the **core distance** of a point:
 //! the distance to its `minPts`-th nearest neighbour, counting the point
 //! itself (paper §6.5; `minPts = 2` means "distance to the nearest other
-//! point"). Queries run embarrassingly parallel over points.
+//! point"). Queries run embarrassingly parallel over points; each worker
+//! chunk reuses one [`KnnHeap`] across its queries, so the steady state
+//! performs no heap allocation per query.
 
 use pandora_exec::trace::KernelKind;
 use pandora_exec::{ExecCtx, UnsafeSlice};
 
-use crate::kdtree::KdTree;
+use crate::kdtree::{KdTree, KnnHeap};
 use crate::point::PointSet;
 
 /// Squared core distance of every point for the given `min_pts`.
@@ -16,6 +18,16 @@ use crate::point::PointSet;
 /// `min_pts` counts the point itself (HDBSCAN\* convention), so the
 /// neighbour query uses `k = min_pts - 1`. `min_pts = 1` gives all-zero
 /// core distances (plain single linkage).
+///
+/// # Panics
+///
+/// Panics if `min_pts` is 0, or if `min_pts > n` for a set of two or more
+/// points: the `min_pts`-th neighbour does not exist, so the core distance
+/// is undefined (silently truncating to the farthest existing neighbour
+/// would produce a different clustering than requested). Empty and
+/// single-point sets accept any `min_pts` and return all-zero core
+/// distances — there is nothing to cluster, so no request can be
+/// mis-served.
 pub fn core_distances2(
     ctx: &ExecCtx,
     points: &PointSet,
@@ -24,6 +36,11 @@ pub fn core_distances2(
 ) -> Vec<f32> {
     let n = points.len();
     assert!(min_pts >= 1, "min_pts must be at least 1");
+    assert!(
+        n <= 1 || min_pts <= n,
+        "min_pts ({min_pts}) exceeds the number of points ({n}): \
+         the {min_pts}-th nearest neighbour does not exist"
+    );
     let k = min_pts - 1;
     let mut core2 = vec![0.0f32; n];
     if k == 0 || n <= 1 {
@@ -37,11 +54,13 @@ pub fn core_distances2(
             KernelKind::TreeTraverse,
             (n as u64) * 48 * k as u64,
             |range| {
+                let mut heap = KnnHeap::new(k);
                 for q in range {
-                    let nn = tree.knn(points, q as u32, k);
-                    let d2 = nn.last().map(|x| x.0).unwrap_or(0.0);
+                    tree.knn_into(points, q as u32, k, &mut heap);
+                    // min_pts <= n guarantees the k-th neighbour exists.
+                    debug_assert_eq!(heap.len(), k);
                     // SAFETY: disjoint writes.
-                    unsafe { view.write(q, d2) };
+                    unsafe { view.write(q, heap.max_d2()) };
                 }
             },
         );
@@ -62,9 +81,10 @@ pub fn knn_indices(ctx: &ExecCtx, points: &PointSet, tree: &KdTree, k: usize) ->
             KernelKind::TreeTraverse,
             (n as u64) * 48 * k as u64,
             |range| {
+                let mut heap = KnnHeap::new(k);
                 for q in range {
-                    let nn = tree.knn(points, q as u32, k);
-                    for (j, &(_, p)) in nn.iter().enumerate() {
+                    tree.knn_into(points, q as u32, k, &mut heap);
+                    for (j, &(_, p)) in heap.sorted().iter().enumerate() {
                         // SAFETY: row q is owned by this iteration.
                         unsafe { view.write(q * k + j, p) };
                     }
@@ -118,6 +138,40 @@ mod tests {
         for i in 0..points.len() {
             assert!(c2[i] <= c4[i] && c4[i] <= c8[i]);
         }
+    }
+
+    #[test]
+    fn min_pts_equal_to_n_uses_farthest_neighbour() {
+        // Boundary: min_pts = n is the largest valid request; every point's
+        // core distance is then its distance to the farthest other point.
+        let ctx = ExecCtx::serial();
+        let points = PointSet::new(vec![0.0, 0.0, 1.0, 0.0, 5.0, 0.0], 2);
+        let tree = KdTree::build(&ctx, &points);
+        let core2 = core_distances2(&ctx, &points, &tree, 3);
+        assert_eq!(core2, vec![25.0, 16.0, 25.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the number of points")]
+    fn min_pts_above_n_panics() {
+        let ctx = ExecCtx::serial();
+        let points = PointSet::new(vec![0.0, 0.0, 1.0, 0.0, 5.0, 0.0], 2);
+        let tree = KdTree::build(&ctx, &points);
+        let _ = core_distances2(&ctx, &points, &tree, 4);
+    }
+
+    #[test]
+    fn empty_and_singleton_sets_accept_any_min_pts() {
+        let ctx = ExecCtx::serial();
+        let points = PointSet::new(vec![], 2);
+        let tree = KdTree::build(&ctx, &points);
+        assert!(core_distances2(&ctx, &points, &tree, 5).is_empty());
+        // A single point has no clustering to mis-serve; the degenerate
+        // request stays trivially satisfiable (regression: the default
+        // pipeline at min_pts = 2 must not panic on singletons).
+        let one = PointSet::new(vec![1.0, 2.0], 2);
+        let tree = KdTree::build(&ctx, &one);
+        assert_eq!(core_distances2(&ctx, &one, &tree, 5), vec![0.0]);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use pandora_exec::sort::par_sort_by_key;
 use pandora_exec::trace::KernelKind;
 use pandora_exec::{ExecCtx, UnsafeSlice};
 
-use crate::kdtree::KdTree;
+use crate::kdtree::{KdTree, KnnHeap};
 use crate::metric::Metric;
 use crate::point::PointSet;
 
@@ -47,8 +47,10 @@ pub fn knn_graph_mst<M: Metric>(
             KernelKind::TreeTraverse,
             (n * k * 48) as u64,
             |range| {
+                let mut heap = KnnHeap::new(k);
                 for q in range {
-                    let nn = tree.knn(points, q as u32, k);
+                    tree.knn_into(points, q as u32, k, &mut heap);
+                    let nn = heap.sorted();
                     for (j, &(_, p)) in nn.iter().enumerate() {
                         // Metric distance may exceed the Euclidean k-NN
                         // distance (mutual reachability); recompute.

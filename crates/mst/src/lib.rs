@@ -3,15 +3,21 @@
 //! Euclidean and mutual-reachability minimum spanning trees — the substrate
 //! the paper takes from ArborX (\[39\]) rebuilt in Rust:
 //!
-//! * [`point::PointSet`] — flat f32 point storage;
-//! * [`kdtree::KdTree`] — parallel-built bounding-box kd-tree with k-NN and
-//!   component-aware nearest-foreign queries;
-//! * [`knn`] — batched k-NN / HDBSCAN\* core distances;
+//! * [`point::PointSet`] — flat f32 point storage (rejects non-finite
+//!   coordinates, so every distance downstream is finite);
+//! * [`kdtree::KdTree`] — parallel-built bounding-box kd-tree with
+//!   allocation-free k-NN and component-aware nearest-foreign queries
+//!   (SoA node metadata, cached splits, fixed-capacity traversal stacks);
+//! * [`knn`] — batched k-NN / HDBSCAN\* core distances over reused
+//!   per-worker scratch;
 //! * [`boruvka`] — parallel Borůvka MST over any [`metric::Metric`]
-//!   (Euclidean or mutual reachability);
+//!   (Euclidean or mutual reachability), warm-started across rounds;
+//! * [`emst`](mod@emst) — the orchestrated build → core distances →
+//!   Borůvka pipeline with per-stage timings and kernel-trace phases;
 //! * [`prim`] / [`kruskal`] — exact oracles and graph-input MST.
 
 pub mod boruvka;
+pub mod emst;
 pub mod kdtree;
 pub mod knn;
 pub mod knn_graph;
@@ -21,7 +27,8 @@ pub mod point;
 pub mod prim;
 
 pub use boruvka::boruvka_mst;
-pub use kdtree::KdTree;
+pub use emst::{emst, emst_with_core2, Emst, EmstParams, EmstTimings};
+pub use kdtree::{KdTree, KnnHeap};
 pub use knn::core_distances2;
 pub use knn_graph::knn_graph_mst;
 pub use metric::{Euclidean, Metric, MutualReachability};

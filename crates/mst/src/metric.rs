@@ -22,23 +22,32 @@ pub trait Metric: Sync {
 }
 
 /// Squared distance from a point to an axis-aligned bounding box.
+///
+/// Per-axis overshoot as a branch-free clamp, with the same low-dimension
+/// specialization as [`crate::point::PointSet::dist2`] — this runs twice
+/// per internal node visited on the kd-tree hot path.
 #[inline(always)]
 pub fn point_box_dist2(p: &[f32], bbox_min: &[f32], bbox_max: &[f32]) -> f32 {
-    let mut acc = 0.0f32;
-    for d in 0..p.len() {
-        let c = p[d];
-        let lo = bbox_min[d];
-        let hi = bbox_max[d];
-        let diff = if c < lo {
-            lo - c
-        } else if c > hi {
-            c - hi
-        } else {
-            0.0
-        };
-        acc += diff * diff;
+    #[inline(always)]
+    fn axis(c: f32, lo: f32, hi: f32) -> f32 {
+        let diff = (lo - c).max(c - hi).max(0.0);
+        diff * diff
     }
-    acc
+    match p.len() {
+        2 => axis(p[0], bbox_min[0], bbox_max[0]) + axis(p[1], bbox_min[1], bbox_max[1]),
+        3 => {
+            axis(p[0], bbox_min[0], bbox_max[0])
+                + axis(p[1], bbox_min[1], bbox_max[1])
+                + axis(p[2], bbox_min[2], bbox_max[2])
+        }
+        _ => {
+            let mut acc = 0.0f32;
+            for d in 0..p.len() {
+                acc += axis(p[d], bbox_min[d], bbox_max[d]);
+            }
+            acc
+        }
+    }
 }
 
 /// Plain Euclidean distance.

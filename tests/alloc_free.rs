@@ -1,0 +1,104 @@
+//! Verifies the EMST hot path's allocation contract with a counting global
+//! allocator: steady-state k-NN and nearest-foreign queries must perform
+//! **zero** heap allocations per query, and the batched core-distance
+//! kernel must allocate only its output plus per-chunk scratch.
+//!
+//! This file holds a single test function: the allocation counter is
+//! process-global, so concurrently running tests would pollute each
+//! other's windows.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use pandora::exec::ExecCtx;
+use pandora::mst::{core_distances2, Euclidean, KdTree, KnnHeap, MutualReachability, PointSet};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocs_during(f: impl FnOnce()) -> usize {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn steady_state_queries_do_not_allocate() {
+    // Serial context: the measurement thread is the only allocator user.
+    let ctx = ExecCtx::serial();
+    let n = 2000usize;
+    let mut coords = Vec::with_capacity(n * 3);
+    // Deterministic pseudo-random coordinates (LCG), no rand dependency.
+    let mut state = 0x2545F491_4F6CDD1Du64;
+    for _ in 0..n * 3 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        coords.push(((state >> 40) as f32) / (1 << 24) as f32 * 100.0);
+    }
+    let points = PointSet::new(coords, 3);
+    let mut tree = KdTree::build(&ctx, &points);
+
+    // --- knn_into with a reused heap: zero allocations per query. ---
+    let k = 8usize;
+    let mut heap = KnnHeap::new(k);
+    tree.knn_into(&points, 0, k, &mut heap); // warm the heap's capacity
+    let knn_allocs = allocs_during(|| {
+        for q in 0..n as u32 {
+            tree.knn_into(&points, q, k, &mut heap);
+            assert_eq!(heap.sorted().len(), k);
+        }
+    });
+    assert_eq!(knn_allocs, 0, "knn_into allocated in the steady state");
+
+    // --- nearest_foreign: zero allocations per query (incl. the
+    //     mutual-reachability metric with subtree core bounds). ---
+    let core2 = core_distances2(&ctx, &points, &tree, 2);
+    tree.attach_core2(&core2);
+    let comp: Vec<u32> = (0..n as u32).map(|v| v % 7).collect();
+    let purity = tree.component_purity(&comp);
+    let metric = MutualReachability { core2: &core2 };
+    let foreign_allocs = allocs_during(|| {
+        for q in 0..n as u32 {
+            let found = tree.nearest_foreign(&points, &metric, q, &comp, &purity);
+            assert!(found.is_some());
+            let found = tree.nearest_foreign(&points, &Euclidean, q, &comp, &purity);
+            assert!(found.is_some());
+        }
+    });
+    assert_eq!(
+        foreign_allocs, 0,
+        "nearest_foreign allocated in the steady state"
+    );
+
+    // --- Batched core distances: output vector + per-chunk scratch only,
+    //     nothing proportional to the query count. ---
+    let core_allocs = allocs_during(|| {
+        let out = core_distances2(&ctx, &points, &tree, 9);
+        assert_eq!(out.len(), n);
+    });
+    assert!(
+        core_allocs <= 2 + n / 256 + 1,
+        "core_distances2 made {core_allocs} allocations for {n} queries"
+    );
+}

@@ -1,0 +1,108 @@
+//! Property-based tests (proptest) for the EMST substrate: Borůvka must
+//! match the Prim oracle on adversarial inputs — duplicate points,
+//! collinear grids, single-cluster blobs, all with quantized coordinates so
+//! exact distance ties abound — and the kd-tree's structural invariants
+//! (contiguous subtree ranges, boxes containing their points, cached splits
+//! separating the children) must hold for every build configuration.
+
+use proptest::prelude::*;
+
+use pandora::exec::ExecCtx;
+use pandora::mst::kruskal::total_weight;
+use pandora::mst::prim::prim_mst;
+use pandora::mst::{
+    boruvka_mst, core_distances2, emst, EmstParams, Euclidean, KdTree, MutualReachability, PointSet,
+};
+
+/// Adversarial point sets. `mode` picks the family; coordinates are
+/// quantized to quarter-units so equal distances (the tie-break stress
+/// case) are common, not measure-zero.
+fn adversarial_points() -> impl Strategy<Value = PointSet> {
+    (0usize..3, 2usize..4, 8usize..100).prop_flat_map(|(mode, dim, n)| {
+        prop::collection::vec(0u32..32, n * dim..n * dim + 1).prop_map(move |raw| {
+            let coords: Vec<f32> = match mode {
+                // Duplicates: coordinates drawn from an 8-value alphabet,
+                // so many points coincide exactly.
+                0 => raw.iter().map(|&v| (v % 8) as f32).collect(),
+                // Collinear: every point sits on the main diagonal.
+                1 => raw
+                    .chunks(dim)
+                    .flat_map(|c| std::iter::repeat_n(c[0] as f32 * 0.25, dim))
+                    .collect(),
+                // Single-cluster blob on a quarter-unit grid.
+                _ => raw.iter().map(|&v| v as f32 * 0.25).collect(),
+            };
+            PointSet::new(coords, dim)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn boruvka_matches_prim_euclidean(points in adversarial_points()) {
+        let ctx = ExecCtx::serial();
+        let tree = KdTree::build(&ctx, &points);
+        let got = boruvka_mst(&ctx, &points, &tree, &Euclidean);
+        prop_assert_eq!(got.len(), points.len() - 1);
+        let expect = prim_mst(&points, &Euclidean);
+        let (wa, wb) = (total_weight(&got), total_weight(&expect));
+        prop_assert!(
+            (wa - wb).abs() <= 1e-3 * wb.max(1.0),
+            "Boruvka {} vs Prim {}", wa, wb
+        );
+    }
+
+    #[test]
+    fn boruvka_matches_prim_mutual_reachability(
+        (points, min_pts) in (adversarial_points(), 2usize..8)
+    ) {
+        let ctx = ExecCtx::serial();
+        let min_pts = min_pts.min(points.len());
+        let result = emst(&ctx, &points, &EmstParams::with_min_pts(min_pts));
+        prop_assert_eq!(result.edges.len(), points.len() - 1);
+        let metric = MutualReachability { core2: &result.core2 };
+        let expect = prim_mst(&points, &metric);
+        let (wa, wb) = (total_weight(&result.edges), total_weight(&expect));
+        prop_assert!(
+            (wa - wb).abs() <= 1e-3 * wb.max(1.0),
+            "minPts={}: Boruvka {} vs Prim {}", min_pts, wa, wb
+        );
+    }
+
+    #[test]
+    fn kdtree_invariants_hold_for_every_build(points in adversarial_points()) {
+        for leaf_size in [1usize, 4, 32] {
+            let serial = KdTree::build_with_leaf_size(&ExecCtx::serial(), &points, leaf_size);
+            serial.check_invariants(&points).unwrap();
+            let threaded = KdTree::build_with_leaf_size(&ExecCtx::threads(), &points, leaf_size);
+            threaded.check_invariants(&points).unwrap();
+            // Median splits keep the depth logarithmic even with total
+            // coordinate degeneracy (the index tie-break still halves).
+            let bound = (points.len().max(2)).ilog2() as usize + 2;
+            prop_assert!(
+                serial.depth() <= bound,
+                "depth {} exceeds {} at n={} leaf={}",
+                serial.depth(), bound, points.len(), leaf_size
+            );
+        }
+    }
+
+    #[test]
+    fn core_distances_match_brute_force(points in adversarial_points()) {
+        let ctx = ExecCtx::serial();
+        let tree = KdTree::build(&ctx, &points);
+        let min_pts = 3usize.min(points.len());
+        let core2 = core_distances2(&ctx, &points, &tree, min_pts);
+        for (q, &got) in core2.iter().enumerate() {
+            let mut d: Vec<f32> = (0..points.len())
+                .filter(|&p| p != q)
+                .map(|p| points.dist2(q, p))
+                .collect();
+            d.sort_by(f32::total_cmp);
+            let expect = if min_pts >= 2 { d[min_pts - 2] } else { 0.0 };
+            prop_assert_eq!(got, expect, "q={}", q);
+        }
+    }
+}

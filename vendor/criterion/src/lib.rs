@@ -3,9 +3,13 @@
 //! Implements the API surface this workspace's benches use —
 //! `criterion_group!` / `criterion_main!`, benchmark groups,
 //! `Bencher::{iter, iter_batched}`, `BenchmarkId`, `Throughput` — with a
-//! simple wall-clock measurement loop: warm up once, then run whole-number
-//! batches until the group's measurement time is spent, and report the mean
-//! and minimum per-iteration time (plus throughput if configured).
+//! simple wall-clock measurement loop: run untimed warm-up iterations
+//! until the configured warm-up time is spent (`warm_up_time`, at least
+//! one iteration), then run timed iterations until the group's measurement
+//! time budget or sample cap is hit, and report mean, median (p50), p95
+//! and minimum per-iteration times (plus throughput if configured). The
+//! percentiles make run-to-run deltas usable as PR evidence: p50 is robust
+//! to scheduler noise and p95 exposes tail regressions that a mean hides.
 //!
 //! Bench executables only measure when invoked with `--bench` (which
 //! `cargo bench` passes) or with `PANDORA_BENCH=1` in the environment;
@@ -21,6 +25,7 @@ pub use std::hint::black_box;
 /// Top-level benchmark driver; configures defaults for its groups.
 pub struct Criterion {
     measurement_time: Duration,
+    warm_up_time: Duration,
     default_sample_size: usize,
 }
 
@@ -28,6 +33,7 @@ impl Default for Criterion {
     fn default() -> Self {
         Self {
             measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
             default_sample_size: 20,
         }
     }
@@ -37,6 +43,14 @@ impl Criterion {
     /// Sets the time budget each benchmark's measurement loop targets.
     pub fn measurement_time(mut self, d: Duration) -> Self {
         self.measurement_time = d;
+        self
+    }
+
+    /// Sets the untimed warm-up budget run before measurement (caches,
+    /// branch predictors, lazily-spawned pool threads). At least one
+    /// warm-up iteration always runs, even with a zero budget.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
         self
     }
 
@@ -58,6 +72,7 @@ impl Criterion {
         println!("\n## {name}");
         BenchmarkGroup {
             measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
             sample_size: self.default_sample_size,
             _criterion: std::marker::PhantomData,
             name,
@@ -132,6 +147,7 @@ pub struct BenchmarkGroup<'a> {
     _criterion: std::marker::PhantomData<&'a mut Criterion>,
     name: String,
     measurement_time: Duration,
+    warm_up_time: Duration,
     sample_size: usize,
     throughput: Option<Throughput>,
 }
@@ -146,6 +162,12 @@ impl BenchmarkGroup<'_> {
     /// Overrides the group's measurement time budget.
     pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
         self.measurement_time = d;
+        self
+    }
+
+    /// Overrides the group's warm-up budget (see [`Criterion::warm_up_time`]).
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
         self
     }
 
@@ -164,6 +186,7 @@ impl BenchmarkGroup<'_> {
         let id = id.into();
         let mut bencher = Bencher {
             budget: self.measurement_time,
+            warm_up: self.warm_up_time,
             max_samples: self.sample_size,
             samples: Vec::new(),
         };
@@ -196,10 +219,16 @@ impl BenchmarkGroup<'_> {
         }
         let total: Duration = samples.iter().sum();
         let mean = total / samples.len() as u32;
-        let min = *samples.iter().min().expect("non-empty samples");
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let min = sorted[0];
+        let p50 = percentile(&sorted, 0.50);
+        let p95 = percentile(&sorted, 0.95);
         let mut line = format!(
-            "{full:<56} mean {:>12} min {:>12} n={}",
+            "{full:<56} mean {:>12} p50 {:>12} p95 {:>12} min {:>12} n={}",
             fmt_duration(mean),
+            fmt_duration(p50),
+            fmt_duration(p95),
             fmt_duration(min),
             samples.len()
         );
@@ -218,6 +247,13 @@ impl BenchmarkGroup<'_> {
     }
 }
 
+/// Nearest-rank percentile of an ascending-sorted sample set.
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    debug_assert!(!sorted.is_empty() && sorted.is_sorted());
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 fn fmt_duration(d: Duration) -> String {
     let ns = d.as_nanos();
     if ns < 10_000 {
@@ -234,15 +270,23 @@ fn fmt_duration(d: Duration) -> String {
 /// Runs and times one benchmark's iterations.
 pub struct Bencher {
     budget: Duration,
+    warm_up: Duration,
     max_samples: usize,
     samples: Vec<Duration>,
 }
 
 impl Bencher {
-    /// Times `routine` repeatedly (one warm-up, then up to the sample cap
-    /// or the time budget, whichever comes first).
+    /// Times `routine` repeatedly (untimed warm-up iterations until the
+    /// warm-up budget is spent, then up to the sample cap or the time
+    /// budget, whichever comes first).
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        black_box(routine()); // warm-up, untimed
+        let warm_started = Instant::now();
+        loop {
+            black_box(routine()); // warm-up, untimed
+            if warm_started.elapsed() >= self.warm_up {
+                break;
+            }
+        }
         let started = Instant::now();
         while self.samples.len() < self.max_samples
             && (self.samples.is_empty() || started.elapsed() < self.budget)
@@ -254,14 +298,23 @@ impl Bencher {
     }
 
     /// Times `routine` on fresh values from `setup`; setup time is not
-    /// measured.
+    /// measured (in either the warm-up or the measurement phase).
     pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
         &mut self,
         mut setup: S,
         mut routine: R,
         _size: BatchSize,
     ) {
-        black_box(routine(setup())); // warm-up, untimed
+        let mut warm_spent = Duration::ZERO;
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input)); // warm-up, untimed
+            warm_spent += t.elapsed();
+            if warm_spent >= self.warm_up {
+                break;
+            }
+        }
         let started = Instant::now();
         while self.samples.len() < self.max_samples
             && (self.samples.is_empty() || started.elapsed() < self.budget)
@@ -339,7 +392,9 @@ mod tests {
     use super::*;
 
     fn quick_config() -> Criterion {
-        Criterion::default().measurement_time(Duration::from_millis(5))
+        Criterion::default()
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::ZERO)
     }
 
     #[test]
@@ -376,7 +431,37 @@ mod tests {
                 runs += 1;
             })
         });
-        // warm-up + at most 2 samples
+        // one warm-up (zero warm-up budget) + at most 2 samples
         assert!(runs <= 3);
+    }
+
+    #[test]
+    fn warm_up_budget_runs_extra_untimed_iterations() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(1))
+            .warm_up_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("warmup");
+        group.sample_size(1);
+        let mut runs = 0u32;
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                runs += 1;
+                std::thread::sleep(Duration::from_millis(1));
+            })
+        });
+        // ≥ 5 warm-up iterations (5ms budget / 1ms each) + 1 sample.
+        assert!(runs >= 5, "only {runs} runs");
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let ms = |n: u64| Duration::from_millis(n);
+        let sorted: Vec<Duration> = (1..=100).map(ms).collect();
+        assert_eq!(percentile(&sorted, 0.50), ms(50));
+        assert_eq!(percentile(&sorted, 0.95), ms(95));
+        assert_eq!(percentile(&sorted, 1.0), ms(100));
+        let single = vec![ms(7)];
+        assert_eq!(percentile(&single, 0.50), ms(7));
+        assert_eq!(percentile(&single, 0.95), ms(7));
     }
 }
