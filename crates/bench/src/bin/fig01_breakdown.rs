@@ -9,7 +9,9 @@
 //! Device times are modeled by replaying real kernel traces (DESIGN.md §2);
 //! the host-measured times are printed for reference.
 
-use pandora_bench::harness::{fmt_s, print_table, project_at, run_pipeline};
+use pandora_bench::harness::{
+    emst_serial_vs_threaded, fmt_s, print_table, project_at, run_pipeline, write_bench_ci_json,
+};
 use pandora_bench::suite::bench_scale;
 use pandora_data::by_name;
 use pandora_exec::device::DeviceModel;
@@ -106,4 +108,56 @@ fn main() {
             ],
         ],
     );
+
+    // CI bench canary: with PANDORA_BENCH_JSON=<path>, run the EMST stage
+    // under both execution contexts, persist the per-phase numbers, and —
+    // with PANDORA_BENCH_ENFORCE=1 — fail the process if the threaded EMST
+    // is slower than the serial one (parallelism silently disengaged).
+    if let Ok(json_path) = std::env::var("PANDORA_BENCH_JSON") {
+        let (serial, threaded, lanes) = emst_serial_vs_threaded(&points, 2, 3);
+        write_bench_ci_json(&json_path, n, 2, &serial, &threaded, lanes)
+            .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
+        let speedup = serial.total() / threaded.total().max(1e-12);
+        print_table(
+            &format!("CI canary — serial vs threaded EMST ({lanes} lanes, best of 3)"),
+            &["context", "build", "core", "Borůvka", "total"],
+            &[
+                vec![
+                    "serial".into(),
+                    fmt_s(serial.tree_build_s),
+                    fmt_s(serial.core_s),
+                    fmt_s(serial.boruvka_s),
+                    fmt_s(serial.total()),
+                ],
+                vec![
+                    "threaded".into(),
+                    fmt_s(threaded.tree_build_s),
+                    fmt_s(threaded.core_s),
+                    fmt_s(threaded.boruvka_s),
+                    fmt_s(threaded.total()),
+                ],
+            ],
+        );
+        println!("\nthreaded speedup: {speedup:.2}x (written to {json_path})");
+        // PANDORA_BENCH_MIN_SPEEDUP raises the bar above "not slower"
+        // (default 1.0): a silently-serialized path measures ~1.0x ± noise,
+        // so a knife-edge comparison would flake in both directions on a
+        // busy runner. Requiring a real margin (CI uses 1.1, with genuine
+        // parallelism measuring ≥ ~2x) keeps the canary deterministic.
+        let enforce = std::env::var("PANDORA_BENCH_ENFORCE").is_ok_and(|v| v == "1");
+        let min_speedup = std::env::var("PANDORA_BENCH_MIN_SPEEDUP")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(1.0);
+        if enforce && speedup < min_speedup {
+            eprintln!(
+                "FAIL: threaded EMST ({:.1} ms) vs serial ({:.1} ms) is only \
+                 {speedup:.2}x on {lanes} lanes (required ≥ {min_speedup:.2}x) \
+                 — parallelism is not engaging",
+                threaded.total() * 1e3,
+                serial.total() * 1e3,
+            );
+            std::process::exit(1);
+        }
+    }
 }

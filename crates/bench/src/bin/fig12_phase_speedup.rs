@@ -5,9 +5,10 @@
 //! Paper result: sorting scales best (10–20×), multilevel contraction worst
 //! (3–5×), total dendrogram 6–16×. All columns are modeled from real traces.
 
-use pandora_bench::harness::{print_table, run_pipeline};
+use pandora_bench::harness::{emst_serial_vs_threaded, print_table, run_pipeline};
 use pandora_bench::suite::{bench_scale, fig12_suite};
 use pandora_exec::device::DeviceModel;
+use pandora_exec::ExecCtx;
 
 fn main() {
     let n = bench_scale();
@@ -60,5 +61,27 @@ fn main() {
     println!(
         "\npaper: mst 5–16x, dendrogram 3–13x, sort 9–16x, contraction 3–5x, \
          expansion 5–12x. Shape to check: sort scales best, contraction worst."
+    );
+
+    // Host-measured EMST phase speedup: serial vs threaded wall clock on
+    // THIS machine (the modeled columns above project onto paper hardware).
+    let lanes = ExecCtx::threads().lanes();
+    let mut host_rows = Vec::new();
+    for ds in fig12_suite() {
+        let points = ds.generate(n, 5);
+        let (serial, threaded, _) = emst_serial_vs_threaded(&points, 2, 2);
+        let ratio = |s: f64, t: f64| format!("{:.2}x", s / t.max(1e-12));
+        host_rows.push(vec![
+            ds.label.to_string(),
+            ratio(serial.tree_build_s, threaded.tree_build_s),
+            ratio(serial.core_s, threaded.core_s),
+            ratio(serial.boruvka_s, threaded.boruvka_s),
+            ratio(serial.total(), threaded.total()),
+        ]);
+    }
+    print_table(
+        &format!("EMST phase speedup measured on this host ({lanes} lanes, best of 2)"),
+        &["dataset", "build", "core", "Borůvka", "EMST total"],
+        &host_rows,
     );
 }

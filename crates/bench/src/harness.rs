@@ -73,6 +73,64 @@ pub fn run_pipeline(points: &PointSet, min_pts: usize) -> PipelineRun {
     }
 }
 
+/// Runs the EMST stage under a serial and a threaded context (best of
+/// `reps` runs each) and returns `(serial, threaded, threaded_lanes)`.
+///
+/// This is the CI "parallelism actually engaged" canary: a regression that
+/// silently serializes (or slows) the threaded EMST path shows up as
+/// `threaded.total() >= serial.total()` on any multi-core host.
+pub fn emst_serial_vs_threaded(
+    points: &PointSet,
+    min_pts: usize,
+    reps: usize,
+) -> (EmstTimings, EmstTimings, usize) {
+    let best_of = |ctx: &ExecCtx| -> EmstTimings {
+        let mut best: Option<EmstTimings> = None;
+        for _ in 0..reps.max(1) {
+            let run = emst(ctx, points, &EmstParams::with_min_pts(min_pts));
+            if best.is_none_or(|b: EmstTimings| run.timings.total() < b.total()) {
+                best = Some(run.timings);
+            }
+        }
+        best.expect("at least one rep")
+    };
+    let serial = best_of(&ExecCtx::serial());
+    let threaded_ctx = ExecCtx::threads();
+    let lanes = threaded_ctx.lanes();
+    let threaded = best_of(&threaded_ctx);
+    (serial, threaded, lanes)
+}
+
+/// Writes the `BENCH_ci.json` canary payload: per-phase milliseconds for
+/// the serial and threaded EMST runs plus the thread count, as one stable
+/// hand-rolled JSON object (no serde in the offline environment).
+pub fn write_bench_ci_json(
+    path: &str,
+    n: usize,
+    min_pts: usize,
+    serial: &EmstTimings,
+    threaded: &EmstTimings,
+    lanes: usize,
+) -> std::io::Result<()> {
+    let phase = |t: &EmstTimings| {
+        format!(
+            "{{\"build_ms\": {:.3}, \"core_ms\": {:.3}, \"boruvka_ms\": {:.3}, \"emst_ms\": {:.3}}}",
+            t.tree_build_s * 1e3,
+            t.core_s * 1e3,
+            t.boruvka_s * 1e3,
+            t.total() * 1e3
+        )
+    };
+    let json = format!(
+        "{{\n  \"n\": {n},\n  \"min_pts\": {min_pts},\n  \"threads\": {lanes},\n  \
+         \"serial\": {},\n  \"threaded\": {},\n  \"speedup\": {:.3}\n}}\n",
+        phase(serial),
+        phase(threaded),
+        serial.total() / threaded.total().max(1e-12)
+    );
+    std::fs::write(path, json)
+}
+
 /// Total simulated seconds for a trace on a device.
 pub fn project(trace: &Trace, device: &DeviceModel) -> f64 {
     device.simulate(trace).total_s

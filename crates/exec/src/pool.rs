@@ -83,12 +83,29 @@ impl ThreadPool {
         }
     }
 
-    /// Creates a pool sized to `std::thread::available_parallelism`.
+    /// Creates a pool sized to `std::thread::available_parallelism`,
+    /// overridable via the `PANDORA_THREADS` environment variable.
+    ///
+    /// `PANDORA_THREADS` (a positive integer) pins the lane count exactly —
+    /// `PANDORA_THREADS=1` really is a one-lane pool where `broadcast` runs
+    /// inline, which the CI thread matrix uses to exercise both extremes.
+    ///
+    /// When auto-detecting, the lane count is **clamped to at least 2**:
+    /// on a single-CPU machine (small CI runners, constrained containers) a
+    /// 1-lane pool would run every "parallel" region inline on the caller,
+    /// so tests comparing serial against threaded execution would silently
+    /// never cross a thread boundary and data races could never surface.
+    /// Two lanes keep one real worker thread alive at the cost of some
+    /// time-slicing; callers that truly want inline execution ask for it
+    /// explicitly (`ThreadPool::new(1)` or `PANDORA_THREADS=1`).
     pub fn with_default_parallelism() -> Self {
-        let lanes = std::thread::available_parallelism()
+        let detected = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        Self::new(lanes)
+        let env = std::env::var("PANDORA_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok());
+        Self::new(default_lanes(env, detected))
     }
 
     /// The number of execution lanes (workers + the calling thread).
@@ -166,6 +183,20 @@ impl Drop for ThreadPool {
     }
 }
 
+/// Resolves the default lane count from an explicit override (the parsed
+/// `PANDORA_THREADS` value) and the detected CPU count.
+///
+/// An override of at least 1 wins verbatim; `0` is ignored as nonsensical.
+/// Without an override, the detected count is clamped to at least 2 (see
+/// [`ThreadPool::with_default_parallelism`] for why single-CPU hosts must
+/// not degenerate to an inline pool).
+fn default_lanes(override_lanes: Option<usize>, detected: usize) -> usize {
+    match override_lanes {
+        Some(lanes) if lanes >= 1 => lanes,
+        _ => detected.max(2),
+    }
+}
+
 /// Returns the process-wide shared pool, created on first use.
 pub fn global_pool() -> &'static Arc<ThreadPool> {
     static POOL: OnceLock<Arc<ThreadPool>> = OnceLock::new();
@@ -176,6 +207,20 @@ pub fn global_pool() -> &'static Arc<ThreadPool> {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn default_lanes_honours_override_and_clamps_single_cpu() {
+        // Explicit override wins exactly, including the 1-lane inline pool.
+        assert_eq!(default_lanes(Some(1), 64), 1);
+        assert_eq!(default_lanes(Some(4), 1), 4);
+        // A zero override is nonsense and falls back to detection.
+        assert_eq!(default_lanes(Some(0), 8), 8);
+        // Auto-detection clamps single-CPU hosts to 2 lanes so a parallel
+        // pool always has at least one real worker thread.
+        assert_eq!(default_lanes(None, 1), 2);
+        assert_eq!(default_lanes(None, 2), 2);
+        assert_eq!(default_lanes(None, 16), 16);
+    }
 
     #[test]
     fn broadcast_runs_on_every_lane() {

@@ -10,12 +10,25 @@
 //! Works for any [`Metric`]; with [`crate::metric::MutualReachability`] it produces exactly
 //! the MST HDBSCAN\* needs. Component purity of kd-subtrees prunes
 //! intra-component traversal, the standard trick that keeps Borůvka rounds
-//! near-linear. Two further cuSLINK-style optimizations keep the rounds
-//! allocation-free and tightly bounded: the purity / candidate / root
-//! buffers are reused across rounds, and each query is **warm-started**
-//! with the previous round's winner (nearest-foreign distances only grow
-//! as components merge, so a still-foreign previous winner is a valid
-//! upper bound that prunes most of the traversal immediately).
+//! near-linear. Further cuSLINK-style optimizations keep the rounds
+//! allocation-free and tightly bounded:
+//!
+//! * the purity / candidate / root buffers are reused across rounds, and
+//!   each query is **warm-started** with the previous round's winner
+//!   (nearest-foreign distances only grow as components merge, so a
+//!   still-foreign previous winner is a valid upper bound that prunes most
+//!   of the traversal immediately);
+//! * queries run in **kd-tree (spatial) order**, so consecutive queries in
+//!   a lane's chunk usually belong to the same component — the component's
+//!   best-edge bound is loaded once per same-component run and the run's
+//!   winner is merged back with a single lock-free atomic-min, instead of
+//!   one atomic RMW per point;
+//! * **boundary-point filtering**: every point carries a monotone lower
+//!   bound on its nearest-foreign distance (any earlier round's result —
+//!   foreign sets only shrink, so the bound stays valid). An interior
+//!   point whose bound lies strictly above its component's current best
+//!   edge can neither win nor tie and skips its traversal entirely; later
+//!   rounds therefore query mostly the points near component boundaries.
 
 use std::sync::atomic::Ordering;
 
@@ -26,7 +39,7 @@ use pandora_exec::{ExecCtx, UnsafeSlice, DEFAULT_GRAIN};
 
 use pandora_core::Edge;
 
-use crate::kdtree::KdTree;
+use crate::kdtree::{ForeignSearch, KdTree};
 use crate::metric::Metric;
 use crate::point::PointSet;
 
@@ -55,7 +68,34 @@ pub fn boruvka_mst<M: Metric>(
     tree: &KdTree,
     metric: &M,
 ) -> Vec<Edge> {
+    boruvka_mst_seeded(ctx, points, tree, metric, None)
+}
+
+/// [`boruvka_mst`] with optional per-point first-round candidates.
+///
+/// Each seed is an **exact** metric distance to a specific other point
+/// (e.g. the cheapest mutual-reachability neighbour captured by the
+/// core-distance k-NN pass) or `(_, u32::MAX)` for "no candidate". Seeds
+/// warm-start the first round exactly like later rounds are warm-started
+/// by their predecessor, pruning the all-nearest-neighbour round that
+/// otherwise dominates; the result is identical with or without seeds.
+///
+/// # Panics
+///
+/// As [`boruvka_mst`]; additionally if `seeds.len() != points.len()`.
+pub fn boruvka_mst_seeded<M: Metric>(
+    ctx: &ExecCtx,
+    points: &PointSet,
+    tree: &KdTree,
+    metric: &M,
+    seeds: Option<Vec<(f32, u32)>>,
+) -> Vec<Edge> {
     let n = points.len();
+    if let Some(seeds) = &seeds {
+        // Checked even for degenerate inputs: a mis-sized seeds array is a
+        // caller bug that should not go unnoticed until n grows past 1.
+        assert_eq!(seeds.len(), n, "one seed per point");
+    }
     if n <= 1 {
         return Vec::new();
     }
@@ -68,13 +108,19 @@ pub fn boruvka_mst<M: Metric>(
     let mut roots: Vec<u32> = Vec::with_capacity(n);
     // Per-component best outgoing candidate, indexed by component root.
     let mut candidate = vec![u64::MAX; n];
-    // Nearest foreign point per point; carried across rounds as the next
-    // round's warm-start seed.
-    let mut best_of = vec![(f32::INFINITY, u32::MAX); n];
-    let mut first_round = true;
+    // Per-point best known foreign candidate: an exact metric distance to
+    // the witness point (`u32::MAX` = none yet). Carried across rounds as
+    // the warm-start seed; optionally pre-filled by the caller.
+    let mut best_of = seeds.unwrap_or_else(|| vec![(f32::INFINITY, u32::MAX); n]);
+    // Per-point monotone **lower** bound on the nearest-foreign squared
+    // distance (a candidate is an upper bound, so the two are distinct
+    // arrays). Foreign sets only shrink as components merge, so any
+    // round's exact result stays a valid lower bound in every later round;
+    // this drives the boundary-point filter.
+    let mut lower = vec![0.0f32; n];
 
     while n_components > 1 {
-        tree.component_purity_into(&comp, &mut purity);
+        tree.component_purity_into(ctx, &comp, &mut purity);
 
         // Reset candidates (only roots are read, clearing all is simpler).
         {
@@ -87,23 +133,92 @@ pub fn boruvka_mst<M: Metric>(
             });
         }
 
+        // Bound pre-pass: re-propose every still-valid witness from earlier
+        // rounds (exact distances to still-foreign points), so component
+        // bounds are tight *before* any traversal starts. Without this the
+        // first points visited each round see an infinite bound and search
+        // even when deep in a component's interior; with it the filter
+        // below engages immediately. O(n) scan, no tree work.
+        {
+            let cand_view = as_atomic_u64(&mut candidate);
+            let (best_ref, comp_ref) = (&best_of, &comp);
+            let perm = tree.perm();
+            ctx.for_each_chunk(n, DEFAULT_GRAIN, |range| {
+                let mut run_root = usize::MAX;
+                let mut run_best = u64::MAX;
+                for i in range {
+                    let q = perm[i];
+                    let root = comp_ref[q as usize] as usize;
+                    if root != run_root {
+                        if run_best != u64::MAX {
+                            cand_view[run_root].fetch_min(run_best, Ordering::Relaxed);
+                        }
+                        run_root = root;
+                        run_best = u64::MAX;
+                    }
+                    let (d2, p) = best_ref[q as usize];
+                    if p != u32::MAX && comp_ref[p as usize] as usize != root {
+                        run_best = run_best.min(pack_candidate(d2, q));
+                    }
+                }
+                if run_best != u64::MAX {
+                    cand_view[run_root].fetch_min(run_best, Ordering::Relaxed);
+                }
+            });
+        }
+
         // Every point proposes its nearest foreign neighbour to its
-        // component (paper's "find minimum outgoing edge" step).
+        // component (paper's "find minimum outgoing edge" step). Lanes walk
+        // the points in kd-tree order: spatially coherent, so consecutive
+        // queries usually share a component and the per-lane run state
+        // below replaces most atomic traffic.
         {
             let cand_view = as_atomic_u64(&mut candidate);
             let best_view = UnsafeSlice::new(&mut best_of);
+            let lower_view = UnsafeSlice::new(&mut lower);
             let comp_ref = &comp;
             let purity_ref = &purity;
-            let seed_from_last = !first_round;
+            let perm = tree.perm();
             ctx.for_each_chunk_traced(n, 256, KernelKind::TreeTraverse, (n as u64) * 64, |range| {
-                for q in range {
+                // Run state for the current same-component stretch: the best
+                // proposal found by this lane (flushed with one atomic min
+                // when the run ends) and the tightest known component bound.
+                let mut run_root = usize::MAX;
+                let mut run_best = u64::MAX;
+                let mut run_bound = f32::INFINITY;
+                for i in range {
+                    let q = perm[i];
+                    let root = comp_ref[q as usize] as usize;
+                    if root != run_root {
+                        if run_best != u64::MAX {
+                            cand_view[run_root].fetch_min(run_best, Ordering::Relaxed);
+                        }
+                        run_root = root;
+                        run_best = u64::MAX;
+                        let packed = cand_view[root].load(Ordering::Relaxed);
+                        run_bound = if packed == u64::MAX {
+                            f32::INFINITY
+                        } else {
+                            ordered_u32_to_f32((packed >> 32) as u32)
+                        };
+                    }
+                    // SAFETY: perm is a permutation, so slots q of both
+                    // per-point arrays are read and written by exactly this
+                    // task.
+                    // Boundary-point filter: `lower[q]` lower-bounds q's
+                    // nearest-foreign distance and `run_bound` is an edge
+                    // some component member already achieved, so a point
+                    // strictly above the bound can neither win nor tie the
+                    // component minimum — skip its traversal entirely.
+                    // (Ties must still propose: smaller index wins.)
+                    if unsafe { lower_view.read(q as usize) } > run_bound {
+                        continue;
+                    }
+                    let prev = unsafe { best_view.read(q as usize) };
                     // Warm start: the previous round's winner is a valid
                     // candidate iff its component is still foreign.
-                    // SAFETY: slot q is only accessed by this task.
-                    let prev = unsafe { best_view.read(q) };
-                    let mut seed = (seed_from_last
-                        && prev.1 != u32::MAX
-                        && comp_ref[prev.1 as usize] != comp_ref[q])
+                    let mut seed = (prev.1 != u32::MAX
+                        && comp_ref[prev.1 as usize] != comp_ref[q as usize])
                         .then_some(prev);
                     // Component bound: only the minimum outgoing edge per
                     // component survives, so the component's current best
@@ -112,25 +227,44 @@ pub fn boruvka_mst<M: Metric>(
                     // silent. The surviving (distance, proposer) minimum is
                     // unchanged: ties at the bound are still reported, and
                     // anything above it could never win the atomic min.
-                    let root = comp_ref[q] as usize;
-                    let packed = cand_view[root].load(Ordering::Relaxed);
-                    if packed != u64::MAX {
-                        let bound = ordered_u32_to_f32((packed >> 32) as u32);
-                        if seed.is_none_or(|(d2, _)| bound < d2) {
-                            seed = Some((bound, u32::MAX));
+                    if run_bound.is_finite() && seed.is_none_or(|(d2, _)| run_bound < d2) {
+                        seed = Some((run_bound, u32::MAX));
+                    }
+                    let found =
+                        tree.nearest_foreign_bounded(points, metric, q, comp_ref, purity_ref, seed);
+                    match found {
+                        ForeignSearch::Found(d2, p) => {
+                            // The search returned q's exact nearest-foreign
+                            // distance, which is both the next candidate and
+                            // the tightest possible lower bound.
+                            // SAFETY: as above, slots q are owned here.
+                            unsafe {
+                                best_view.write(q as usize, (d2, p));
+                                lower_view.write(q as usize, d2);
+                            }
+                            run_best = run_best.min(pack_candidate(d2, q));
+                            run_bound = run_bound.min(d2);
+                        }
+                        ForeignSearch::Empty(margin) => {
+                            // Only a bound-only-seeded search can come up
+                            // empty: everything foreign provably sits at
+                            // least `margin` (> the bound) away, so record
+                            // it as q's lower bound for later rounds and
+                            // keep it monotone (the previous witness, if
+                            // any, stays valid).
+                            // SAFETY: as above.
+                            unsafe {
+                                let old = lower_view.read(q as usize);
+                                lower_view.write(q as usize, old.max(margin));
+                            }
                         }
                     }
-                    let found = tree
-                        .nearest_foreign_from(points, metric, q as u32, comp_ref, purity_ref, seed);
-                    if let Some((d2, p)) = found {
-                        // SAFETY: slot q written only by this task.
-                        unsafe { best_view.write(q, (d2, p)) };
-                        cand_view[root].fetch_min(pack_candidate(d2, q as u32), Ordering::Relaxed);
-                    }
+                }
+                if run_best != u64::MAX {
+                    cand_view[run_root].fetch_min(run_best, Ordering::Relaxed);
                 }
             });
         }
-        first_round = false;
 
         // Collect winning edges; deduplicate reciprocal pairs with a
         // sequential pass over components (O(#components)).

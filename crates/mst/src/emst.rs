@@ -19,11 +19,11 @@
 use std::time::Instant;
 
 use pandora_core::Edge;
-use pandora_exec::ExecCtx;
+use pandora_exec::{ExecCtx, UnsafeSlice, DEFAULT_GRAIN};
 
-use crate::boruvka::boruvka_mst;
+use crate::boruvka::{boruvka_mst, boruvka_mst_seeded};
 use crate::kdtree::{KdTree, DEFAULT_LEAF_SIZE};
-use crate::knn::core_distances2;
+use crate::knn::core_distances2_and_knn;
 use crate::metric::{Euclidean, MutualReachability};
 use crate::point::PointSet;
 
@@ -32,7 +32,7 @@ use crate::point::PointSet;
 pub struct EmstParams {
     /// HDBSCAN\* `minPts` (counting the point itself). `min_pts <= 1`
     /// yields the plain Euclidean MST. Must not exceed the point count;
-    /// see [`core_distances2`].
+    /// see [`crate::knn::core_distances2`].
     pub min_pts: usize,
     /// kd-tree leaf capacity.
     pub leaf_size: usize,
@@ -120,14 +120,40 @@ pub fn emst(ctx: &ExecCtx, points: &PointSet, params: &EmstParams) -> Emst {
 
     ctx.set_phase("emst_core");
     let t = Instant::now();
-    let core2 = core_distances2(ctx, points, &tree, params.min_pts);
+    let (core2, nn) = core_distances2_and_knn(ctx, points, &tree, params.min_pts);
     tree.attach_core2(&core2);
+    // First-round Borůvka seeds from the k-NN pass: for a heap member p of
+    // q, the Euclidean part is ≤ core2[q], so the mutual-reachability
+    // distance collapses to max(core2[q], core2[p]) — pick the cheapest
+    // member (ties to the smaller index, matching Borůvka's tie-break).
+    let k = params.min_pts - 1;
+    let mut seeds = vec![(f32::INFINITY, u32::MAX); n];
+    {
+        let seed_view = UnsafeSlice::new(&mut seeds);
+        let (core2_ref, nn_ref) = (&core2, &nn);
+        ctx.for_each_chunk(n, DEFAULT_GRAIN, |range| {
+            for q in range {
+                let mut best = (f32::INFINITY, u32::MAX);
+                for &p in &nn_ref[q * k..(q + 1) * k] {
+                    if p == u32::MAX {
+                        break;
+                    }
+                    let d2 = core2_ref[q].max(core2_ref[p as usize]);
+                    if d2 < best.0 || (d2 == best.0 && p < best.1) {
+                        best = (d2, p);
+                    }
+                }
+                // SAFETY: disjoint writes.
+                unsafe { seed_view.write(q, best) };
+            }
+        });
+    }
     timings.core_s = t.elapsed().as_secs_f64();
 
     ctx.set_phase("emst_boruvka");
     let t = Instant::now();
     let metric = MutualReachability { core2: &core2 };
-    let edges = boruvka_mst(ctx, points, &tree, &metric);
+    let edges = boruvka_mst_seeded(ctx, points, &tree, &metric, Some(seeds));
     timings.boruvka_s = t.elapsed().as_secs_f64();
 
     Emst {

@@ -4,12 +4,17 @@
 //! (\[39\]): it answers k-nearest-neighbour queries (core distances) and
 //! component-aware nearest-foreign-point queries (Borůvka rounds).
 //!
-//! Construction is level-synchronous: all nodes of a level are partitioned
-//! in parallel (median split along the widest box dimension), which is the
-//! standard GPU-friendly formulation and maps onto the substrate's
-//! `for_each`. Subtree point ranges stay contiguous in the permutation
-//! array, so per-node metadata (bounding boxes, min core distance,
-//! component purity) can be maintained with leaf-up sweeps.
+//! Construction is subtree-parallel: the top levels are split
+//! level-synchronously (median split along the widest box dimension, node
+//! ids allocated sequentially, per-node partitioning and boxes in
+//! parallel) until enough independent subtrees exist to saturate the
+//! pool, then each subtree is built entirely within one pool lane using
+//! lane-local node storage, and the local node blocks are spliced after
+//! the top nodes with child-id fixup. Subtree
+//! point ranges stay contiguous in the permutation array, so per-node
+//! metadata (bounding boxes, min core distance, component purity) can be
+//! maintained with leaf-up sweeps, and the node id order keeps every child
+//! id larger than its parent's.
 //!
 //! # Hot-path design
 //!
@@ -27,9 +32,9 @@
 //! distance, subtree minimum core distance) cannot beat it.
 
 use pandora_exec::trace::KernelKind;
-use pandora_exec::{ExecCtx, UnsafeSlice};
+use pandora_exec::{ExecCtx, UnsafeSlice, DEFAULT_GRAIN};
 
-use crate::metric::{point_box_dist2, Metric};
+use crate::metric::{euclid_block_dist2, point_box_dist2, Metric, LEAF_BLOCK};
 use crate::point::PointSet;
 
 const INVALID: u32 = u32::MAX;
@@ -37,11 +42,32 @@ const INVALID: u32 = u32::MAX;
 /// Default leaf capacity.
 pub const DEFAULT_LEAF_SIZE: usize = 32;
 
+/// Number of independent subtrees the sequential top phase of the build
+/// carves out before handing them to pool lanes.
+///
+/// A constant (rather than a multiple of the lane count) keeps the node
+/// layout identical across execution contexts — serial and threaded builds
+/// produce byte-identical trees — while still giving up to ~16 lanes a 4×
+/// oversubscription for load balancing.
+const BUILD_SPLIT_TARGET: usize = 64;
+
 /// Fixed traversal stack capacity. Median splits halve subtree sizes, so
 /// the tree depth is at most ⌈log₂ n⌉ ≤ 32 for `u32`-indexed points, and a
 /// traversal pushes at most one (far-child) entry per level; 64 leaves a
 /// 2× margin. Enforced at build time.
 const MAX_STACK: usize = 64;
+
+/// Outcome of a bounded nearest-foreign search
+/// ([`KdTree::nearest_foreign_bounded`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ForeignSearch {
+    /// Nearest foreign point: `(exact squared metric distance, index)`.
+    Found(f32, u32),
+    /// Nothing foreign at or below the seed bound. The payload is a proven
+    /// lower bound on the nearest-foreign squared distance (minimum over
+    /// pruned subtree bounds and scanned-but-losing foreign distances).
+    Empty(f32),
+}
 
 /// A static kd-tree with structure-of-arrays node metadata.
 pub struct KdTree {
@@ -62,6 +88,12 @@ pub struct KdTree {
     bbox_max: Vec<f32>,
     /// Point indices, grouped so each subtree is a contiguous range.
     perm: Vec<u32>,
+    /// Coordinates gathered into `perm` order and regrouped AoSoA: blocks
+    /// of [`LEAF_BLOCK`] consecutive perm positions, dimension-major within
+    /// each block (`block[d * LEAF_BLOCK + j]`), zero-padded to a whole
+    /// final block. Leaf scans stream these blocks through the 8-wide
+    /// [`euclid_block_dist2`] kernel with no strided loads.
+    leaf_coords: Vec<f32>,
     /// Per-node minimum squared core distance (after [`KdTree::attach_core2`]).
     min_core2: Option<Vec<f32>>,
     /// Tree depth (root = 0 counts as depth 1 when any node exists).
@@ -75,6 +107,14 @@ impl KdTree {
     }
 
     /// Builds a tree with a caller-chosen leaf capacity.
+    ///
+    /// The top `BUILD_SPLIT_TARGET` (64) subtrees are split off
+    /// level-synchronously (ids allocated sequentially, per-node work in
+    /// parallel); each subtree is then built wholly inside one pool lane with
+    /// lane-local node storage (per-lane scratch, no synchronization), and
+    /// the finished node blocks are spliced after the top nodes. Serial and
+    /// threaded contexts produce **identical** trees: the split target is a
+    /// constant and the splice order is the (deterministic) frontier order.
     pub fn build_with_leaf_size(ctx: &ExecCtx, points: &PointSet, leaf_size: usize) -> Self {
         let n = points.len();
         let dim = points.dim();
@@ -91,95 +131,89 @@ impl KdTree {
             bbox_min: vec![f32::INFINITY; dim],
             bbox_max: vec![f32::NEG_INFINITY; dim],
             perm: (0..n as u32).collect(),
+            leaf_coords: Vec::new(),
             min_core2: None,
             depth: usize::from(n > 0),
         };
         if n == 0 {
             return tree;
         }
+        scan_bbox(
+            points,
+            &tree.perm,
+            &mut tree.bbox_min[..dim],
+            &mut tree.bbox_max[..dim],
+        );
 
+        // Phase 1: split the top levels until enough independent subtrees
+        // exist to keep every lane busy. All frontier nodes sit at the same
+        // depth (level-synchronous). Node ids are allocated sequentially in
+        // frontier order — so the layout never depends on the lane count —
+        // but the O(n)-per-level work (partitioning, child bounding boxes)
+        // runs in parallel across the level's nodes; otherwise these ~6
+        // levels would serialize ~2n of work each and cap the build-phase
+        // speedup on many-core hosts (Amdahl).
         let mut frontier: Vec<u32> = vec![0];
-        let mut levels = 0usize;
-        while !frontier.is_empty() {
-            levels += 1;
-            // Sequential: allocate children for nodes that will split.
+        let mut frontier_depth = 1usize;
+        while frontier.len() < BUILD_SPLIT_TARGET
+            && frontier.iter().any(|&nid| {
+                (tree.end[nid as usize] - tree.start[nid as usize]) as usize > leaf_size
+            })
+        {
+            // Sequential: allocate children for the nodes that will split
+            // (placeholder splits/boxes; filled in parallel below).
             let mut splitting: Vec<u32> = Vec::new();
-            let mut next_frontier: Vec<u32> = Vec::new();
+            let mut next = Vec::with_capacity(frontier.len() * 2);
             for &nid in &frontier {
-                let (node_start, node_end) = (tree.start[nid as usize], tree.end[nid as usize]);
-                let len = (node_end - node_start) as usize;
-                if len > leaf_size {
-                    let mid = node_start + (len as u32) / 2;
-                    let left = tree.left.len() as u32;
-                    tree.left[nid as usize] = left;
-                    tree.push_node(node_start, mid);
-                    tree.push_node(mid, node_end);
-                    splitting.push(nid);
-                    next_frontier.push(left);
-                    next_frontier.push(left + 1);
+                let (s, e) = (tree.start[nid as usize], tree.end[nid as usize]);
+                if (e - s) as usize <= leaf_size {
+                    // Finished leaf above the subtree frontier; its depth
+                    // (< the final frontier depth) can never be the maximum.
+                    continue;
                 }
+                let mid = s + (e - s) / 2;
+                let left = tree.left.len() as u32;
+                tree.left[nid as usize] = left;
+                tree.push_node(s, mid);
+                tree.push_node(mid, e);
+                splitting.push(nid);
+                next.push(left);
+                next.push(left + 1);
             }
-            // Parallel: bounding boxes for the whole frontier (scratch is
-            // reused across the nodes of a chunk).
             let n_nodes = tree.left.len();
             tree.bbox_min.resize(n_nodes * dim, f32::INFINITY);
             tree.bbox_max.resize(n_nodes * dim, f32::NEG_INFINITY);
-            {
-                let min_view = UnsafeSlice::new(&mut tree.bbox_min);
-                let max_view = UnsafeSlice::new(&mut tree.bbox_max);
-                let (start_ref, end_ref) = (&tree.start, &tree.end);
-                let (perm_ref, frontier_ref) = (&tree.perm, &frontier);
-                ctx.for_each_chunk(frontier.len(), 1, |range| {
-                    let mut lo = vec![0.0f32; dim];
-                    let mut hi = vec![0.0f32; dim];
-                    for fi in range {
-                        let nid = frontier_ref[fi] as usize;
-                        lo.fill(f32::INFINITY);
-                        hi.fill(f32::NEG_INFINITY);
-                        for &p in &perm_ref[start_ref[nid] as usize..end_ref[nid] as usize] {
-                            let pt = points.point(p as usize);
-                            for d in 0..dim {
-                                lo[d] = lo[d].min(pt[d]);
-                                hi[d] = hi[d].max(pt[d]);
-                            }
-                        }
-                        for d in 0..dim {
-                            // SAFETY: each node's box slots are written by
-                            // the single task owning that frontier entry.
-                            unsafe {
-                                min_view.write(nid * dim + d, lo[d]);
-                                max_view.write(nid * dim + d, hi[d]);
-                            }
-                        }
-                    }
-                });
-            }
-            // Parallel: partition splitting nodes around the median of the
-            // widest box dimension, caching the split for traversal.
+            // Parallel: partition each splitting node around the median of
+            // its widest box dimension, cache the split, and compute both
+            // children's bounding boxes. Writes are disjoint per node.
             {
                 let perm_view = UnsafeSlice::new(&mut tree.perm);
                 let sdim_view = UnsafeSlice::new(&mut tree.split_dim);
                 let sval_view = UnsafeSlice::new(&mut tree.split_val);
-                let (start_ref, end_ref, splitting_ref) = (&tree.start, &tree.end, &splitting);
-                let (bmin, bmax) = (&tree.bbox_min, &tree.bbox_max);
+                let bmin_view = UnsafeSlice::new(&mut tree.bbox_min);
+                let bmax_view = UnsafeSlice::new(&mut tree.bbox_max);
+                let (start_ref, end_ref, left_ref, splitting_ref) =
+                    (&tree.start, &tree.end, &tree.left, &splitting);
                 ctx.for_each(splitting.len(), 1, |si| {
                     let nid = splitting_ref[si] as usize;
-                    let (node_start, node_end) = (start_ref[nid], end_ref[nid]);
-                    let mut split_dim = 0;
-                    let mut widest = f32::NEG_INFINITY;
-                    for d in 0..dim {
-                        let w = bmax[nid * dim + d] - bmin[nid * dim + d];
-                        if w > widest {
-                            widest = w;
-                            split_dim = d;
-                        }
-                    }
-                    let mid = (node_end - node_start) as usize / 2;
+                    let (s, e) = (start_ref[nid] as usize, end_ref[nid] as usize);
+                    // SAFETY: a splitting node's bbox row was fully written
+                    // before this region started (by the previous level's
+                    // child scans, or the initial root scan) and no task in
+                    // this region writes it — child rows written below all
+                    // belong to nodes allocated this level.
+                    let (pmin, pmax) = unsafe {
+                        (
+                            &*bmin_view.slice_mut(nid * dim..(nid + 1) * dim),
+                            &*bmax_view.slice_mut(nid * dim..(nid + 1) * dim),
+                        )
+                    };
+                    let split_dim = widest_dim(pmin, pmax);
+                    let mid = (e - s) / 2;
                     // SAFETY: subtree ranges of distinct frontier nodes are
-                    // disjoint, and each node's split slots are owned by the
-                    // task partitioning that node.
-                    let range =
-                        unsafe { perm_view.slice_mut(node_start as usize..node_end as usize) };
+                    // disjoint; each node's split/box slots are owned by the
+                    // task splitting that node.
+                    let range = unsafe { perm_view.slice_mut(s..e) };
                     range.select_nth_unstable_by(mid, |&a, &b| {
                         let ca = points.point(a as usize)[split_dim];
                         let cb = points.point(b as usize)[split_dim];
@@ -190,15 +224,116 @@ impl KdTree {
                         sdim_view.write(nid, split_dim as u32);
                         sval_view.write(nid, median);
                     }
+                    let left = left_ref[nid] as usize;
+                    for (child, (cs, ce)) in [(left, (s, s + mid)), (left + 1, (s + mid, e))] {
+                        unsafe {
+                            scan_bbox(
+                                points,
+                                &*perm_view.slice_mut(cs..ce),
+                                bmin_view.slice_mut(child * dim..(child + 1) * dim),
+                                bmax_view.slice_mut(child * dim..(child + 1) * dim),
+                            );
+                        }
+                    }
                 });
             }
-            frontier = next_frontier;
+            frontier = next;
+            frontier_depth += 1;
         }
-        tree.depth = levels;
+
+        // Phase 2 (parallel): every frontier subtree is built independently
+        // into lane-local storage. Writes are disjoint: each task owns its
+        // subtree's `perm` range and its own `subtrees[fi]` slot.
+        let n_top = tree.left.len();
+        let mut subtrees: Vec<Option<SubtreeNodes>> = (0..frontier.len()).map(|_| None).collect();
+        {
+            let sub_view = UnsafeSlice::new(&mut subtrees);
+            let perm_view = UnsafeSlice::new(&mut tree.perm);
+            let (start_ref, end_ref, frontier_ref) = (&tree.start, &tree.end, &frontier);
+            let (bmin, bmax) = (&tree.bbox_min, &tree.bbox_max);
+            ctx.for_each_chunk(frontier.len(), 1, |range| {
+                for fi in range {
+                    let nid = frontier_ref[fi] as usize;
+                    let (s, e) = (start_ref[nid] as usize, end_ref[nid] as usize);
+                    // SAFETY: subtree ranges of distinct frontier nodes are
+                    // disjoint, and slot `fi` is owned by this task.
+                    let perm_sub = unsafe { perm_view.slice_mut(s..e) };
+                    let built = build_subtree(
+                        points,
+                        perm_sub,
+                        s as u32,
+                        leaf_size,
+                        (
+                            &bmin[nid * dim..(nid + 1) * dim],
+                            &bmax[nid * dim..(nid + 1) * dim],
+                        ),
+                    );
+                    unsafe { sub_view.write(fi, Some(built)) };
+                }
+            });
+        }
+
+        // Phase 3 (sequential, O(#nodes)): splice the lane-local node blocks
+        // after the top nodes, offsetting child ids. Local id 0 is the
+        // frontier node itself (already in the global arrays); descendants
+        // map to `offset + local_id - 1`, which keeps every child id larger
+        // than its parent's (the leaf-up sweeps rely on that order).
+        let mut depth = frontier_depth;
+        let mut offset = n_top as u32;
+        for (fi, slot) in subtrees.iter_mut().enumerate() {
+            let sub = slot.take().expect("subtree built by phase 2");
+            let nid = frontier[fi] as usize;
+            if sub.left[0] != INVALID {
+                tree.left[nid] = offset + sub.left[0] - 1;
+                tree.split_dim[nid] = sub.split_dim[0];
+                tree.split_val[nid] = sub.split_val[0];
+            }
+            for lid in 1..sub.left.len() {
+                let l = sub.left[lid];
+                tree.left.push(if l == INVALID {
+                    INVALID
+                } else {
+                    offset + l - 1
+                });
+                tree.start.push(sub.start[lid]);
+                tree.end.push(sub.end[lid]);
+                tree.split_dim.push(sub.split_dim[lid]);
+                tree.split_val.push(sub.split_val[lid]);
+            }
+            tree.bbox_min.extend_from_slice(&sub.bbox_min[dim..]);
+            tree.bbox_max.extend_from_slice(&sub.bbox_max[dim..]);
+            offset += (sub.left.len() - 1) as u32;
+            depth = depth.max(frontier_depth + sub.depth - 1);
+        }
+        tree.depth = depth;
         assert!(
-            levels + 1 < MAX_STACK,
-            "kd-tree depth {levels} exceeds the fixed traversal stack"
+            depth + 1 < MAX_STACK,
+            "kd-tree depth {depth} exceeds the fixed traversal stack"
         );
+
+        // Phase 4 (parallel): gather coordinates into perm order, AoSoA
+        // blocks of LEAF_BLOCK points, so leaf scans stream whole blocks
+        // through the 8-wide distance kernel.
+        let n_blocks = n.div_ceil(LEAF_BLOCK);
+        tree.leaf_coords = vec![0.0f32; n_blocks * LEAF_BLOCK * dim];
+        {
+            let lc = UnsafeSlice::new(&mut tree.leaf_coords);
+            let perm_ref = &tree.perm;
+            ctx.for_each_chunk(n_blocks, (DEFAULT_GRAIN / LEAF_BLOCK).max(1), |range| {
+                for b in range {
+                    let base = b * LEAF_BLOCK * dim;
+                    let lo = b * LEAF_BLOCK;
+                    let hi = (lo + LEAF_BLOCK).min(n);
+                    for (j, &p) in perm_ref[lo..hi].iter().enumerate() {
+                        let pt = points.point(p as usize);
+                        for (d, &c) in pt.iter().enumerate() {
+                            // SAFETY: block b is owned by this iteration.
+                            unsafe { lc.write(base + d * LEAF_BLOCK + j, c) };
+                        }
+                    }
+                }
+            });
+        }
         tree
     }
 
@@ -214,6 +349,14 @@ impl KdTree {
     /// Number of points indexed.
     pub fn len(&self) -> usize {
         self.perm.len()
+    }
+
+    /// The point permutation: position → point index, each subtree a
+    /// contiguous range. Iterating queries in this order visits points in
+    /// spatially coherent (leaf) order, which the Borůvka and core-distance
+    /// batches exploit for cache reuse and same-component run detection.
+    pub fn perm(&self) -> &[u32] {
+        &self.perm
     }
 
     /// Whether the tree is empty.
@@ -253,43 +396,58 @@ impl KdTree {
     }
 
     /// Per-node component purity: the component id shared by every point in
-    /// the subtree, or `u32::MAX` if mixed. Leaf-up sweep, O(n).
+    /// the subtree, or `u32::MAX` if mixed. O(n).
     pub fn component_purity(&self, comp: &[u32]) -> Vec<u32> {
         let mut purity = Vec::new();
-        self.component_purity_into(comp, &mut purity);
+        self.component_purity_into(&ExecCtx::serial(), comp, &mut purity);
         purity
     }
 
     /// [`KdTree::component_purity`] into a reusable buffer (resized as
     /// needed) — Borůvka calls this every round, so the allocation is paid
     /// once, not per round.
-    pub fn component_purity_into(&self, comp: &[u32], purity: &mut Vec<u32>) {
+    ///
+    /// The O(n) leaf scans (the dominant cost) run in parallel; the
+    /// internal combine is a serial leaf-up sweep over the O(n / leaf_size)
+    /// nodes, which is noise by comparison.
+    pub fn component_purity_into(&self, ctx: &ExecCtx, comp: &[u32], purity: &mut Vec<u32>) {
         purity.clear();
         purity.resize(self.n_nodes(), INVALID);
+        {
+            let purity_view = UnsafeSlice::new(purity.as_mut_slice());
+            let (left_ref, start_ref, end_ref, perm_ref) =
+                (&self.left, &self.start, &self.end, &self.perm);
+            ctx.for_each_chunk(self.n_nodes(), 64, |range| {
+                for nid in range {
+                    if left_ref[nid] != INVALID {
+                        continue;
+                    }
+                    let range = &perm_ref[start_ref[nid] as usize..end_ref[nid] as usize];
+                    let value = match range.first() {
+                        None => INVALID,
+                        Some(&first_point) => {
+                            let first = comp[first_point as usize];
+                            if range.iter().all(|&p| comp[p as usize] == first) {
+                                first
+                            } else {
+                                INVALID
+                            }
+                        }
+                    };
+                    // SAFETY: node nid is owned by this iteration.
+                    unsafe { purity_view.write(nid, value) };
+                }
+            });
+        }
+        // Children always have larger ids than their parent, so the reverse
+        // sweep sees both children before every internal parent.
         for nid in (0..self.n_nodes()).rev() {
             let left = self.left[nid];
-            purity[nid] = if left == INVALID {
-                let range = &self.perm[self.start[nid] as usize..self.end[nid] as usize];
-                match range.first() {
-                    None => INVALID,
-                    Some(&first_point) => {
-                        let first = comp[first_point as usize];
-                        if range.iter().all(|&p| comp[p as usize] == first) {
-                            first
-                        } else {
-                            INVALID
-                        }
-                    }
-                }
-            } else {
+            if left != INVALID {
                 let l = purity[left as usize];
                 let r = purity[left as usize + 1];
-                if l == r {
-                    l
-                } else {
-                    INVALID
-                }
-            };
+                purity[nid] = if l == r { l } else { INVALID };
+            }
         }
     }
 
@@ -320,6 +478,7 @@ impl KdTree {
         let mut sp = 0usize;
         let mut nid = 0u32;
         let mut bound = self.node_box_dist2(0, qp);
+        let mut d2buf = [0.0f32; LEAF_BLOCK];
         loop {
             if bound <= heap.worst() {
                 // Descend along near children, pushing far children that
@@ -352,13 +511,22 @@ impl KdTree {
                     nid = near;
                 }
                 if nid != INVALID {
-                    for &p in &self.perm
-                        [self.start[nid as usize] as usize..self.end[nid as usize] as usize]
-                    {
-                        if p == q {
-                            continue;
+                    // Chunked leaf scan: each AoSoA block yields 8 Euclidean
+                    // distances at once, then a scalar filter over the
+                    // block's overlap with the leaf range.
+                    let (s, e) = (
+                        self.start[nid as usize] as usize,
+                        self.end[nid as usize] as usize,
+                    );
+                    let bw = LEAF_BLOCK * self.dim;
+                    for b in s / LEAF_BLOCK..e.div_ceil(LEAF_BLOCK) {
+                        euclid_block_dist2(qp, &self.leaf_coords[b * bw..(b + 1) * bw], &mut d2buf);
+                        for i in s.max(b * LEAF_BLOCK)..e.min((b + 1) * LEAF_BLOCK) {
+                            let p = self.perm[i];
+                            if p != q {
+                                heap.push(d2buf[i - b * LEAF_BLOCK], p);
+                            }
                         }
-                        heap.push(points.dist2(q as usize, p as usize), p);
                     }
                 }
             }
@@ -407,11 +575,38 @@ impl KdTree {
         purity: &[u32],
         seed: Option<(f32, u32)>,
     ) -> Option<(f32, u32)> {
+        match self.nearest_foreign_bounded(points, metric, q, comp, purity, seed) {
+            ForeignSearch::Found(d2, p) => Some((d2, p)),
+            ForeignSearch::Empty(_) => None,
+        }
+    }
+
+    /// [`KdTree::nearest_foreign_from`] that additionally reports *how far
+    /// away* every foreign point provably is when the search comes up
+    /// empty.
+    ///
+    /// [`ForeignSearch::Empty`] carries the minimum over all pruned subtree
+    /// bounds and all scanned-but-losing foreign distances — a valid lower
+    /// bound on `q`'s nearest-foreign distance that is usually far tighter
+    /// than the seed bound. Borůvka stores it so interior points stay
+    /// filtered for many rounds instead of re-searching every round.
+    pub fn nearest_foreign_bounded<M: Metric>(
+        &self,
+        points: &PointSet,
+        metric: &M,
+        q: u32,
+        comp: &[u32],
+        purity: &[u32],
+        seed: Option<(f32, u32)>,
+    ) -> ForeignSearch {
         if self.perm.is_empty() {
-            return None;
+            return ForeignSearch::Empty(f32::INFINITY);
         }
         let (mut best_d2, mut best_p) = seed.unwrap_or((f32::INFINITY, INVALID));
         debug_assert!(best_p == INVALID || comp[best_p as usize] != comp[q as usize]);
+        // Lower bound on everything foreign this search pruned or rejected;
+        // only meaningful when no candidate is found.
+        let mut margin = f32::INFINITY;
         let qp = points.point(q as usize);
         let my_comp = comp[q as usize];
         let zero_core: &[f32] = &[];
@@ -429,10 +624,12 @@ impl KdTree {
         let mut sp = 0usize;
         let mut nid = 0u32;
         let mut bound = node_bound(0);
+        let mut d2buf = [0.0f32; LEAF_BLOCK];
         loop {
             // Strict comparison: an equal-bound subtree may still hold an
             // equal-distance point with a smaller index (deterministic
-            // ties). Pure subtrees of q's own component are skipped.
+            // ties). Pure subtrees of q's own component are skipped (they
+            // hold nothing foreign, so they never affect the margin).
             if bound <= best_d2 && purity[nid as usize] != my_comp {
                 loop {
                     let left = self.left[nid as usize];
@@ -447,31 +644,56 @@ impl KdTree {
                         (left + 1, left)
                     };
                     let bfar = node_bound(far as usize);
-                    if bfar <= best_d2 && purity[far as usize] != my_comp {
-                        stack[sp] = (far, bfar);
-                        sp += 1;
+                    if purity[far as usize] != my_comp {
+                        if bfar <= best_d2 {
+                            stack[sp] = (far, bfar);
+                            sp += 1;
+                        } else {
+                            margin = margin.min(bfar);
+                        }
                     }
                     let bnear = node_bound(near as usize);
                     if bnear > best_d2 || purity[near as usize] == my_comp {
+                        if purity[near as usize] != my_comp {
+                            margin = margin.min(bnear);
+                        }
                         nid = INVALID;
                         break;
                     }
                     nid = near;
                 }
                 if nid != INVALID {
-                    for &p in &self.perm
-                        [self.start[nid as usize] as usize..self.end[nid as usize] as usize]
-                    {
-                        if comp[p as usize] == my_comp {
-                            continue;
-                        }
-                        let d2 = metric.dist2(points, q, p);
-                        if d2 < best_d2 || (d2 == best_d2 && p < best_p) {
-                            best_d2 = d2;
-                            best_p = p;
+                    // Chunked leaf scan: the Euclidean part is computed for
+                    // a whole AoSoA block at once; the scalar pass gathers
+                    // component labels and finalizes the metric
+                    // (`refine_euclid2` agrees exactly with `dist2`).
+                    let (s, e) = (
+                        self.start[nid as usize] as usize,
+                        self.end[nid as usize] as usize,
+                    );
+                    let bw = LEAF_BLOCK * self.dim;
+                    for b in s / LEAF_BLOCK..e.div_ceil(LEAF_BLOCK) {
+                        euclid_block_dist2(qp, &self.leaf_coords[b * bw..(b + 1) * bw], &mut d2buf);
+                        for i in s.max(b * LEAF_BLOCK)..e.min((b + 1) * LEAF_BLOCK) {
+                            let p = self.perm[i];
+                            if comp[p as usize] == my_comp {
+                                continue;
+                            }
+                            let d2 = metric.refine_euclid2(d2buf[i - b * LEAF_BLOCK], q, p);
+                            if d2 < best_d2 || (d2 == best_d2 && p < best_p) {
+                                best_d2 = d2;
+                                best_p = p;
+                            } else {
+                                margin = margin.min(d2);
+                            }
                         }
                     }
                 }
+            } else if purity[nid as usize] != my_comp {
+                // Pruned by the bound (stacked before the bound tightened,
+                // or the root itself): its foreign points all sit at least
+                // `bound` away.
+                margin = margin.min(bound);
             }
             if sp == 0 {
                 break;
@@ -479,7 +701,11 @@ impl KdTree {
             sp -= 1;
             (nid, bound) = stack[sp];
         }
-        (best_p != INVALID).then_some((best_d2, best_p))
+        if best_p != INVALID {
+            ForeignSearch::Found(best_d2, best_p)
+        } else {
+            ForeignSearch::Empty(margin)
+        }
     }
 
     /// Verifies the structural invariants of the tree: `perm` is a
@@ -503,6 +729,21 @@ impl KdTree {
         }
         if self.start[0] != 0 || self.end[0] != n as u32 {
             return Err("root range does not cover all points".into());
+        }
+        let expect_lc = n.div_ceil(LEAF_BLOCK) * LEAF_BLOCK * self.dim;
+        if self.leaf_coords.len() != expect_lc {
+            return Err(format!(
+                "leaf_coords holds {} values, expected {expect_lc}",
+                self.leaf_coords.len(),
+            ));
+        }
+        for (i, &p) in self.perm.iter().enumerate() {
+            let base = (i / LEAF_BLOCK) * LEAF_BLOCK * self.dim + i % LEAF_BLOCK;
+            for (d, &c) in points.point(p as usize).iter().enumerate() {
+                if self.leaf_coords[base + d * LEAF_BLOCK] != c {
+                    return Err(format!("leaf_coords slot {i} does not match point {p}"));
+                }
+            }
         }
         for nid in 0..self.n_nodes() {
             let (s, e) = (self.start[nid], self.end[nid]);
@@ -564,6 +805,129 @@ impl KdTree {
             &self.bbox_max[nid * self.dim..(nid + 1) * self.dim],
         )
     }
+}
+
+/// Lane-local nodes of one independently built subtree.
+///
+/// Local id 0 mirrors the subtree's frontier root (whose global slots
+/// already exist); descendants occupy ids 1.. in an order where every child
+/// id is larger than its parent's, so the global splice preserves the
+/// leaf-up sweep invariant.
+struct SubtreeNodes {
+    left: Vec<u32>,
+    start: Vec<u32>,
+    end: Vec<u32>,
+    split_dim: Vec<u32>,
+    split_val: Vec<f32>,
+    /// Flat `[local_node][dim]` boxes; row 0 copies the root's known box.
+    bbox_min: Vec<f32>,
+    bbox_max: Vec<f32>,
+    /// Levels in this subtree (1 = the root is already a leaf).
+    depth: usize,
+}
+
+/// Index of the widest box side.
+#[inline]
+fn widest_dim(bbox_min: &[f32], bbox_max: &[f32]) -> usize {
+    let mut split_dim = 0;
+    let mut widest = f32::NEG_INFINITY;
+    for (d, (&hi, &lo)) in bbox_max.iter().zip(bbox_min.iter()).enumerate() {
+        let w = hi - lo;
+        if w > widest {
+            widest = w;
+            split_dim = d;
+        }
+    }
+    split_dim
+}
+
+/// Bounding box of the points listed in `perm`, written into `lo`/`hi`.
+fn scan_bbox(points: &PointSet, perm: &[u32], lo: &mut [f32], hi: &mut [f32]) {
+    lo.fill(f32::INFINITY);
+    hi.fill(f32::NEG_INFINITY);
+    for &p in perm {
+        for (d, &c) in points.point(p as usize).iter().enumerate() {
+            lo[d] = lo[d].min(c);
+            hi[d] = hi[d].max(c);
+        }
+    }
+}
+
+/// Builds one subtree entirely within the calling lane.
+///
+/// `perm_sub` is the subtree's slice of the global permutation (positions
+/// `gstart..gstart + perm_sub.len()`); `root_bbox` is the frontier node's
+/// already-computed box. Node `start`/`end` values are **global** perm
+/// positions. Deterministic: splits depend only on the point set, never on
+/// lane scheduling.
+fn build_subtree(
+    points: &PointSet,
+    perm_sub: &mut [u32],
+    gstart: u32,
+    leaf_size: usize,
+    root_bbox: (&[f32], &[f32]),
+) -> SubtreeNodes {
+    let dim = points.dim();
+    let mut nodes = SubtreeNodes {
+        left: vec![INVALID],
+        start: vec![gstart],
+        end: vec![gstart + perm_sub.len() as u32],
+        split_dim: vec![0],
+        split_val: vec![0.0],
+        bbox_min: root_bbox.0.to_vec(),
+        bbox_max: root_bbox.1.to_vec(),
+        depth: 1,
+    };
+    // Explicit DFS stack of (local id, depth); ids are assigned when the
+    // children are appended, so processing order never changes the layout.
+    let mut stack: Vec<(u32, usize)> = vec![(0, 1)];
+    while let Some((lid, d)) = stack.pop() {
+        nodes.depth = nodes.depth.max(d);
+        let lid = lid as usize;
+        let (s, e) = (nodes.start[lid] as usize, nodes.end[lid] as usize);
+        if e - s <= leaf_size {
+            continue;
+        }
+        let split_dim = widest_dim(
+            &nodes.bbox_min[lid * dim..(lid + 1) * dim],
+            &nodes.bbox_max[lid * dim..(lid + 1) * dim],
+        );
+        let mid = (e - s) / 2;
+        let range = &mut perm_sub[s - gstart as usize..e - gstart as usize];
+        range.select_nth_unstable_by(mid, |&a, &b| {
+            let ca = points.point(a as usize)[split_dim];
+            let cb = points.point(b as usize)[split_dim];
+            ca.total_cmp(&cb).then(a.cmp(&b))
+        });
+        let median = points.point(range[mid] as usize)[split_dim];
+        nodes.split_dim[lid] = split_dim as u32;
+        nodes.split_val[lid] = median;
+        let left = nodes.left.len() as u32;
+        nodes.left[lid] = left;
+        for (cs, ce) in [(s, s + mid), (s + mid, e)] {
+            nodes.left.push(INVALID);
+            nodes.start.push(cs as u32);
+            nodes.end.push(ce as u32);
+            nodes.split_dim.push(0);
+            nodes.split_val.push(0.0);
+            let row = nodes.bbox_min.len();
+            nodes
+                .bbox_min
+                .extend(std::iter::repeat_n(f32::INFINITY, dim));
+            nodes
+                .bbox_max
+                .extend(std::iter::repeat_n(f32::NEG_INFINITY, dim));
+            scan_bbox(
+                points,
+                &perm_sub[cs - gstart as usize..ce - gstart as usize],
+                &mut nodes.bbox_min[row..row + dim],
+                &mut nodes.bbox_max[row..row + dim],
+            );
+        }
+        stack.push((left, d + 1));
+        stack.push((left + 1, d + 1));
+    }
+    nodes
 }
 
 /// Reusable bounded max-heap keeping the `k` smallest `(d2, index)` pairs.
@@ -655,6 +1019,13 @@ impl KnnHeap {
                 i = largest;
             }
         }
+    }
+
+    /// The held neighbours in **heap order** (no particular order) —
+    /// cheaper than [`KnnHeap::sorted`] when the caller only needs the
+    /// membership, e.g. the Borůvka seed capture.
+    pub fn items(&self) -> &[(f32, u32)] {
+        &self.items
     }
 
     /// Sorts the held neighbours ascending by `(distance, index)` in place
@@ -804,11 +1175,11 @@ mod tests {
         let tree = KdTree::build(&ctx, &points);
         let comp_all_same = vec![3u32; 100];
         let mut purity = Vec::new();
-        tree.component_purity_into(&comp_all_same, &mut purity);
+        tree.component_purity_into(&ctx, &comp_all_same, &mut purity);
         assert!(purity.iter().all(|&p| p == 3));
         // Reuse the same buffer with a different labelling.
         let comp_mixed: Vec<u32> = (0..100u32).collect();
-        tree.component_purity_into(&comp_mixed, &mut purity);
+        tree.component_purity_into(&ctx, &comp_mixed, &mut purity);
         assert_eq!(purity[0], INVALID);
     }
 

@@ -34,6 +34,41 @@ pub fn core_distances2(
     tree: &KdTree,
     min_pts: usize,
 ) -> Vec<f32> {
+    core_pass(ctx, points, tree, min_pts, None)
+}
+
+/// [`core_distances2`] fused with neighbour capture: returns the squared
+/// core distances **and** every point's `min_pts - 1` nearest neighbours
+/// (row-major `n × (min_pts - 1)`, in no particular order within a row).
+///
+/// The EMST orchestrator uses the neighbour lists to seed the first
+/// Borůvka round: for a heap member `p` of `q`, the mutual-reachability
+/// distance collapses to `max(core2[q], core2[p])` (the Euclidean part is
+/// `≤ core2[q]` by definition), so the cheapest heap member is an exact
+/// first-round candidate that prunes the all-nearest-neighbour round.
+/// Same panics as [`core_distances2`].
+pub fn core_distances2_and_knn(
+    ctx: &ExecCtx,
+    points: &PointSet,
+    tree: &KdTree,
+    min_pts: usize,
+) -> (Vec<f32>, Vec<u32>) {
+    let n = points.len();
+    let mut nn = vec![u32::MAX; n * min_pts.saturating_sub(1)];
+    let core2 = core_pass(ctx, points, tree, min_pts, Some(&mut nn));
+    (core2, nn)
+}
+
+/// The shared core-distance traversal, optionally capturing each point's
+/// heap members into `nn` (row-major `n × (min_pts - 1)`, unordered — no
+/// consumer needs the neighbours sorted, so the per-query sort is skipped).
+fn core_pass(
+    ctx: &ExecCtx,
+    points: &PointSet,
+    tree: &KdTree,
+    min_pts: usize,
+    nn: Option<&mut [u32]>,
+) -> Vec<f32> {
     let n = points.len();
     assert!(min_pts >= 1, "min_pts must be at least 1");
     assert!(
@@ -47,20 +82,35 @@ pub fn core_distances2(
         return core2;
     }
     {
-        let view = UnsafeSlice::new(&mut core2);
+        let core_view = UnsafeSlice::new(&mut core2);
+        let nn_view = nn.map(|s| {
+            assert_eq!(s.len(), n * k, "one neighbour row per point");
+            UnsafeSlice::new(s)
+        });
+        let perm = tree.perm();
         ctx.for_each_chunk_traced(
             n,
             256,
             KernelKind::TreeTraverse,
             (n as u64) * 48 * k as u64,
             |range| {
+                // One reused heap per chunk; queries walk the points in
+                // kd-tree (spatial) order so consecutive traversals touch
+                // overlapping subtrees while they are still cached.
                 let mut heap = KnnHeap::new(k);
-                for q in range {
+                for i in range {
+                    let q = perm[i] as usize;
                     tree.knn_into(points, q as u32, k, &mut heap);
                     // min_pts <= n guarantees the k-th neighbour exists.
                     debug_assert_eq!(heap.len(), k);
-                    // SAFETY: disjoint writes.
-                    unsafe { view.write(q, heap.max_d2()) };
+                    // SAFETY: perm is a permutation — row q is owned here.
+                    unsafe { core_view.write(q, heap.max_d2()) };
+                    if let Some(view) = &nn_view {
+                        for (j, &(_, p)) in heap.items().iter().enumerate() {
+                            // SAFETY: as above.
+                            unsafe { view.write(q * k + j, p) };
+                        }
+                    }
                 }
             },
         );

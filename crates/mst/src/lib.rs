@@ -26,10 +26,10 @@ pub mod metric;
 pub mod point;
 pub mod prim;
 
-pub use boruvka::boruvka_mst;
+pub use boruvka::{boruvka_mst, boruvka_mst_seeded};
 pub use emst::{emst, emst_with_core2, Emst, EmstParams, EmstTimings};
-pub use kdtree::{KdTree, KnnHeap};
-pub use knn::core_distances2;
+pub use kdtree::{ForeignSearch, KdTree, KnnHeap};
+pub use knn::{core_distances2, core_distances2_and_knn};
 pub use knn_graph::knn_graph_mst;
 pub use metric::{Euclidean, Metric, MutualReachability};
 pub use point::PointSet;

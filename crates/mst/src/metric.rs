@@ -15,10 +15,67 @@ pub trait Metric: Sync {
     /// Squared distance between points `a` and `b`.
     fn dist2(&self, points: &PointSet, a: u32, b: u32) -> f32;
 
+    /// Finalizes a precomputed squared **Euclidean** distance into this
+    /// metric's squared distance for the pair `(a, b)`.
+    ///
+    /// Must agree exactly with [`Metric::dist2`]; the chunked leaf kernels
+    /// ([`euclid_block_dist2`]) compute the Euclidean part for a whole block
+    /// of points at once and hand each lane's result through here.
+    fn refine_euclid2(&self, euclid_d2: f32, a: u32, b: u32) -> f32;
+
     /// Lower bound on the squared distance from query point `q` to any point
     /// inside the axis-aligned box `[bbox_min, bbox_max]`, given the minimum
     /// (squared) core distance of the points inside the box.
     fn box_bound2(&self, points: &PointSet, q: u32, box_dist2: f32, box_min_core2: f32) -> f32;
+}
+
+/// Width of the chunked leaf distance kernels: distances to this many
+/// consecutive points are computed per inner-loop step.
+///
+/// Eight f32 lanes fill one AVX2 register (or two NEON registers), and the
+/// kernels below are written as fixed-trip-count loops over contiguous
+/// coordinates precisely so LLVM auto-vectorizes them at this width.
+pub const LEAF_BLOCK: usize = 8;
+
+/// Squared Euclidean distances from `q` (one point, `dim` coordinates) to
+/// one [`LEAF_BLOCK`]-point coordinate block in **dimension-major** layout:
+/// `block[d * LEAF_BLOCK + j]` is coordinate `d` of block point `j`
+/// (AoSoA — the kd-tree stores leaf coordinates this way).
+///
+/// Every dimension is a contiguous 8-lane subtract–square–accumulate with a
+/// fixed trip count, the exact shape LLVM turns into packed vector ops; no
+/// strided loads or shuffles are needed. Callers always pass a full block
+/// (padding lanes compute garbage distances that are simply never read).
+#[inline]
+pub fn euclid_block_dist2(q: &[f32], block: &[f32], out: &mut [f32; LEAF_BLOCK]) {
+    debug_assert_eq!(block.len(), q.len() * LEAF_BLOCK);
+    match *q {
+        [q0, q1] => {
+            for j in 0..LEAF_BLOCK {
+                let dx = block[j] - q0;
+                let dy = block[LEAF_BLOCK + j] - q1;
+                out[j] = dx * dx + dy * dy;
+            }
+        }
+        [q0, q1, q2] => {
+            for j in 0..LEAF_BLOCK {
+                let dx = block[j] - q0;
+                let dy = block[LEAF_BLOCK + j] - q1;
+                let dz = block[2 * LEAF_BLOCK + j] - q2;
+                out[j] = dx * dx + dy * dy + dz * dz;
+            }
+        }
+        _ => {
+            out.fill(0.0);
+            for (d, &qc) in q.iter().enumerate() {
+                let lane = &block[d * LEAF_BLOCK..(d + 1) * LEAF_BLOCK];
+                for j in 0..LEAF_BLOCK {
+                    let diff = lane[j] - qc;
+                    out[j] += diff * diff;
+                }
+            }
+        }
+    }
 }
 
 /// Squared distance from a point to an axis-aligned bounding box.
@@ -61,6 +118,11 @@ impl Metric for Euclidean {
     }
 
     #[inline(always)]
+    fn refine_euclid2(&self, euclid_d2: f32, _a: u32, _b: u32) -> f32 {
+        euclid_d2
+    }
+
+    #[inline(always)]
     fn box_bound2(&self, _points: &PointSet, _q: u32, box_dist2: f32, _box_min_core2: f32) -> f32 {
         box_dist2
     }
@@ -78,6 +140,13 @@ impl Metric for MutualReachability<'_> {
     fn dist2(&self, points: &PointSet, a: u32, b: u32) -> f32 {
         let d2 = points.dist2(a as usize, b as usize);
         d2.max(self.core2[a as usize]).max(self.core2[b as usize])
+    }
+
+    #[inline(always)]
+    fn refine_euclid2(&self, euclid_d2: f32, a: u32, b: u32) -> f32 {
+        euclid_d2
+            .max(self.core2[a as usize])
+            .max(self.core2[b as usize])
     }
 
     #[inline(always)]
@@ -111,6 +180,48 @@ mod tests {
         assert_eq!(m.dist2(&points, 0, 1), 4.0);
         let m2 = MutualReachability { core2: &[0.0, 0.0] };
         assert_eq!(m2.dist2(&points, 0, 1), 1.0);
+    }
+
+    #[test]
+    fn block_kernel_matches_scalar_dist2() {
+        for dim in [2usize, 3, 5] {
+            // One full AoSoA block of deterministic coordinates plus a
+            // query point; the kernel must agree bitwise with the scalar
+            // path (the tree's `refine_euclid2` contract depends on it).
+            let n = LEAF_BLOCK;
+            let coords: Vec<f32> = (0..(n + 1) * dim)
+                .map(|i| ((i * 37 % 101) as f32) * 0.25 - 12.0)
+                .collect();
+            let points = PointSet::new(coords, dim);
+            let q = points.point(n);
+            // Dimension-major block: lane d holds coordinate d of all points.
+            let mut block = vec![0.0f32; LEAF_BLOCK * dim];
+            for p in 0..n {
+                for (d, &c) in points.point(p).iter().enumerate() {
+                    block[d * LEAF_BLOCK + p] = c;
+                }
+            }
+            let mut out = [0.0f32; LEAF_BLOCK];
+            euclid_block_dist2(q, &block, &mut out);
+            for (p, &got) in out.iter().enumerate() {
+                assert_eq!(got, points.dist2(n, p), "dim={dim} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn refine_euclid2_agrees_with_dist2() {
+        let points = PointSet::new(vec![0.0, 0.0, 3.0, 4.0, 1.0, 1.0], 2);
+        let core2 = vec![4.0, 30.0, 0.5];
+        let m = MutualReachability { core2: &core2 };
+        for (a, b) in [(0u32, 1u32), (1, 2), (0, 2)] {
+            let e2 = points.dist2(a as usize, b as usize);
+            assert_eq!(m.refine_euclid2(e2, a, b), m.dist2(&points, a, b));
+            assert_eq!(
+                Euclidean.refine_euclid2(e2, a, b),
+                Euclidean.dist2(&points, a, b)
+            );
+        }
     }
 
     #[test]

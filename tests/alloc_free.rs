@@ -11,7 +11,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use pandora::exec::ExecCtx;
-use pandora::mst::{core_distances2, Euclidean, KdTree, KnnHeap, MutualReachability, PointSet};
+use pandora::mst::{
+    boruvka_mst, core_distances2, Euclidean, KdTree, KnnHeap, MutualReachability, PointSet,
+};
 
 struct CountingAlloc;
 
@@ -42,6 +44,20 @@ fn allocs_during(f: impl FnOnce()) -> usize {
     ALLOCS.load(Ordering::Relaxed) - before
 }
 
+/// Minimum allocation count over `reps` runs of `f`.
+///
+/// The counter is process-wide, so a measurement window can be polluted by
+/// unrelated runtime/harness allocations on other threads (observed: ~2
+/// stray allocations in roughly half of CI runs). A *real* per-query
+/// allocation shows up in every window at n-proportional volume, so taking
+/// the minimum keeps the contracts exact without the flake.
+fn min_allocs_over(reps: usize, mut f: impl FnMut()) -> usize {
+    (0..reps.max(1))
+        .map(|_| allocs_during(&mut f))
+        .min()
+        .expect("at least one rep")
+}
+
 #[test]
 fn steady_state_queries_do_not_allocate() {
     // Serial context: the measurement thread is the only allocator user.
@@ -63,7 +79,7 @@ fn steady_state_queries_do_not_allocate() {
     let k = 8usize;
     let mut heap = KnnHeap::new(k);
     tree.knn_into(&points, 0, k, &mut heap); // warm the heap's capacity
-    let knn_allocs = allocs_during(|| {
+    let knn_allocs = min_allocs_over(3, || {
         for q in 0..n as u32 {
             tree.knn_into(&points, q, k, &mut heap);
             assert_eq!(heap.sorted().len(), k);
@@ -78,7 +94,7 @@ fn steady_state_queries_do_not_allocate() {
     let comp: Vec<u32> = (0..n as u32).map(|v| v % 7).collect();
     let purity = tree.component_purity(&comp);
     let metric = MutualReachability { core2: &core2 };
-    let foreign_allocs = allocs_during(|| {
+    let foreign_allocs = min_allocs_over(3, || {
         for q in 0..n as u32 {
             let found = tree.nearest_foreign(&points, &metric, q, &comp, &purity);
             assert!(found.is_some());
@@ -93,12 +109,27 @@ fn steady_state_queries_do_not_allocate() {
 
     // --- Batched core distances: output vector + per-chunk scratch only,
     //     nothing proportional to the query count. ---
-    let core_allocs = allocs_during(|| {
+    let core_allocs = min_allocs_over(3, || {
         let out = core_distances2(&ctx, &points, &tree, 9);
         assert_eq!(out.len(), n);
     });
     assert!(
         core_allocs <= 2 + n / 256 + 1,
         "core_distances2 made {core_allocs} allocations for {n} queries"
+    );
+
+    // --- Full Borůvka: the round-persistent buffers are allocated once up
+    //     front, so an entire run (every round, every per-lane query) stays
+    //     within a small constant allocation budget — nothing proportional
+    //     to n × rounds. With ~2000 points and ~10 rounds, a per-query or
+    //     per-round-per-point allocation would blow well past the budget.
+    let boruvka_allocs = min_allocs_over(3, || {
+        let edges = boruvka_mst(&ctx, &points, &tree, &metric);
+        assert_eq!(edges.len(), n - 1);
+    });
+    assert!(
+        boruvka_allocs <= 16,
+        "boruvka_mst made {boruvka_allocs} allocations for a full run \
+         (steady-state queries must be allocation-free per lane)"
     );
 }

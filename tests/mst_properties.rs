@@ -7,6 +7,8 @@
 
 use proptest::prelude::*;
 
+use pandora::core::pandora::dendrogram_from_sorted;
+use pandora::core::SortedMst;
 use pandora::exec::ExecCtx;
 use pandora::mst::kruskal::total_weight;
 use pandora::mst::prim::prim_mst;
@@ -69,6 +71,36 @@ proptest! {
             (wa - wb).abs() <= 1e-3 * wb.max(1.0),
             "minPts={}: Boruvka {} vs Prim {}", min_pts, wa, wb
         );
+    }
+
+    #[test]
+    fn serial_and_threaded_emst_agree_exactly(
+        (points, min_pts) in (adversarial_points(), 1usize..6)
+    ) {
+        // The whole parallel EMST stage must be deterministic across
+        // execution contexts: the atomic min-edge reduction is commutative
+        // and every tie is index-broken, so serial and threaded runs must
+        // produce the SAME edges (not just the same weight), and therefore
+        // identical dendrograms.
+        let min_pts = min_pts.min(points.len());
+        let serial_ctx = ExecCtx::serial();
+        let threaded_ctx = ExecCtx::threads();
+        let a = emst(&serial_ctx, &points, &EmstParams::with_min_pts(min_pts));
+        let b = emst(&threaded_ctx, &points, &EmstParams::with_min_pts(min_pts));
+        prop_assert_eq!(a.core2.as_slice(), b.core2.as_slice());
+        prop_assert_eq!(a.edges.len(), b.edges.len());
+        for (ea, eb) in a.edges.iter().zip(b.edges.iter()) {
+            prop_assert_eq!((ea.u, ea.v, ea.w), (eb.u, eb.v, eb.w));
+        }
+        let wa = total_weight(&a.edges);
+        let wb = total_weight(&b.edges);
+        prop_assert_eq!(wa, wb);
+        // Identical edges must condense into identical dendrograms.
+        let mst_a = SortedMst::from_edges(&serial_ctx, points.len(), &a.edges);
+        let mst_b = SortedMst::from_edges(&threaded_ctx, points.len(), &b.edges);
+        let (da, _) = dendrogram_from_sorted(&serial_ctx, &mst_a);
+        let (db, _) = dendrogram_from_sorted(&threaded_ctx, &mst_b);
+        prop_assert_eq!(da, db);
     }
 
     #[test]
