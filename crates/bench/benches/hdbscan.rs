@@ -41,9 +41,44 @@ fn bench_mpts_sensitivity(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_engine_sweep(c: &mut Criterion) {
+    // The serving shape: one engine per dataset, a whole mpts sweep per
+    // iteration (amortized build + k-NN + pooled buffers) vs the same four
+    // requests served by cold one-shot pipelines.
+    let points = by_name("Uniform100M3D").unwrap().generate(20_000, 8);
+    let sweep = [2usize, 4, 8, 16];
+    let mut group = c.benchmark_group("hdbscan_engine");
+    group.sample_size(10);
+    group.bench_function("sweep_engine", |b| {
+        let driver = Hdbscan::with_ctx(HdbscanParams::default(), ExecCtx::threads());
+        b.iter(|| {
+            let mut engine = driver.engine(&points);
+            engine.sweep_min_pts(&sweep)
+        })
+    });
+    group.bench_function("sweep_cold_runs", |b| {
+        b.iter(|| {
+            sweep
+                .iter()
+                .map(|&min_pts| {
+                    Hdbscan::with_ctx(
+                        HdbscanParams {
+                            min_pts,
+                            ..Default::default()
+                        },
+                        ExecCtx::threads(),
+                    )
+                    .run(&points)
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().measurement_time(std::time::Duration::from_secs(5));
-    targets = bench_pipeline, bench_mpts_sensitivity
+    targets = bench_pipeline, bench_mpts_sensitivity, bench_engine_sweep
 );
 criterion_main!(benches);

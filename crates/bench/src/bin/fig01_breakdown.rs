@@ -10,7 +10,8 @@
 //! the host-measured times are printed for reference.
 
 use pandora_bench::harness::{
-    emst_serial_vs_threaded, fmt_s, print_table, project_at, run_pipeline, write_bench_ci_json,
+    emst_serial_vs_threaded, engine_vs_cold, fmt_s, print_table, project_at, run_pipeline,
+    write_bench_ci_json,
 };
 use pandora_bench::suite::bench_scale;
 use pandora_data::by_name;
@@ -115,7 +116,13 @@ fn main() {
     // is slower than the serial one (parallelism silently disengaged).
     if let Ok(json_path) = std::env::var("PANDORA_BENCH_JSON") {
         let (serial, threaded, lanes) = emst_serial_vs_threaded(&points, 2, 3);
-        write_bench_ci_json(&json_path, n, 2, &serial, &threaded, lanes)
+        // Engine canary: a warm sweep over the paper's mpts set must beat
+        // the same requests served cold (it amortizes the kd-tree build,
+        // the k-NN pass and every stage buffer, and carries endgame bounds
+        // across runs — with bit-identical results, asserted inside).
+        let sweep = [2usize, 4, 8, 16];
+        let engine = engine_vs_cold(&points, &sweep, 2);
+        write_bench_ci_json(&json_path, n, 2, &serial, &threaded, lanes, Some(&engine))
             .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
         let speedup = serial.total() / threaded.total().max(1e-12);
         print_table(
@@ -139,6 +146,13 @@ fn main() {
             ],
         );
         println!("\nthreaded speedup: {speedup:.2}x (written to {json_path})");
+        println!(
+            "engine canary — sweep over mpts {sweep:?}: {:.1} ms vs {:.1} ms cold \
+             ({:.2}x amortization)",
+            engine.sweep_s * 1e3,
+            engine.cold_s * 1e3,
+            engine.speedup
+        );
         // PANDORA_BENCH_MIN_SPEEDUP raises the bar above "not slower"
         // (default 1.0): a silently-serialized path measures ~1.0x ± noise,
         // so a knife-edge comparison would flake in both directions on a
@@ -156,6 +170,25 @@ fn main() {
                  — parallelism is not engaging",
                 threaded.total() * 1e3,
                 serial.total() * 1e3,
+            );
+            std::process::exit(1);
+        }
+        // Engine canary bar: the warm sweep must beat the cold runs by a
+        // real margin (CI uses 1.2; the measured amortization at 20k points
+        // is ~2.5x, so a pass is far from the noise floor while any
+        // regression that de-amortizes the engine lands well below it).
+        let min_engine_speedup = std::env::var("PANDORA_BENCH_MIN_ENGINE_SPEEDUP")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(1.0);
+        if enforce && engine.speedup < min_engine_speedup {
+            eprintln!(
+                "FAIL: engine sweep ({:.1} ms) vs cold runs ({:.1} ms) is only \
+                 {:.2}x (required ≥ {min_engine_speedup:.2}x) — the engine \
+                 stopped amortizing the shared substrate",
+                engine.sweep_s * 1e3,
+                engine.cold_s * 1e3,
+                engine.speedup,
             );
             std::process::exit(1);
         }

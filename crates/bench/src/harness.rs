@@ -3,11 +3,12 @@
 use std::time::Instant;
 
 use pandora_core::baseline::dendrogram_union_find_mt;
-use pandora_core::{pandora, Edge, PhaseTimings};
+use pandora_core::{pandora, DendrogramWorkspace, Edge, PhaseTimings, SortedMst};
 use pandora_exec::device::DeviceModel;
 use pandora_exec::trace::Trace;
 use pandora_exec::ExecCtx;
-use pandora_mst::{emst, EmstParams, EmstTimings, PointSet};
+use pandora_hdbscan::{Hdbscan, HdbscanParams};
+use pandora_mst::{emst, emst_into, EmstParams, EmstTimings, EmstWorkspace, PointSet};
 
 /// Everything the figure binaries need from one dataset run: real wall-clock
 /// numbers on this host plus kernel traces for device projection.
@@ -73,6 +74,139 @@ pub fn run_pipeline(points: &PointSet, min_pts: usize) -> PipelineRun {
     }
 }
 
+/// Runs the full pipeline once per `min_pts` through a **shared engine
+/// substrate** ([`EmstWorkspace`] + [`DendrogramWorkspace`]): the kd-tree
+/// is built once, one k-NN pass at the sweep maximum serves every member's
+/// core distances, and all stage buffers are recycled — the serving-shaped
+/// counterpart of calling [`run_pipeline`] per `min_pts`, with bit-identical
+/// results.
+///
+/// Each returned run's `mst_trace` is the member's *incremental* EMST trace
+/// with the shared build/k-NN trace prepended, so device projections stay
+/// comparable with the one-shot harness; the shared wall seconds are
+/// reported separately (and `emst_timings.tree_build_s` is 0 for every
+/// member, since the prepared substrate is reused).
+pub fn run_pipeline_swept(points: &PointSet, min_pts_list: &[usize]) -> (f64, Vec<PipelineRun>) {
+    let (ctx, tracer) = ExecCtx::threads().with_tracing();
+    let n = points.len();
+
+    let mut emst_ws = EmstWorkspace::new();
+    let mut dendro_ws = DendrogramWorkspace::new();
+    let prepare_s = match min_pts_list.iter().max() {
+        Some(&max) => emst_ws.prepare(&ctx, points, max),
+        None => 0.0,
+    };
+    let shared_trace = tracer.snapshot();
+    tracer.reset();
+
+    let runs = min_pts_list
+        .iter()
+        .map(|&min_pts| {
+            let t = Instant::now();
+            let result = emst_into(&ctx, points, min_pts, &mut emst_ws);
+            let edges: Vec<Edge> = result.edges;
+            let mst_wall_s = t.elapsed().as_secs_f64();
+            let incremental = tracer.snapshot();
+            tracer.reset();
+            let mut mst_trace = shared_trace.clone();
+            mst_trace.events.extend_from_slice(&incremental.events);
+
+            // PANDORA through the reusable dendrogram workspace (input
+            // sort counted into the sort phase, as the one-shot path does).
+            ctx.set_phase("sort");
+            let sort_start = Instant::now();
+            let mst = SortedMst::from_edges(&ctx, n, &edges);
+            let input_sort_s = sort_start.elapsed().as_secs_f64();
+            let (dendro, mut stats) =
+                pandora::dendrogram_from_sorted_with(&ctx, &mst, &mut dendro_ws);
+            stats.timings.sort_s += input_sort_s;
+            let pandora_trace = tracer.snapshot();
+            tracer.reset();
+
+            // UnionFind-MT baseline (unchanged: the figure compares
+            // against the one-shot CPU baseline).
+            let (_d2, uf_sort_s, uf_pass_s) = dendrogram_union_find_mt(&ctx, n, &edges);
+            let ufmt_trace = tracer.snapshot();
+            tracer.reset();
+
+            PipelineRun {
+                n,
+                mst_wall_s,
+                emst_timings: result.timings,
+                pandora_wall: stats.timings,
+                ufmt_wall: (uf_sort_s, uf_pass_s),
+                mst_trace,
+                pandora_trace,
+                ufmt_trace,
+                skew: dendro.skewness(),
+                n_levels: stats.n_levels,
+            }
+        })
+        .collect();
+    (prepare_s, runs)
+}
+
+/// Measured engine-vs-cold amortization: wall seconds of one
+/// [`pandora_hdbscan::HdbscanEngine`] sweep against the sum of one-shot
+/// [`Hdbscan::run`] calls over the same `min_pts` list (identical results;
+/// best of `reps` for each side).
+#[derive(Debug, Clone)]
+pub struct EngineCanary {
+    /// Engine sweep wall seconds (tree + k-NN shared, buffers pooled).
+    pub sweep_s: f64,
+    /// Sum of cold one-shot wall seconds.
+    pub cold_s: f64,
+    /// `cold_s / sweep_s`.
+    pub speedup: f64,
+}
+
+/// Runs the engine sweep and the cold one-shot baseline (best of `reps`
+/// each) and asserts the labels agree — the CI engine canary's measurement.
+pub fn engine_vs_cold(points: &PointSet, min_pts_list: &[usize], reps: usize) -> EngineCanary {
+    let ctx = ExecCtx::threads();
+    let mut sweep_s = f64::INFINITY;
+    let mut sweep_labels: Vec<Vec<i32>> = Vec::new();
+    for _ in 0..reps.max(1) {
+        let driver = Hdbscan::with_ctx(HdbscanParams::default(), ctx.clone());
+        let mut engine = driver.engine(points);
+        let t = Instant::now();
+        let results = engine.sweep_min_pts(min_pts_list);
+        let spent = t.elapsed().as_secs_f64();
+        if spent < sweep_s {
+            sweep_s = spent;
+        }
+        sweep_labels = results.into_iter().map(|r| r.labels).collect();
+    }
+    let mut cold_s = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let cold: Vec<Vec<i32>> = min_pts_list
+            .iter()
+            .map(|&min_pts| {
+                Hdbscan::with_ctx(
+                    HdbscanParams {
+                        min_pts,
+                        ..Default::default()
+                    },
+                    ctx.clone(),
+                )
+                .run(points)
+                .labels
+            })
+            .collect();
+        let spent = t.elapsed().as_secs_f64();
+        if spent < cold_s {
+            cold_s = spent;
+        }
+        assert_eq!(cold, sweep_labels, "engine and one-shot labels diverged");
+    }
+    EngineCanary {
+        sweep_s,
+        cold_s,
+        speedup: cold_s / sweep_s.max(1e-12),
+    }
+}
+
 /// Runs the EMST stage under a serial and a threaded context (best of
 /// `reps` runs each) and returns `(serial, threaded, threaded_lanes)`.
 ///
@@ -102,7 +236,8 @@ pub fn emst_serial_vs_threaded(
 }
 
 /// Writes the `BENCH_ci.json` canary payload: per-phase milliseconds for
-/// the serial and threaded EMST runs plus the thread count, as one stable
+/// the serial and threaded EMST runs, the thread count, and (when
+/// measured) the engine-sweep-vs-cold-runs amortization, as one stable
 /// hand-rolled JSON object (no serde in the offline environment).
 pub fn write_bench_ci_json(
     path: &str,
@@ -111,6 +246,7 @@ pub fn write_bench_ci_json(
     serial: &EmstTimings,
     threaded: &EmstTimings,
     lanes: usize,
+    engine: Option<&EngineCanary>,
 ) -> std::io::Result<()> {
     let phase = |t: &EmstTimings| {
         format!(
@@ -121,9 +257,17 @@ pub fn write_bench_ci_json(
             t.total() * 1e3
         )
     };
+    let engine_json = engine.map_or(String::new(), |e| {
+        format!(
+            ",\n  \"engine\": {{\"sweep_ms\": {:.3}, \"cold_ms\": {:.3}, \"speedup\": {:.3}}}",
+            e.sweep_s * 1e3,
+            e.cold_s * 1e3,
+            e.speedup
+        )
+    });
     let json = format!(
         "{{\n  \"n\": {n},\n  \"min_pts\": {min_pts},\n  \"threads\": {lanes},\n  \
-         \"serial\": {},\n  \"threaded\": {},\n  \"speedup\": {:.3}\n}}\n",
+         \"serial\": {},\n  \"threaded\": {},\n  \"speedup\": {:.3}{engine_json}\n}}\n",
         phase(serial),
         phase(threaded),
         serial.total() / threaded.total().max(1e-12)
@@ -210,6 +354,33 @@ mod tests {
         assert!(gpu > 0.0);
         let phases = run.pandora_trace.phases();
         assert!(phases.contains(&"contraction"));
+    }
+
+    #[test]
+    fn swept_pipeline_matches_one_shot_runs() {
+        let points = uniform(2000, 2, 3);
+        let (_prepare_s, runs) = run_pipeline_swept(&points, &[2, 4]);
+        assert_eq!(runs.len(), 2);
+        for (run, &min_pts) in runs.iter().zip(&[2usize, 4]) {
+            let one_shot = run_pipeline(&points, min_pts);
+            // Same dendrogram structure (skew is a pure function of it).
+            assert_eq!(run.skew, one_shot.skew, "min_pts={min_pts}");
+            assert_eq!(run.n_levels, one_shot.n_levels);
+            // The merged trace includes the shared substrate phases.
+            let phases = run.mst_trace.phases();
+            assert!(phases.contains(&"emst_build"), "{phases:?}");
+            assert!(phases.contains(&"emst_boruvka"), "{phases:?}");
+            // Warm members never rebuild the tree.
+            assert_eq!(run.emst_timings.tree_build_s, 0.0);
+        }
+    }
+
+    #[test]
+    fn engine_canary_reports_consistent_results() {
+        let points = uniform(1500, 2, 9);
+        let canary = engine_vs_cold(&points, &[2, 4], 1);
+        assert!(canary.sweep_s > 0.0 && canary.cold_s > 0.0);
+        assert!(canary.speedup > 0.0);
     }
 
     #[test]

@@ -35,12 +35,25 @@ fn chain_key(p: u32, side: u32) -> u32 {
 ///
 /// Returns packed sort keys `chain_key << 32 | edge`.
 pub fn assign_chain_keys(ctx: &ExecCtx, hierarchy: &ContractionHierarchy) -> Vec<u64> {
+    let mut keys = Vec::new();
+    assign_chain_keys_into(ctx, hierarchy, &mut keys);
+    keys
+}
+
+/// [`assign_chain_keys`] into a reusable key buffer (cleared first,
+/// capacity retained across runs by the dendrogram workspace).
+pub fn assign_chain_keys_into(
+    ctx: &ExecCtx,
+    hierarchy: &ContractionHierarchy,
+    keys: &mut Vec<u64>,
+) {
     let n = hierarchy.edge_level.len();
     let last_level = hierarchy.n_levels() - 1;
-    let mut keys = vec![0u64; n];
+    keys.clear();
+    keys.resize(n, 0);
     let total_checks = std::sync::atomic::AtomicU64::new(0);
     {
-        let keys_view = UnsafeSlice::new(&mut keys);
+        let keys_view = UnsafeSlice::new(keys.as_mut_slice());
         let h = hierarchy;
         let checks_ref = &total_checks;
         ctx.for_each_chunk(n, DEFAULT_GRAIN / 2, |range| {
@@ -82,7 +95,6 @@ pub fn assign_chain_keys(ctx: &ExecCtx, hierarchy: &ContractionHierarchy) -> Vec
     // The walk is gather-dominated: one random read per (edge, level) check.
     let checks = total_checks.load(std::sync::atomic::Ordering::Relaxed);
     ctx.record(KernelKind::Gather, checks, checks * 16);
-    keys
 }
 
 /// The final sort of the algorithm: orders `(chain_key, edge)` pairs so each

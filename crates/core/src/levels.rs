@@ -12,11 +12,10 @@
 //! meaningful across levels — the property the expansion step relies on.
 
 use pandora_exec::atomic::as_atomic_u64;
-use pandora_exec::dsu::AtomicDsu;
-use pandora_exec::partition::partition_indices;
+use pandora_exec::partition::partition_indices_into;
 use pandora_exec::scan::exclusive_scan_in_place;
 use pandora_exec::trace::KernelKind;
-use pandora_exec::{ExecCtx, UnsafeSlice, DEFAULT_GRAIN};
+use pandora_exec::{ExecCtx, ScratchPool, UnsafeSlice, DEFAULT_GRAIN};
 
 use crate::edge::{SortedMst, INVALID};
 
@@ -80,10 +79,20 @@ pub fn packed_pos(packed: u64) -> u32 {
 /// Computes `maxIncident(v)` for every vertex of `tree` (paper §3.1.1):
 /// the incident edge with the largest global index, i.e. the lightest.
 pub fn max_incident(ctx: &ExecCtx, tree: &LevelTree) -> Vec<u64> {
+    let mut packed = Vec::new();
+    max_incident_into(ctx, tree, &mut packed);
+    packed
+}
+
+/// [`max_incident`] into a reusable buffer (cleared first, capacity
+/// retained) — one table per contraction level, reused across runs by the
+/// dendrogram workspace.
+pub fn max_incident_into(ctx: &ExecCtx, tree: &LevelTree, packed: &mut Vec<u64>) {
     let n = tree.n_edges();
-    let mut packed = vec![0u64; tree.n_vertices];
+    packed.clear();
+    packed.resize(tree.n_vertices, 0);
     {
-        let view = as_atomic_u64(&mut packed);
+        let view = as_atomic_u64(packed.as_mut_slice());
         let (src, dst, ids) = (&tree.src, &tree.dst, &tree.ids);
         ctx.record(KernelKind::Gather, n as u64, (n as u64) * 24);
         ctx.for_each_chunk_traced(
@@ -100,7 +109,6 @@ pub fn max_incident(ctx: &ExecCtx, tree: &LevelTree) -> Vec<u64> {
             },
         );
     }
-    packed
 }
 
 /// How an edge-node relates to vertex-nodes in the dendrogram (paper Fig. 7).
@@ -138,14 +146,24 @@ pub struct AlphaSplit {
 
 /// Applies the α test (paper Eq. 2) to every edge of the level.
 pub fn split_alpha(ctx: &ExecCtx, tree: &LevelTree, max_inc: &[u64]) -> AlphaSplit {
+    let mut split = AlphaSplit {
+        alpha: Vec::new(),
+        non_alpha: Vec::new(),
+    };
+    split_alpha_into(ctx, tree, max_inc, &mut split);
+    split
+}
+
+/// [`split_alpha`] into a reusable split (both index vectors cleared
+/// first, capacity retained).
+pub fn split_alpha_into(ctx: &ExecCtx, tree: &LevelTree, max_inc: &[u64], split: &mut AlphaSplit) {
     let n = tree.n_edges();
     let (src, dst, ids) = (&tree.src, &tree.dst, &tree.ids);
     let is_alpha = |i: usize| {
         let id = ids[i];
         packed_id(max_inc[src[i] as usize]) != id && packed_id(max_inc[dst[i] as usize]) != id
     };
-    let (alpha, non_alpha) = partition_indices(ctx, n, is_alpha);
-    AlphaSplit { alpha, non_alpha }
+    partition_indices_into(ctx, n, is_alpha, &mut split.alpha, &mut split.non_alpha);
 }
 
 /// Output of contracting one level.
@@ -162,8 +180,25 @@ pub struct ContractionStep {
 
 /// Contracts all non-α edges of `tree` (paper §3.1.1 "Edge contraction").
 pub fn contract_level(ctx: &ExecCtx, tree: &LevelTree, split: &AlphaSplit) -> ContractionStep {
+    let mut scratch = ScratchPool::new();
+    contract_level_into(ctx, tree, split, &mut scratch)
+}
+
+/// [`contract_level`] drawing every buffer from a [`ScratchPool`].
+///
+/// Transient buffers (the union–find, component labels, renumbering marks)
+/// are leased and returned within this call; the vectors that escape inside
+/// the returned [`ContractionStep`] are detached checkouts — callers that
+/// hold the pool long-term (the dendrogram workspace) donate them back once
+/// the hierarchy is dismantled, so repeat runs reuse them too.
+pub fn contract_level_into(
+    ctx: &ExecCtx,
+    tree: &LevelTree,
+    split: &AlphaSplit,
+    scratch: &mut ScratchPool,
+) -> ContractionStep {
     let nv = tree.n_vertices;
-    let dsu = AtomicDsu::new(nv);
+    let dsu = scratch.take_dsu(nv);
     {
         let (src, dst) = (&tree.src, &tree.dst);
         let non_alpha = &split.non_alpha;
@@ -183,9 +218,10 @@ pub fn contract_level(ctx: &ExecCtx, tree: &LevelTree, split: &AlphaSplit) -> Co
     }
 
     // Component labels for every vertex.
-    let mut labels = vec![0u32; nv];
+    let mut labels = scratch.take_u32();
+    labels.resize(nv, 0);
     {
-        let labels_view = UnsafeSlice::new(&mut labels);
+        let labels_view = UnsafeSlice::new(labels.as_mut_slice());
         let dsu_ref = &dsu;
         ctx.for_each_chunk_traced(
             nv,
@@ -202,9 +238,10 @@ pub fn contract_level(ctx: &ExecCtx, tree: &LevelTree, split: &AlphaSplit) -> Co
     }
 
     // Renumber roots densely: mark → exclusive scan → gather.
-    let mut mark: Vec<u32> = vec![0; nv];
+    let mut mark = scratch.take_u32();
+    mark.resize(nv, 0);
     {
-        let mark_view = UnsafeSlice::new(&mut mark);
+        let mark_view = UnsafeSlice::new(mark.as_mut_slice());
         let labels_ref = &labels;
         ctx.for_each(nv, DEFAULT_GRAIN, |v| {
             // SAFETY: disjoint writes.
@@ -212,9 +249,10 @@ pub fn contract_level(ctx: &ExecCtx, tree: &LevelTree, split: &AlphaSplit) -> Co
         });
     }
     let n_super = exclusive_scan_in_place(ctx, &mut mark) as usize;
-    let mut vertex_map = vec![0u32; nv];
+    let mut vertex_map = scratch.detach_u32();
+    vertex_map.resize(nv, 0);
     {
-        let map_view = UnsafeSlice::new(&mut vertex_map);
+        let map_view = UnsafeSlice::new(vertex_map.as_mut_slice());
         let (labels_ref, mark_ref) = (&labels, &mark);
         ctx.for_each_chunk_traced(
             nv,
@@ -232,13 +270,16 @@ pub fn contract_level(ctx: &ExecCtx, tree: &LevelTree, split: &AlphaSplit) -> Co
 
     // Build the α-MST: remap α-edge endpoints into supervertex ids.
     let na = split.alpha.len();
-    let mut next_src = vec![0u32; na];
-    let mut next_dst = vec![0u32; na];
-    let mut next_ids = vec![0u32; na];
+    let mut next_src = scratch.detach_u32();
+    next_src.resize(na, 0);
+    let mut next_dst = scratch.detach_u32();
+    next_dst.resize(na, 0);
+    let mut next_ids = scratch.detach_u32();
+    next_ids.resize(na, 0);
     {
-        let sv = UnsafeSlice::new(&mut next_src);
-        let dv = UnsafeSlice::new(&mut next_dst);
-        let iv = UnsafeSlice::new(&mut next_ids);
+        let sv = UnsafeSlice::new(next_src.as_mut_slice());
+        let dv = UnsafeSlice::new(next_dst.as_mut_slice());
+        let iv = UnsafeSlice::new(next_ids.as_mut_slice());
         let (src, dst, ids) = (&tree.src, &tree.dst, &tree.ids);
         let (alpha, map) = (&split.alpha, &vertex_map);
         ctx.for_each_chunk_traced(
@@ -262,9 +303,10 @@ pub fn contract_level(ctx: &ExecCtx, tree: &LevelTree, split: &AlphaSplit) -> Co
 
     // Home supervertex of every contracted (non-α) edge.
     let nn = split.non_alpha.len();
-    let mut home = vec![0u32; nn];
+    let mut home = scratch.detach_u32();
+    home.resize(nn, 0);
     {
-        let hv = UnsafeSlice::new(&mut home);
+        let hv = UnsafeSlice::new(home.as_mut_slice());
         let (src, non_alpha, map) = (&tree.src, &split.non_alpha, &vertex_map);
         ctx.for_each_chunk_traced(
             nn,
@@ -281,6 +323,9 @@ pub fn contract_level(ctx: &ExecCtx, tree: &LevelTree, split: &AlphaSplit) -> Co
         );
     }
 
+    scratch.put_u32(labels);
+    scratch.put_u32(mark);
+    scratch.put_dsu(dsu);
     ContractionStep {
         next: LevelTree {
             n_vertices: n_super,
@@ -322,22 +367,74 @@ impl ContractionHierarchy {
     pub fn alpha_counts(&self) -> Vec<usize> {
         self.trees[1..].iter().map(|t| t.n_edges()).collect()
     }
+
+    /// Dismantles the hierarchy, donating every per-level buffer to
+    /// `scratch` so the next [`build_hierarchy_into`] run over the same
+    /// pool allocates nothing.
+    pub fn recycle(self, scratch: &mut ScratchPool) {
+        for tree in self.trees {
+            scratch.give_u32(tree.src);
+            scratch.give_u32(tree.dst);
+            scratch.give_u32(tree.ids);
+        }
+        for map in self.vertex_maps {
+            scratch.give_u32(map);
+        }
+        for mi in self.max_inc {
+            scratch.give_u64(mi);
+        }
+        scratch.give_u32(self.edge_level);
+        scratch.give_u32(self.edge_home);
+    }
 }
 
 /// Builds the full hierarchy by repeated contraction.
 pub fn build_hierarchy(ctx: &ExecCtx, mst: &SortedMst) -> ContractionHierarchy {
+    let mut scratch = ScratchPool::new();
+    build_hierarchy_into(ctx, mst, &mut scratch)
+}
+
+/// [`build_hierarchy`] drawing every level buffer from a [`ScratchPool`].
+///
+/// Combined with [`ContractionHierarchy::recycle`], a long-lived workspace
+/// runs the whole contraction allocation-free in the steady state: level
+/// trees, `maxIncident` tables, vertex maps, the α splits, the union–find
+/// and the per-level scratch all come back from earlier runs.
+pub fn build_hierarchy_into(
+    ctx: &ExecCtx,
+    mst: &SortedMst,
+    scratch: &mut ScratchPool,
+) -> ContractionHierarchy {
     let n_edges = mst.n_edges();
-    let mut trees = vec![LevelTree::from_mst(mst)];
+    let mut level0_src = scratch.detach_u32();
+    level0_src.extend_from_slice(&mst.src);
+    let mut level0_dst = scratch.detach_u32();
+    level0_dst.extend_from_slice(&mst.dst);
+    let mut level0_ids = scratch.detach_u32();
+    level0_ids.extend(0..n_edges as u32);
+    let mut trees = vec![LevelTree {
+        n_vertices: mst.n_vertices(),
+        src: level0_src,
+        dst: level0_dst,
+        ids: level0_ids,
+    }];
     let mut vertex_maps = Vec::new();
     let mut max_inc = Vec::new();
-    let mut edge_level = vec![0u32; n_edges];
-    let mut edge_home = vec![INVALID; n_edges];
+    let mut edge_level = scratch.detach_u32();
+    edge_level.resize(n_edges, 0);
+    let mut edge_home = scratch.detach_u32();
+    edge_home.resize(n_edges, INVALID);
+    let mut split = AlphaSplit {
+        alpha: scratch.take_u32(),
+        non_alpha: scratch.take_u32(),
+    };
 
     loop {
         let level = trees.len() - 1;
         let tree = trees.last().expect("at least one level");
-        let mi = max_incident(ctx, tree);
-        let split = split_alpha(ctx, tree, &mi);
+        let mut mi = scratch.detach_u64();
+        max_incident_into(ctx, tree, &mut mi);
+        split_alpha_into(ctx, tree, &mi, &mut split);
         debug_assert!(
             tree.n_edges() == 0 || split.alpha.len() <= (tree.n_edges() - 1) / 2,
             "α-count bound n_α ≤ (n-1)/2 violated (paper §4.2)"
@@ -350,7 +447,7 @@ pub fn build_hierarchy(ctx: &ExecCtx, mst: &SortedMst) -> ContractionHierarchy {
             max_inc.push(mi);
             break;
         }
-        let step = contract_level(ctx, tree, &split);
+        let step = contract_level_into(ctx, tree, &split, scratch);
         {
             let el_view = UnsafeSlice::new(&mut edge_level);
             let eh_view = UnsafeSlice::new(&mut edge_home);
@@ -375,12 +472,15 @@ pub fn build_hierarchy(ctx: &ExecCtx, mst: &SortedMst) -> ContractionHierarchy {
         }
         max_inc.push(mi);
         vertex_maps.push(step.vertex_map);
+        scratch.give_u32(step.home);
         trees.push(step.next);
         debug_assert!(
             trees.len() <= (n_edges + 2).ilog2() as usize + 2,
             "level count bound ⌈log2(n+1)⌉ violated (paper §4.2)"
         );
     }
+    scratch.put_u32(split.alpha);
+    scratch.put_u32(split.non_alpha);
 
     ContractionHierarchy {
         trees,

@@ -53,4 +53,7 @@ pub mod validate;
 
 pub use dendrogram::Dendrogram;
 pub use edge::{Edge, SortedMst, INVALID};
-pub use pandora::{dendrogram_with_stats, PandoraStats, PhaseTimings};
+pub use pandora::{
+    dendrogram_from_sorted_with, dendrogram_with_stats, DendrogramWorkspace, PandoraStats,
+    PhaseTimings,
+};

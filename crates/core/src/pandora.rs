@@ -4,12 +4,12 @@
 
 use std::time::Instant;
 
-use pandora_exec::ExecCtx;
+use pandora_exec::{ExecCtx, ScratchPool};
 
 use crate::dendrogram::Dendrogram;
 use crate::edge::{Edge, SortedMst};
-use crate::expansion::{assign_chain_keys, sort_chain_keys, stitch_chains, vertex_parents};
-use crate::levels::build_hierarchy;
+use crate::expansion::{assign_chain_keys_into, sort_chain_keys, stitch_chains, vertex_parents};
+use crate::levels::build_hierarchy_into;
 
 /// Wall-clock seconds per PANDORA phase.
 ///
@@ -71,30 +71,69 @@ pub fn dendrogram_with_stats(
 /// sorted the input themselves should add that cost (as
 /// [`dendrogram_with_stats`] does).
 pub fn dendrogram_from_sorted(ctx: &ExecCtx, mst: &SortedMst) -> (Dendrogram, PandoraStats) {
+    let mut ws = DendrogramWorkspace::new();
+    dendrogram_from_sorted_with(ctx, mst, &mut ws)
+}
+
+/// Reusable buffers for repeated dendrogram construction.
+///
+/// One workspace serves any number of [`dendrogram_from_sorted_with`] calls
+/// (over the same or different MSTs — unlike the EMST workspace, nothing
+/// here is bound to a dataset): the contraction hierarchy's level trees,
+/// `maxIncident` tables, vertex maps, α splits, union–find and the packed
+/// chain-key array are all recycled through an internal
+/// [`ScratchPool`], so the steady state stops reallocating the hierarchy.
+/// Only the returned [`Dendrogram`] arrays are freshly allocated (the
+/// caller owns them).
+#[derive(Default)]
+pub struct DendrogramWorkspace {
+    scratch: ScratchPool,
+    keys: Vec<u64>,
+}
+
+impl DendrogramWorkspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The backing pool (for allocation accounting).
+    pub fn scratch(&self) -> &ScratchPool {
+        &self.scratch
+    }
+}
+
+/// [`dendrogram_from_sorted`] reusing a [`DendrogramWorkspace`].
+pub fn dendrogram_from_sorted_with(
+    ctx: &ExecCtx,
+    mst: &SortedMst,
+    ws: &mut DendrogramWorkspace,
+) -> (Dendrogram, PandoraStats) {
     let n_edges = mst.n_edges();
 
     // Phase: multilevel tree contraction (§3.2).
     let t_contraction = Instant::now();
     ctx.set_phase("contraction");
-    let hierarchy = build_hierarchy(ctx, mst);
+    let hierarchy = build_hierarchy_into(ctx, mst, &mut ws.scratch);
     let contraction_s = t_contraction.elapsed().as_secs_f64();
 
     // Phase: expansion — chain assignment (§3.3.2).
     let t_assign = Instant::now();
     ctx.set_phase("expansion");
-    let mut keys = assign_chain_keys(ctx, &hierarchy);
+    let keys = &mut ws.keys;
+    assign_chain_keys_into(ctx, &hierarchy, keys);
     let assign_s = t_assign.elapsed().as_secs_f64();
 
     // Phase: final sort (§3.3.3, counted as "sort" per §6.4.3).
     let t_final_sort = Instant::now();
     ctx.set_phase("sort");
-    sort_chain_keys(ctx, &mut keys);
+    sort_chain_keys(ctx, keys);
     let final_sort_s = t_final_sort.elapsed().as_secs_f64();
 
     // Phase: stitching (expansion).
     let t_stitch = Instant::now();
     ctx.set_phase("expansion");
-    let edge_parent = stitch_chains(ctx, n_edges, &keys);
+    let edge_parent = stitch_chains(ctx, n_edges, keys);
     let vertex_parent = vertex_parents(ctx, &hierarchy);
     let stitch_s = t_stitch.elapsed().as_secs_f64();
 
@@ -107,6 +146,7 @@ pub fn dendrogram_from_sorted(ctx: &ExecCtx, mst: &SortedMst) -> (Dendrogram, Pa
             expansion_s: assign_s + stitch_s,
         },
     };
+    hierarchy.recycle(&mut ws.scratch);
     (
         Dendrogram {
             edge_parent,
@@ -163,6 +203,36 @@ mod tests {
         let d_serial = dendrogram(&ExecCtx::serial(), n_vertices, &edges);
         let d_parallel = dendrogram(&ExecCtx::threads(), n_vertices, &edges);
         assert_eq!(d_serial, d_parallel);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_runs() {
+        use rand::prelude::*;
+        let ctx = ExecCtx::serial();
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut ws = DendrogramWorkspace::new();
+        // Different tree shapes through ONE workspace, including shrinking
+        // inputs (buffers must resize correctly, not just grow).
+        for n_vertices in [800usize, 64, 2, 301, 800] {
+            let edges: Vec<Edge> = (1..n_vertices)
+                .map(|v| {
+                    Edge::new(
+                        rng.gen_range(0..v) as u32,
+                        v as u32,
+                        rng.gen_range(0..40) as f32 * 0.5,
+                    )
+                })
+                .collect();
+            let mst = SortedMst::from_edges(&ctx, n_vertices, &edges);
+            let (warm, warm_stats) = dendrogram_from_sorted_with(&ctx, &mst, &mut ws);
+            let (fresh, fresh_stats) = dendrogram_from_sorted(&ctx, &mst);
+            assert_eq!(warm, fresh, "n={n_vertices}");
+            assert_eq!(warm_stats.n_levels, fresh_stats.n_levels);
+            // Every leased buffer must be back in the pool between runs.
+            assert_eq!(ws.scratch().outstanding(), 0);
+        }
+        // The second run onward is served from the pool, not the allocator.
+        assert!(ws.scratch().reuse_hits() > 0);
     }
 
     #[test]

@@ -24,6 +24,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 /// assert_eq!(dsu.find(3), 0); // union-by-min ⇒ deterministic roots
 /// assert_ne!(dsu.find(1), dsu.find(3));
 /// ```
+#[derive(Debug)]
 pub struct AtomicDsu {
     parent: Vec<AtomicU32>,
 }
@@ -39,6 +40,22 @@ impl AtomicDsu {
     /// Number of elements.
     pub fn len(&self) -> usize {
         self.parent.len()
+    }
+
+    /// Resets the structure to `n` singleton sets, reusing the existing
+    /// allocation whenever `n` fits its capacity.
+    ///
+    /// Exclusive access (`&mut self`) guarantees no find/union is racing,
+    /// so plain stores suffice. This is what lets long-lived workspaces
+    /// (Borůvka rounds, contraction levels) run union–find allocation-free
+    /// in the steady state.
+    pub fn reset(&mut self, n: usize) {
+        self.parent.truncate(n);
+        for (i, p) in self.parent.iter_mut().enumerate() {
+            *p = AtomicU32::new(i as u32);
+        }
+        let have = self.parent.len() as u32;
+        self.parent.extend((have..n as u32).map(AtomicU32::new));
     }
 
     /// Whether the structure is empty.

@@ -30,6 +30,7 @@ pub mod partition;
 pub mod pool;
 pub mod radix;
 pub mod scan;
+pub mod scratch;
 pub mod sort;
 pub mod trace;
 pub mod unsafe_slice;
@@ -37,6 +38,7 @@ pub mod unsafe_slice;
 mod par;
 
 pub use par::DEFAULT_GRAIN;
+pub use scratch::ScratchPool;
 pub use unsafe_slice::UnsafeSlice;
 
 use std::sync::atomic::{AtomicUsize, Ordering};

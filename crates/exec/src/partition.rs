@@ -17,10 +17,26 @@ pub fn partition_indices<F: Fn(usize) -> bool + Sync>(
     n: usize,
     pred: F,
 ) -> (Vec<u32>, Vec<u32>) {
+    let mut yes = Vec::new();
+    let mut no = Vec::new();
+    partition_indices_into(ctx, n, pred, &mut yes, &mut no);
+    (yes, no)
+}
+
+/// [`partition_indices`] into caller-owned buffers (cleared first, capacity
+/// retained) — the contraction loop runs one partition per level, so the
+/// reuse removes two `O(n)` allocations per level from the steady state.
+pub fn partition_indices_into<F: Fn(usize) -> bool + Sync>(
+    ctx: &ExecCtx,
+    n: usize,
+    pred: F,
+    yes: &mut Vec<u32>,
+    no: &mut Vec<u32>,
+) {
+    yes.clear();
+    no.clear();
     ctx.record(KernelKind::Scan, n as u64, (n * 12) as u64);
     if ctx.is_serial() || n < 4 * BLOCK_MIN {
-        let mut yes = Vec::new();
-        let mut no = Vec::new();
         for i in 0..n {
             if pred(i) {
                 yes.push(i as u32);
@@ -28,7 +44,7 @@ pub fn partition_indices<F: Fn(usize) -> bool + Sync>(
                 no.push(i as u32);
             }
         }
-        return (yes, no);
+        return;
     }
     let lanes = ctx.lanes();
     let block = (n.div_ceil(lanes * 4)).max(BLOCK_MIN);
@@ -56,11 +72,11 @@ pub fn partition_indices<F: Fn(usize) -> bool + Sync>(
     let mut yes_offsets = yes_counts;
     let total_yes = seq_exclusive_scan(&mut yes_offsets) as usize;
 
-    let mut yes = vec![0u32; total_yes];
-    let mut no = vec![0u32; n - total_yes];
+    yes.resize(total_yes, 0);
+    no.resize(n - total_yes, 0);
     {
-        let yes_view = UnsafeSlice::new(&mut yes);
-        let no_view = UnsafeSlice::new(&mut no);
+        let yes_view = UnsafeSlice::new(yes.as_mut_slice());
+        let no_view = UnsafeSlice::new(no.as_mut_slice());
         let offsets_ref = &yes_offsets;
         let pred_ref = &pred;
         ctx.for_each(nb, 1, |b| {
@@ -82,7 +98,6 @@ pub fn partition_indices<F: Fn(usize) -> bool + Sync>(
             }
         });
     }
-    (yes, no)
 }
 
 #[cfg(test)]

@@ -1,0 +1,262 @@
+//! Recyclable scratch buffers for stage workspaces.
+//!
+//! Every stage of the PANDORA pipeline (kd-tree queries, Borůvka rounds,
+//! tree contraction, chain expansion) needs transient `Vec`s whose size is
+//! proportional to the input. Allocating them per call is what makes a
+//! "one-shot" pipeline: the cost is invisible for a single run but
+//! dominates steady-state serving, where the same stages execute thousands
+//! of times over long-lived datasets (multi-`minPts` sweeps, repeated
+//! clustering requests). A [`ScratchPool`] turns those allocations into
+//! checkouts: a stage *takes* a cleared, capacity-retaining buffer, uses
+//! it, and *puts* it back, so the steady state performs no heap traffic
+//! beyond first-use growth.
+//!
+//! The pool is deliberately not thread-safe: it lives inside a workspace
+//! that is `&mut`-threaded through the (single-threaded) stage
+//! orchestration, while the *contents* of taken buffers are free to be
+//! written by pool lanes through the usual [`crate::UnsafeSlice`] views.
+//!
+//! # Accounting
+//!
+//! Every take/put is counted. [`ScratchPool::outstanding`] is the number of
+//! leased buffers not yet returned — a steady-state workspace must read 0
+//! between runs, and debug builds assert exactly that when the pool is
+//! dropped, so a stage that forgets to return a buffer (a slow leak that
+//! silently regrows allocations) fails loudly in tests instead of shipping.
+//! Buffers that are intentionally converted into caller-owned outputs must
+//! be checked out with the `detach_*` variants, which keep the books
+//! balanced. [`ScratchPool::pooled_bytes`] and [`ScratchPool::reuse_hits`]
+//! quantify how much memory the pool retains and how often a take was
+//! served without allocating.
+
+use crate::dsu::AtomicDsu;
+
+/// One typed free-list lane of the pool.
+#[derive(Debug, Default)]
+struct Lane<T> {
+    free: Vec<Vec<T>>,
+}
+
+impl<T> Lane<T> {
+    fn take(&mut self) -> (Vec<T>, bool) {
+        match self.free.pop() {
+            Some(mut v) => {
+                v.clear();
+                (v, true)
+            }
+            None => (Vec::new(), false),
+        }
+    }
+
+    fn put(&mut self, v: Vec<T>) {
+        self.free.push(v);
+    }
+
+    fn bytes(&self) -> usize {
+        self.free
+            .iter()
+            .map(|v| v.capacity() * std::mem::size_of::<T>())
+            .sum()
+    }
+}
+
+/// A recyclable pool of typed scratch buffers (see the module docs).
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    u32s: Lane<u32>,
+    u64s: Lane<u64>,
+    f32s: Lane<f32>,
+    /// `(distance², index)` pairs — the Borůvka candidate shape.
+    pairs: Lane<(f32, u32)>,
+    /// `(key, a, b)` triples — the canonical MST sort shape.
+    triples: Lane<(u32, u32, u32)>,
+    /// Reusable union–find structures.
+    dsus: Vec<AtomicDsu>,
+    outstanding: usize,
+    takes: usize,
+    hits: usize,
+}
+
+macro_rules! lane_methods {
+    ($take:ident, $detach:ident, $put:ident, $give:ident, $lane:ident, $t:ty) => {
+        /// Checks out a cleared buffer (capacity retained from earlier use).
+        /// Must be balanced by the matching `put_*` (or have been taken via
+        /// the `detach_*` variant).
+        pub fn $take(&mut self) -> Vec<$t> {
+            self.outstanding += 1;
+            self.takes += 1;
+            let (v, hit) = self.$lane.take();
+            self.hits += hit as usize;
+            v
+        }
+
+        /// Checks out a buffer that will be handed to the caller as an
+        /// output instead of returned — counted as immediately balanced.
+        pub fn $detach(&mut self) -> Vec<$t> {
+            let v = self.$take();
+            self.outstanding -= 1;
+            v
+        }
+
+        /// Returns a buffer to the pool for reuse.
+        pub fn $put(&mut self, v: Vec<$t>) {
+            debug_assert!(self.outstanding > 0, "put without a matching take");
+            self.outstanding = self.outstanding.saturating_sub(1);
+            self.$lane.put(v);
+        }
+
+        /// Donates a buffer that was never leased from this pool (or left
+        /// it via a `detach_*`) — e.g. recycling a dismantled result
+        /// structure. No accounting: the books stay balanced.
+        pub fn $give(&mut self, v: Vec<$t>) {
+            self.$lane.put(v);
+        }
+    };
+}
+
+impl ScratchPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    lane_methods!(take_u32, detach_u32, put_u32, give_u32, u32s, u32);
+    lane_methods!(take_u64, detach_u64, put_u64, give_u64, u64s, u64);
+    lane_methods!(take_f32, detach_f32, put_f32, give_f32, f32s, f32);
+    lane_methods!(
+        take_pairs,
+        detach_pairs,
+        put_pairs,
+        give_pairs,
+        pairs,
+        (f32, u32)
+    );
+    lane_methods!(
+        take_triples,
+        detach_triples,
+        put_triples,
+        give_triples,
+        triples,
+        (u32, u32, u32)
+    );
+
+    /// Checks out a union–find over `0..n` singletons (reusing a previous
+    /// structure's storage when one is pooled).
+    pub fn take_dsu(&mut self, n: usize) -> AtomicDsu {
+        self.outstanding += 1;
+        self.takes += 1;
+        match self.dsus.pop() {
+            Some(mut d) => {
+                self.hits += 1;
+                d.reset(n);
+                d
+            }
+            None => AtomicDsu::new(n),
+        }
+    }
+
+    /// Returns a union–find to the pool.
+    pub fn put_dsu(&mut self, d: AtomicDsu) {
+        debug_assert!(self.outstanding > 0, "put without a matching take");
+        self.outstanding = self.outstanding.saturating_sub(1);
+        self.dsus.push(d);
+    }
+
+    /// Number of checked-out buffers not yet returned (0 between runs for a
+    /// leak-free workspace).
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Total takes served so far.
+    pub fn takes(&self) -> usize {
+        self.takes
+    }
+
+    /// Takes served from the free lists (no allocation).
+    pub fn reuse_hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Bytes currently retained by pooled (idle) buffers.
+    pub fn pooled_bytes(&self) -> usize {
+        self.u32s.bytes()
+            + self.u64s.bytes()
+            + self.f32s.bytes()
+            + self.pairs.bytes()
+            + self.triples.bytes()
+            + self
+                .dsus
+                .iter()
+                .map(|d| d.len() * std::mem::size_of::<u32>())
+                .sum::<usize>()
+    }
+}
+
+impl Drop for ScratchPool {
+    fn drop(&mut self) {
+        // Leak check (debug builds only): every take must have been matched
+        // by a put or have used a detach variant. Skipped mid-panic so an
+        // unwinding test reports its own failure, not this one.
+        if cfg!(debug_assertions) && !std::thread::panicking() {
+            assert_eq!(
+                self.outstanding, 0,
+                "ScratchPool dropped with {} leased buffer(s) unreturned",
+                self.outstanding
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_reuses_capacity() {
+        let mut pool = ScratchPool::new();
+        let mut v = pool.take_u32();
+        v.extend(0..1000);
+        let cap = v.capacity();
+        pool.put_u32(v);
+        let v2 = pool.take_u32();
+        assert!(v2.is_empty());
+        assert_eq!(v2.capacity(), cap, "capacity must be retained");
+        assert_eq!(pool.reuse_hits(), 1);
+        assert_eq!(pool.outstanding(), 1);
+        pool.put_u32(v2);
+        assert_eq!(pool.outstanding(), 0);
+        assert!(pool.pooled_bytes() >= 1000 * 4);
+    }
+
+    #[test]
+    fn detach_balances_books() {
+        let mut pool = ScratchPool::new();
+        let out = pool.detach_f32();
+        assert_eq!(pool.outstanding(), 0);
+        drop(out); // caller-owned; never returns to the pool
+    }
+
+    #[test]
+    fn dsu_checkout_resets_state() {
+        let mut pool = ScratchPool::new();
+        let d = pool.take_dsu(8);
+        d.union(0, 5);
+        pool.put_dsu(d);
+        let d = pool.take_dsu(4);
+        assert_eq!(d.len(), 4);
+        for v in 0..4 {
+            assert_eq!(d.find(v), v, "reset must restore singletons");
+        }
+        pool.put_dsu(d);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreturned")]
+    #[cfg(debug_assertions)]
+    fn leak_is_caught_on_drop() {
+        let mut pool = ScratchPool::new();
+        let _leaked = pool.take_u64();
+        drop(pool); // leased buffer never returned
+    }
+}

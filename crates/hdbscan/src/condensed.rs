@@ -67,11 +67,15 @@ pub fn condense(dendrogram: &Dendrogram, min_cluster_size: usize) -> CondensedTr
     let n_points = dendrogram.n_vertices();
     let min_sz = min_cluster_size.max(2) as u32;
 
+    // Every point eventually falls out of exactly one cluster, plus a few
+    // cluster rows: n_points + slack is the natural row capacity (grown-
+    // from-zero rows would pay ~log n reallocations per array instead).
+    let row_cap = n_points + 16;
     let mut ct = CondensedTree {
-        parent: Vec::new(),
-        child: Vec::new(),
-        lambda: Vec::new(),
-        size: Vec::new(),
+        parent: Vec::with_capacity(row_cap),
+        child: Vec::with_capacity(row_cap),
+        lambda: Vec::with_capacity(row_cap),
+        size: Vec::with_capacity(row_cap),
         n_points,
         cluster_birth: Vec::new(),
         cluster_parent: Vec::new(),
@@ -104,16 +108,21 @@ pub fn condense(dendrogram: &Dendrogram, min_cluster_size: usize) -> CondensedTr
 
     // Emit all points of edge-subtree `e` as fall-outs from `cluster` at λ,
     // marking the subtree's edges so the main walk does not revisit them.
+    // `stack` is caller-owned scratch: fall-outs happen once per small
+    // side, so a per-call allocation would scale with the fall-out count.
+    #[allow(clippy::too_many_arguments)]
     fn emit_subtree(
         ct: &mut CondensedTree,
         vertex_children: &[[u32; 2]],
         edge_children: &[[u32; 2]],
         absorbed: &mut [bool],
+        stack: &mut Vec<u32>,
         e: u32,
         cluster: u32,
         lam: f32,
     ) {
-        let mut stack = vec![e];
+        stack.clear();
+        stack.push(e);
         while let Some(cur) = stack.pop() {
             absorbed[cur as usize] = true;
             for v in vertex_children[cur as usize] {
@@ -136,6 +145,7 @@ pub fn condense(dendrogram: &Dendrogram, min_cluster_size: usize) -> CondensedTr
     // edge-node `e`'s split belongs to.
     let mut cluster_of = vec![0u32; n_edges];
     let mut absorbed = vec![false; n_edges];
+    let mut stack: Vec<u32> = Vec::new();
     for e in 0..n_edges as u32 {
         if absorbed[e as usize] {
             continue;
@@ -169,6 +179,7 @@ pub fn condense(dendrogram: &Dendrogram, min_cluster_size: usize) -> CondensedTr
                         &vertex_children,
                         &edge_children,
                         &mut absorbed,
+                        &mut stack,
                         c,
                         cluster,
                         lam,
@@ -202,6 +213,7 @@ pub fn condense(dendrogram: &Dendrogram, min_cluster_size: usize) -> CondensedTr
                                 &vertex_children,
                                 &edge_children,
                                 &mut absorbed,
+                                &mut stack,
                                 c,
                                 cluster,
                                 lam,

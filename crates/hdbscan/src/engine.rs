@@ -1,0 +1,232 @@
+//! The long-lived HDBSCAN\* engine: one dataset, many `minPts` queries.
+//!
+//! [`Hdbscan::run`] answers a single clustering request and throws its
+//! spatial substrate away. The paper's own evaluation (§6.5, Fig. 15)
+//! already wants more — the same dataset swept over `mpts ∈ {2, 4, 8, 16}`
+//! — and a serving deployment wants arbitrary repetition. An
+//! [`HdbscanEngine`] keeps every stage workspace alive between runs:
+//!
+//! * the EMST substrate ([`EmstWorkspace`]) builds the kd-tree **once**,
+//!   captures sorted k-NN rows at the largest `minPts` of interest once,
+//!   serves every smaller `minPts`'s core distances by prefix, and reuses
+//!   all Borůvka round buffers;
+//! * the dendrogram stage ([`DendrogramWorkspace`]) recycles the
+//!   contraction hierarchy, α splits, union–find and chain-key buffers.
+//!
+//! Every [`HdbscanResult`] an engine produces is **bit-identical** to the
+//! corresponding one-shot [`Hdbscan::run`] — MST edges, dendrogram, labels
+//! and all — in both serial and threaded contexts (enforced by
+//! `tests/engine_equivalence.rs`). What changes is the cost: a sweep pays
+//! one tree build and one k-NN pass instead of one per member, and repeat
+//! runs allocate only their outputs.
+//!
+//! ```
+//! use pandora_hdbscan::{Hdbscan, HdbscanParams};
+//! use pandora_mst::PointSet;
+//!
+//! let mut coords = Vec::new();
+//! for i in 0..40 {
+//!     coords.extend_from_slice(&[i as f32 * 0.01, 0.0]);
+//!     coords.extend_from_slice(&[50.0 + i as f32 * 0.01, 0.0]);
+//! }
+//! let points = PointSet::new(coords, 2);
+//! let mut engine = Hdbscan::new(HdbscanParams::default()).engine(&points);
+//! let sweep = engine.sweep_min_pts(&[2, 4, 8]);
+//! assert_eq!(sweep.len(), 3);
+//! assert!(sweep.iter().all(|r| r.n_clusters() == 2));
+//! ```
+
+use std::time::Instant;
+
+use pandora_core::{pandora, DendrogramWorkspace, SortedMst};
+use pandora_exec::ExecCtx;
+use pandora_mst::{emst_into, EmstWorkspace, PointSet};
+
+use crate::condensed::condense;
+use crate::pipeline::{Hdbscan, HdbscanParams, HdbscanResult, StageTimings};
+use crate::stability::{cluster_stabilities, extract_labels, select_clusters};
+
+/// A reusable HDBSCAN\* pipeline bound to one dataset (see module docs).
+///
+/// Created by [`Hdbscan::engine`]; borrows the point set for its lifetime.
+pub struct HdbscanEngine<'a> {
+    params: HdbscanParams,
+    ctx: ExecCtx,
+    points: &'a PointSet,
+    emst: EmstWorkspace,
+    dendro: DendrogramWorkspace,
+}
+
+impl<'a> HdbscanEngine<'a> {
+    pub(crate) fn new(params: HdbscanParams, ctx: ExecCtx, points: &'a PointSet) -> Self {
+        Self {
+            params,
+            ctx,
+            points,
+            emst: EmstWorkspace::new(),
+            dendro: DendrogramWorkspace::new(),
+        }
+    }
+
+    /// The driver parameters (`min_cluster_size` / `allow_single_cluster`
+    /// apply to every run; `min_pts` is what the one-shot
+    /// [`Hdbscan::run`] wrapper passes to [`HdbscanEngine::run_with`]).
+    pub fn params(&self) -> &HdbscanParams {
+        &self.params
+    }
+
+    /// The dataset this engine serves.
+    pub fn points(&self) -> &PointSet {
+        self.points
+    }
+
+    /// Pre-warms the shared substrate for requests up to `max_min_pts`:
+    /// builds the kd-tree and captures k-NN rows wide enough (with slack,
+    /// see [`pandora_mst::ROW_SLACK`]) for every `min_pts ≤ max_min_pts`.
+    /// Returns the seconds spent (0 when already warm enough).
+    ///
+    /// Calling this first keeps a descending or unsorted sweep from
+    /// re-capturing rows at each widening request.
+    pub fn prepare(&mut self, max_min_pts: usize) -> f64 {
+        self.emst.prepare(&self.ctx, self.points, max_min_pts)
+    }
+
+    /// Runs the full pipeline for one `min_pts`, reusing every warm stage.
+    ///
+    /// The first call (or a call widening the k-NN rows) pays the shared
+    /// substrate cost and reports it in
+    /// [`StageTimings::tree_build_s`] / [`StageTimings::core_s`]; warm runs
+    /// report only their incremental work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_pts` is 0 or (for two or more points) exceeds the
+    /// point count, exactly like the one-shot pipeline.
+    pub fn run_with(&mut self, min_pts: usize) -> HdbscanResult {
+        let ctx = self.ctx.clone();
+        let mut timings = StageTimings::default();
+
+        // EMST stage out of the warm workspace (phases emst_build /
+        // emst_core / emst_boruvka are traced by the workspace runner).
+        let result = emst_into(&ctx, self.points, min_pts, &mut self.emst);
+        timings.tree_build_s = result.timings.tree_build_s;
+        timings.core_s = result.timings.core_s;
+        timings.mst_s = result.timings.boruvka_s;
+        let (core2, edges) = (result.core2, result.edges);
+
+        let t = Instant::now();
+        ctx.set_phase("sort");
+        let sort_start = Instant::now();
+        let mst = SortedMst::from_edges(&ctx, self.points.len(), &edges);
+        let input_sort_s = sort_start.elapsed().as_secs_f64();
+        let (dendrogram, mut pandora_stats) =
+            pandora::dendrogram_from_sorted_with(&ctx, &mst, &mut self.dendro);
+        pandora_stats.timings.sort_s += input_sort_s;
+        timings.dendrogram_s = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        ctx.set_phase("extract");
+        let condensed = condense(&dendrogram, self.params.min_cluster_size);
+        let stabilities = cluster_stabilities(&condensed);
+        let selected = select_clusters(&condensed, &stabilities, self.params.allow_single_cluster);
+        let (labels, probabilities) = extract_labels(&condensed, &selected);
+        timings.extract_s = t.elapsed().as_secs_f64();
+
+        HdbscanResult {
+            core2,
+            mst,
+            dendrogram,
+            condensed,
+            stabilities,
+            labels,
+            probabilities,
+            timings,
+            pandora_stats,
+        }
+    }
+
+    /// Runs the pipeline once per entry of `min_pts_list` (in order),
+    /// amortizing the kd-tree build and a single widest k-NN pass across
+    /// the whole sweep — the engine's reason to exist. Results are
+    /// bit-identical to running [`Hdbscan::run`] per entry.
+    pub fn sweep_min_pts(&mut self, min_pts_list: &[usize]) -> Vec<HdbscanResult> {
+        if let Some(&max) = min_pts_list.iter().max() {
+            self.prepare(max);
+        }
+        min_pts_list.iter().map(|&m| self.run_with(m)).collect()
+    }
+
+    /// The EMST workspace (tree / row / Borůvka-buffer accounting).
+    pub fn emst_workspace(&self) -> &EmstWorkspace {
+        &self.emst
+    }
+
+    /// The dendrogram workspace (hierarchy-buffer accounting).
+    pub fn dendrogram_workspace(&self) -> &DendrogramWorkspace {
+        &self.dendro
+    }
+}
+
+impl Hdbscan {
+    /// Creates a long-lived engine over `points`, inheriting this driver's
+    /// parameters and execution context.
+    ///
+    /// The engine is lazy: the kd-tree is built by the first run (or by
+    /// [`HdbscanEngine::prepare`] / [`HdbscanEngine::sweep_min_pts`]).
+    pub fn engine<'a>(&self, points: &'a PointSet) -> HdbscanEngine<'a> {
+        HdbscanEngine::new(*self.params(), self.ctx().clone(), points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pandora_data::synthetic::gaussian_blobs;
+
+    #[test]
+    fn sweep_matches_one_shot_runs() {
+        let (points, _) = gaussian_blobs(500, 2, 3, 90.0, 0.8, 17);
+        let driver = Hdbscan::with_ctx(HdbscanParams::default(), ExecCtx::serial());
+        let mut engine = driver.engine(&points);
+        let sweep = engine.sweep_min_pts(&[2, 4, 8, 16]);
+        for (result, &min_pts) in sweep.iter().zip(&[2usize, 4, 8, 16]) {
+            let one_shot = Hdbscan::with_ctx(
+                HdbscanParams {
+                    min_pts,
+                    ..Default::default()
+                },
+                ExecCtx::serial(),
+            )
+            .run(&points);
+            assert_eq!(result.core2, one_shot.core2, "min_pts={min_pts}");
+            assert_eq!(result.mst.src, one_shot.mst.src);
+            assert_eq!(result.mst.dst, one_shot.mst.dst);
+            assert_eq!(result.mst.weight, one_shot.mst.weight);
+            assert_eq!(result.dendrogram, one_shot.dendrogram);
+            assert_eq!(result.labels, one_shot.labels);
+        }
+    }
+
+    #[test]
+    fn warm_runs_skip_the_shared_substrate() {
+        let (points, _) = gaussian_blobs(400, 3, 2, 60.0, 1.0, 5);
+        let mut engine = Hdbscan::new(HdbscanParams::default()).engine(&points);
+        engine.prepare(16);
+        let warm = engine.run_with(4);
+        assert_eq!(warm.timings.tree_build_s, 0.0);
+        assert!(warm.timings.mst_s > 0.0);
+        // Buffers all returned between runs.
+        assert_eq!(engine.emst_workspace().scratch().outstanding(), 0);
+        assert_eq!(engine.dendrogram_workspace().scratch().outstanding(), 0);
+    }
+
+    #[test]
+    fn engine_serves_repeated_identical_requests() {
+        let (points, _) = gaussian_blobs(300, 2, 3, 70.0, 0.6, 23);
+        let mut engine = Hdbscan::new(HdbscanParams::default()).engine(&points);
+        let a = engine.run_with(4);
+        let b = engine.run_with(4);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.mst.weight, b.mst.weight);
+    }
+}

@@ -20,6 +20,7 @@
 
 pub mod condensed;
 pub mod dbscan;
+pub mod engine;
 pub mod outlier;
 pub mod pipeline;
 pub mod stability;
@@ -27,6 +28,7 @@ pub mod validity;
 
 pub use condensed::{condense, CondensedTree};
 pub use dbscan::{dbscan_star, epsilon_profile};
+pub use engine::HdbscanEngine;
 pub use outlier::glosh_scores;
 pub use pipeline::{Hdbscan, HdbscanParams, HdbscanResult, StageTimings};
 pub use stability::{cluster_stabilities, extract_labels, select_clusters};

@@ -8,14 +8,11 @@
 //! Every stage is timed separately, matching the decompositions in the
 //! paper's Figures 1, 12 and 15.
 
-use std::time::Instant;
-
-use pandora_core::{pandora, Dendrogram, PandoraStats, SortedMst};
+use pandora_core::{Dendrogram, PandoraStats, SortedMst};
 use pandora_exec::ExecCtx;
-use pandora_mst::{emst, EmstParams, PointSet};
+use pandora_mst::PointSet;
 
-use crate::condensed::{condense, CondensedTree};
-use crate::stability::{cluster_stabilities, extract_labels, select_clusters};
+use crate::condensed::CondensedTree;
 
 /// HDBSCAN\* parameters.
 #[derive(Debug, Clone, Copy)]
@@ -137,47 +134,21 @@ impl Hdbscan {
         &self.params
     }
 
-    /// Runs the full pipeline.
+    /// The execution context runs are dispatched on.
+    pub fn ctx(&self) -> &ExecCtx {
+        &self.ctx
+    }
+
+    /// Runs the full pipeline once.
+    ///
+    /// Thin wrapper over a one-off [`crate::engine::HdbscanEngine`]: build
+    /// the stage workspaces, answer this one request, drop them. Serving
+    /// several requests over the same dataset (or sweeping `minPts`) should
+    /// hold an engine instead — [`Hdbscan::engine`] — which amortizes the
+    /// kd-tree build, the k-NN pass and every stage buffer across runs
+    /// while producing bit-identical results.
     pub fn run(&self, points: &PointSet) -> HdbscanResult {
-        let ctx = &self.ctx;
-        let mut timings = StageTimings::default();
-
-        // EMST stage: the orchestrator sets the emst_* trace phases and
-        // times each sub-stage.
-        let result = emst(ctx, points, &EmstParams::with_min_pts(self.params.min_pts));
-        timings.tree_build_s = result.timings.tree_build_s;
-        timings.core_s = result.timings.core_s;
-        timings.mst_s = result.timings.boruvka_s;
-        let (core2, edges) = (result.core2, result.edges);
-
-        let t = Instant::now();
-        ctx.set_phase("sort");
-        let sort_start = Instant::now();
-        let mst = SortedMst::from_edges(ctx, points.len(), &edges);
-        let input_sort_s = sort_start.elapsed().as_secs_f64();
-        let (dendrogram, mut pandora_stats) = pandora::dendrogram_from_sorted(ctx, &mst);
-        pandora_stats.timings.sort_s += input_sort_s;
-        timings.dendrogram_s = t.elapsed().as_secs_f64();
-
-        let t = Instant::now();
-        ctx.set_phase("extract");
-        let condensed = condense(&dendrogram, self.params.min_cluster_size);
-        let stabilities = cluster_stabilities(&condensed);
-        let selected = select_clusters(&condensed, &stabilities, self.params.allow_single_cluster);
-        let (labels, probabilities) = extract_labels(&condensed, &selected);
-        timings.extract_s = t.elapsed().as_secs_f64();
-
-        HdbscanResult {
-            core2,
-            mst,
-            dendrogram,
-            condensed,
-            stabilities,
-            labels,
-            probabilities,
-            timings,
-            pandora_stats,
-        }
+        self.engine(points).run_with(self.params.min_pts)
     }
 }
 

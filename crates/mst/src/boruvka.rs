@@ -33,13 +33,13 @@
 use std::sync::atomic::Ordering;
 
 use pandora_exec::atomic::{as_atomic_u64, f32_to_ordered_u32, ordered_u32_to_f32};
-use pandora_exec::dsu::AtomicDsu;
 use pandora_exec::trace::KernelKind;
-use pandora_exec::{ExecCtx, UnsafeSlice, DEFAULT_GRAIN};
+use pandora_exec::{ExecCtx, ScratchPool, UnsafeSlice, DEFAULT_GRAIN};
 
 use pandora_core::Edge;
 
 use crate::kdtree::{ForeignSearch, KdTree};
+use crate::knn::KnnRows;
 use crate::metric::Metric;
 use crate::point::PointSet;
 
@@ -48,6 +48,146 @@ use crate::point::PointSet;
 #[inline(always)]
 fn pack_candidate(d2: f32, p: u32) -> u64 {
     ((f32_to_ordered_u32(d2) as u64) << 32) | p as u64
+}
+
+/// A round enters the "endgame" once this few components remain — the
+/// regime where components are huge, every stale per-point bound fails,
+/// and nearly all `n` points re-search the tree to certify a handful of
+/// inter-component edges.
+const ENDGAME_SNAPSHOT_MAX: usize = 64;
+
+/// Cross-run endgame cache: transfers late-round nearest-foreign lower
+/// bounds between Borůvka runs **over the same point set**.
+///
+/// The transfer is exact, resting on two monotonicities:
+///
+/// 1. the mutual-reachability metric is pointwise non-decreasing in
+///    `minPts` (core distances only grow), so a distance bound proved
+///    under `minPts = m` holds under any `m' ≥ m`;
+/// 2. for any point `q` whose snapshot component is **contained in** its
+///    current component, everything currently foreign to `q` was foreign
+///    at the snapshot too, so `q`'s nearest-foreign minimum can only have
+///    grown since the bound was proved.
+///
+/// Containment is checked per snapshot component in one O(n) pass (all
+/// members must share a current component); different runs' intermediate
+/// partitions rarely nest globally, but component-wise most of them do.
+/// Applicable points' bounds flow into the boundary filter and retire the
+/// component-interior points that dominate endgame rounds, so a
+/// multi-`minPts` sweep (ascending) pays the endgame search volume once,
+/// not once per member. Purely an optimization: skips are strictly
+/// conservative, so results stay bit-identical.
+#[derive(Default)]
+struct EndgameSnapshot {
+    /// `minPts` rank the bounds were proved under.
+    min_pts: usize,
+    /// Component label per point at the snapshot round.
+    comp: Vec<u32>,
+    /// Per-point nearest-foreign squared-distance lower bounds, valid for
+    /// (`min_pts`, `comp`).
+    lower: Vec<f32>,
+}
+
+/// See the type-level docs above. A run captures one snapshot per endgame
+/// round (components at least halve each round, so at most ~log₂ of the
+/// 64-component endgame threshold of them) into a staging set, promoted
+/// wholesale at run end — double-buffered so the snapshots a run *applies*
+/// always come from an earlier run. Keeping every granularity matters:
+/// coarse snapshots carry the largest bounds but their components conflict
+/// most often, so each of the next run's endgame rounds is usually served
+/// by a different member of the set.
+#[derive(Default)]
+pub struct EndgameCache {
+    /// Applied by the current run: the previous run's snapshots.
+    active: Vec<EndgameSnapshot>,
+    active_len: usize,
+    /// Captured by the current run; promoted to `active` at run end.
+    staging: Vec<EndgameSnapshot>,
+    staging_len: usize,
+    /// Scratch for the containment check (snapshot root → current root).
+    map: Vec<u32>,
+}
+
+impl EndgameCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops all stored snapshots (e.g. when the point set changes).
+    pub fn clear(&mut self) {
+        self.active_len = 0;
+        self.staging_len = 0;
+    }
+
+    /// Whether a previous run's snapshots are available to apply.
+    pub fn is_warm(&self) -> bool {
+        self.active_len > 0
+    }
+
+    /// Captures the entering state of a round: `lower` entries are valid
+    /// bounds for partition `comp` under metric rank `min_pts`. Snapshot
+    /// storage is recycled across runs.
+    fn capture(&mut self, min_pts: usize, comp: &[u32], lower: &[f32]) {
+        if self.staging.len() == self.staging_len {
+            self.staging.push(EndgameSnapshot::default());
+        }
+        let snap = &mut self.staging[self.staging_len];
+        self.staging_len += 1;
+        snap.comp.clear();
+        snap.comp.extend_from_slice(comp);
+        snap.lower.clear();
+        snap.lower.extend_from_slice(lower);
+        snap.min_pts = min_pts;
+    }
+
+    /// Makes this run's captured snapshots the set the next run applies.
+    fn promote(&mut self) {
+        if self.staging_len > 0 {
+            std::mem::swap(&mut self.active, &mut self.staging);
+            self.active_len = self.staging_len;
+            self.staging_len = 0;
+        }
+    }
+
+    /// Merges the previous run's snapshot bounds into `lower` for every
+    /// point whose transfer provably applies: same point set, `min_pts` at
+    /// least the snapshot's, and the point's snapshot component contained
+    /// in its current component. Returns whether any snapshot was
+    /// considered.
+    fn apply(&mut self, min_pts: usize, comp: &[u32], lower: &mut [f32]) -> bool {
+        const UNSEEN: u32 = u32::MAX;
+        const CONFLICT: u32 = u32::MAX - 1;
+        let n = comp.len();
+        let mut any = false;
+        for snap in &self.active[..self.active_len] {
+            if snap.min_pts > min_pts || snap.comp.len() != n {
+                continue;
+            }
+            any = true;
+            // Pass 1: map every snapshot component to the single current
+            // component holding it, or CONFLICT if its members split
+            // across several (those points keep their own bounds).
+            self.map.resize(n, UNSEEN);
+            self.map.fill(UNSEEN);
+            for (&snap_root, &cur) in snap.comp.iter().zip(comp) {
+                let slot = &mut self.map[snap_root as usize];
+                match *slot {
+                    UNSEEN => *slot = cur,
+                    CONFLICT => {}
+                    held if held != cur => *slot = CONFLICT,
+                    _ => {}
+                }
+            }
+            // Pass 2: transfer bounds for the contained components.
+            for ((dst, &src), &snap_root) in lower.iter_mut().zip(&snap.lower).zip(&snap.comp) {
+                if self.map[snap_root as usize] != CONFLICT && src > *dst {
+                    *dst = src;
+                }
+            }
+        }
+        any
+    }
 }
 
 /// Computes the MST of `points` under `metric` using parallel Borůvka.
@@ -90,37 +230,105 @@ pub fn boruvka_mst_seeded<M: Metric>(
     metric: &M,
     seeds: Option<Vec<(f32, u32)>>,
 ) -> Vec<Edge> {
+    let mut scratch = ScratchPool::new();
+    boruvka_mst_with(
+        ctx,
+        points,
+        tree,
+        metric,
+        seeds.as_deref(),
+        None,
+        None,
+        &mut scratch,
+    )
+}
+
+/// The full-configuration Borůvka entry point: optional exact first-round
+/// `seeds`, optional sorted k-NN `rows`, and a caller-owned [`ScratchPool`]
+/// all round-persistent buffers are drawn from (and returned to), so a
+/// long-lived workspace pays the buffer allocations once per *dataset*, not
+/// once per MST.
+///
+/// The `rows` screen (see [`KnnRows`]) resolves most first-round queries
+/// without touching the tree: a point whose cheapest foreign row member
+/// sits strictly below its row's k-th distance has provably found its exact
+/// nearest foreign neighbour, and a point with no such member gains the
+/// k-th distance as a boundary-filter lower bound. The `cache` pair
+/// `(endgame cache, minPts rank)` carries late-round bounds across runs
+/// (see [`EndgameCache`]); pass the metric's `minPts` (1 for plain
+/// Euclidean). Every optimization is strictly conservative, so the result
+/// is **bit-identical** to the bare [`boruvka_mst`] run: winners are exact
+/// and the tie-breaks are unchanged.
+///
+/// # Panics
+///
+/// As [`boruvka_mst`]; additionally if a provided `seeds` or `rows` shape
+/// does not match `points.len()`.
+#[allow(clippy::too_many_arguments)] // the full-configuration entry point
+pub fn boruvka_mst_with<M: Metric>(
+    ctx: &ExecCtx,
+    points: &PointSet,
+    tree: &KdTree,
+    metric: &M,
+    seeds: Option<&[(f32, u32)]>,
+    rows: Option<KnnRows<'_>>,
+    cache: Option<(&mut EndgameCache, usize)>,
+    scratch: &mut ScratchPool,
+) -> Vec<Edge> {
+    let mut cache = cache;
     let n = points.len();
-    if let Some(seeds) = &seeds {
+    if let Some(seeds) = seeds {
         // Checked even for degenerate inputs: a mis-sized seeds array is a
         // caller bug that should not go unnoticed until n grows past 1.
         assert_eq!(seeds.len(), n, "one seed per point");
     }
+    if let Some(rows) = &rows {
+        assert_eq!(rows.d2.len(), n * rows.k, "one sorted k-NN row per point");
+        assert_eq!(rows.idx.len(), n * rows.k, "one sorted k-NN row per point");
+    }
     if n <= 1 {
         return Vec::new();
     }
-    let dsu = AtomicDsu::new(n);
-    let mut comp: Vec<u32> = (0..n as u32).collect();
+    let dsu = scratch.take_dsu(n);
+    let mut comp = scratch.take_u32();
+    comp.extend(0..n as u32);
     let mut n_components = n;
     let mut edges: Vec<Edge> = Vec::with_capacity(n - 1);
-    // Round-persistent buffers (allocated once, reused every round).
-    let mut purity: Vec<u32> = Vec::new();
-    let mut roots: Vec<u32> = Vec::with_capacity(n);
+    // Round-persistent buffers (drawn from the pool, reused every round).
+    let mut purity = scratch.take_u32();
+    let mut roots = scratch.take_u32();
     // Per-component best outgoing candidate, indexed by component root.
-    let mut candidate = vec![u64::MAX; n];
+    let mut candidate = scratch.take_u64();
+    candidate.resize(n, u64::MAX);
     // Per-point best known foreign candidate: an exact metric distance to
     // the witness point (`u32::MAX` = none yet). Carried across rounds as
     // the warm-start seed; optionally pre-filled by the caller.
-    let mut best_of = seeds.unwrap_or_else(|| vec![(f32::INFINITY, u32::MAX); n]);
+    let mut best_of = scratch.take_pairs();
+    match seeds {
+        Some(seeds) => best_of.extend_from_slice(seeds),
+        None => best_of.resize(n, (f32::INFINITY, u32::MAX)),
+    }
     // Per-point monotone **lower** bound on the nearest-foreign squared
     // distance (a candidate is an upper bound, so the two are distinct
     // arrays). Foreign sets only shrink as components merge, so any
     // round's exact result stays a valid lower bound in every later round;
     // this drives the boundary-point filter.
-    let mut lower = vec![0.0f32; n];
+    let mut lower = scratch.take_f32();
+    lower.resize(n, 0.0);
 
     while n_components > 1 {
         tree.component_purity_into(ctx, &comp, &mut purity);
+
+        // Cross-run endgame transfer: once few components remain, try to
+        // import the previous run's late-round bounds (exact when the
+        // metric rank grew and the partition coarsened — see
+        // [`EndgameCache::apply`]). This is what keeps a sweep from paying
+        // the endgame search volume once per member.
+        if n_components <= ENDGAME_SNAPSHOT_MAX {
+            if let Some((cache, rank)) = cache.as_mut() {
+                cache.apply(*rank, &comp, &mut lower);
+            }
+        }
 
         // Reset candidates (only roots are read, clearing all is simpler).
         {
@@ -174,10 +382,11 @@ pub fn boruvka_mst_seeded<M: Metric>(
         // below replaces most atomic traffic.
         {
             let cand_view = as_atomic_u64(&mut candidate);
-            let best_view = UnsafeSlice::new(&mut best_of);
-            let lower_view = UnsafeSlice::new(&mut lower);
+            let best_view = UnsafeSlice::new(best_of.as_mut_slice());
+            let lower_view = UnsafeSlice::new(lower.as_mut_slice());
             let comp_ref = &comp;
             let purity_ref = &purity;
+            let rows_opt = rows;
             let perm = tree.perm();
             ctx.for_each_chunk_traced(n, 256, KernelKind::TreeTraverse, (n as u64) * 64, |range| {
                 // Run state for the current same-component stretch: the best
@@ -214,12 +423,90 @@ pub fn boruvka_mst_seeded<M: Metric>(
                     if unsafe { lower_view.read(q as usize) } > run_bound {
                         continue;
                     }
+                    // Row screen: when sorted k-NN rows are attached, try to
+                    // resolve the query from the row alone. A foreign member
+                    // strictly below the row's k-th distance is the *exact*
+                    // nearest foreign point (non-members all sit at or past
+                    // the k-th distance, and the metric dominates the
+                    // Euclidean part), so the traversal is skipped entirely;
+                    // otherwise the k-th distance joins the boundary filter
+                    // as a monotone lower bound.
+                    let mut row_seed: Option<(f32, u32)> = None;
+                    if let Some(rows) = &rows_opt {
+                        let base = q as usize * rows.k;
+                        let full = rows.idx[base + rows.k - 1] != u32::MAX;
+                        let mut best = (f32::INFINITY, u32::MAX);
+                        for j in 0..rows.k {
+                            let p = rows.idx[base + j];
+                            if p == u32::MAX {
+                                break;
+                            }
+                            let e2 = rows.d2[base + j];
+                            if e2 > best.0 {
+                                // Ascending rows: every later member's metric
+                                // distance is ≥ its Euclidean part > best —
+                                // it can neither win nor tie.
+                                break;
+                            }
+                            if comp_ref[p as usize] as usize != root {
+                                let d2 = metric.refine_euclid2(e2, q, p);
+                                if d2 < best.0 || (d2 == best.0 && p < best.1) {
+                                    best = (d2, p);
+                                }
+                            }
+                        }
+                        let kth = rows.d2[base + rows.k - 1];
+                        if best.1 != u32::MAX && (!full || best.0 < kth) {
+                            // Exact winner from the row — same handling as a
+                            // Found traversal result.
+                            // SAFETY: perm is a permutation; slots q of both
+                            // per-point arrays are owned by this task.
+                            unsafe {
+                                best_view.write(q as usize, best);
+                                lower_view.write(q as usize, best.0);
+                            }
+                            run_best = run_best.min(pack_candidate(best.0, q));
+                            run_bound = run_bound.min(best.0);
+                            continue;
+                        }
+                        if full {
+                            // No foreign member strictly below the k-th
+                            // distance ⇒ the nearest foreign point is at
+                            // least that far away, this round and every
+                            // later one.
+                            // SAFETY: as above.
+                            let old = unsafe { lower_view.read(q as usize) };
+                            if kth > old {
+                                unsafe { lower_view.write(q as usize, kth) };
+                            }
+                            if old.max(kth) > run_bound {
+                                continue;
+                            }
+                            if best.1 != u32::MAX {
+                                row_seed = Some(best);
+                            }
+                        } else {
+                            // The row covers every other point and none is
+                            // foreign: no foreign point exists for q at all.
+                            // SAFETY: as above.
+                            unsafe { lower_view.write(q as usize, f32::INFINITY) };
+                            continue;
+                        }
+                    }
                     let prev = unsafe { best_view.read(q as usize) };
                     // Warm start: the previous round's winner is a valid
                     // candidate iff its component is still foreign.
                     let mut seed = (prev.1 != u32::MAX
                         && comp_ref[prev.1 as usize] != comp_ref[q as usize])
                         .then_some(prev);
+                    if let Some(rs) = row_seed {
+                        // The row's best foreign member is an exact candidate
+                        // too; keep whichever prunes harder.
+                        seed = match seed {
+                            Some(s) if s.0 < rs.0 || (s.0 == rs.0 && s.1 < rs.1) => Some(s),
+                            _ => Some(rs),
+                        };
+                    }
                     // Component bound: only the minimum outgoing edge per
                     // component survives, so the component's current best
                     // candidate is a valid bound-only seed — members that
@@ -264,6 +551,15 @@ pub fn boruvka_mst_seeded<M: Metric>(
                     cand_view[run_root].fetch_min(run_best, Ordering::Relaxed);
                 }
             });
+        }
+
+        // Snapshot the round we just certified (entering partition +
+        // refreshed bounds) while components are few; the last qualifying
+        // round — the coarsest partition still above one component — wins.
+        if n_components <= ENDGAME_SNAPSHOT_MAX {
+            if let Some((cache, rank)) = cache.as_mut() {
+                cache.capture(*rank, &comp, &lower);
+            }
         }
 
         // Collect winning edges; deduplicate reciprocal pairs with a
@@ -325,6 +621,16 @@ pub fn boruvka_mst_seeded<M: Metric>(
             );
         }
     }
+    if let Some((cache, _)) = cache.as_mut() {
+        cache.promote();
+    }
+    scratch.put_dsu(dsu);
+    scratch.put_u32(comp);
+    scratch.put_u32(purity);
+    scratch.put_u32(roots);
+    scratch.put_u64(candidate);
+    scratch.put_pairs(best_of);
+    scratch.put_f32(lower);
     debug_assert_eq!(edges.len(), n - 1);
     edges
 }

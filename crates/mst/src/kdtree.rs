@@ -376,9 +376,14 @@ impl KdTree {
 
     /// Attaches per-node minimum squared core distances (leaf-up sweep),
     /// enabling mutual-reachability pruning bounds.
+    ///
+    /// Re-attaching (e.g. once per `minPts` of an engine sweep) reuses the
+    /// previously attached buffer, so the steady state allocates nothing.
     pub fn attach_core2(&mut self, core2: &[f32]) {
         assert_eq!(core2.len(), self.perm.len());
-        let mut min_core = vec![f32::INFINITY; self.n_nodes()];
+        let mut min_core = self.min_core2.take().unwrap_or_default();
+        min_core.clear();
+        min_core.resize(self.n_nodes(), f32::INFINITY);
         // Children have larger ids than parents: reverse order is leaf-up.
         for nid in (0..self.n_nodes()).rev() {
             let left = self.left[nid];

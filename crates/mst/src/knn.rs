@@ -118,6 +118,89 @@ fn core_pass(
     core2
 }
 
+/// Captures every point's `k` nearest neighbours as **sorted rows**:
+/// row-major `n × k` arrays of squared Euclidean distances and indices,
+/// ascending by `(distance, index)` within a row, padded with
+/// `(f32::INFINITY, u32::MAX)` when fewer than `k` neighbours exist.
+///
+/// This is the engine's one-pass-per-dataset substrate
+/// ([`crate::workspace::EmstWorkspace`]): because the `j`-th entry of a
+/// sorted row is the exact distance to the `(j+1)`-th nearest neighbour,
+/// the squared core distance for **every** `min_pts ≤ k + 1` is a prefix
+/// lookup (`row_d2[min_pts - 2]`) — bit-identical to a fresh
+/// [`core_distances2`] query at that `min_pts`, since the multiset of
+/// k-nearest distances is unique. The rows also drive the Borůvka
+/// row screen ([`crate::knn::KnnRows`]).
+///
+/// Buffers are cleared and resized; capacity is retained across calls.
+pub fn knn_rows_into(
+    ctx: &ExecCtx,
+    points: &PointSet,
+    tree: &KdTree,
+    k: usize,
+    row_d2: &mut Vec<f32>,
+    row_idx: &mut Vec<u32>,
+) {
+    let n = points.len();
+    row_d2.clear();
+    row_d2.resize(n * k, f32::INFINITY);
+    row_idx.clear();
+    row_idx.resize(n * k, u32::MAX);
+    if k == 0 || n <= 1 {
+        return;
+    }
+    {
+        let d2_view = UnsafeSlice::new(row_d2.as_mut_slice());
+        let idx_view = UnsafeSlice::new(row_idx.as_mut_slice());
+        let perm = tree.perm();
+        ctx.for_each_chunk_traced(
+            n,
+            256,
+            KernelKind::TreeTraverse,
+            (n as u64) * 48 * k as u64,
+            |range| {
+                let mut heap = KnnHeap::new(k);
+                for i in range {
+                    let q = perm[i] as usize;
+                    tree.knn_into(points, q as u32, k, &mut heap);
+                    for (j, &(d2, p)) in heap.sorted().iter().enumerate() {
+                        // SAFETY: perm is a permutation — row q is owned
+                        // by exactly this iteration.
+                        unsafe {
+                            d2_view.write(q * k + j, d2);
+                            idx_view.write(q * k + j, p);
+                        }
+                    }
+                }
+            },
+        );
+    }
+}
+
+/// A borrowed view over sorted k-NN rows (see [`knn_rows_into`]).
+///
+/// The Borůvka row screen uses these rows two ways, both **exact**:
+///
+/// * if the best foreign row member sits *strictly* below the row's k-th
+///   distance, it is the point's true nearest foreign neighbour (every
+///   non-member is at least the k-th distance away), so the tree traversal
+///   is skipped entirely;
+/// * otherwise the k-th distance is a valid monotone lower bound on the
+///   nearest-foreign distance, feeding the boundary-point filter.
+///
+/// Both arguments require the metric to **dominate the Euclidean
+/// distance** (`dist2(a,b) ≥ ‖a−b‖²`), which holds for [`crate::metric::Euclidean`]
+/// and [`crate::metric::MutualReachability`].
+#[derive(Clone, Copy)]
+pub struct KnnRows<'a> {
+    /// Neighbours per row.
+    pub k: usize,
+    /// Squared Euclidean distances, row-major `n × k`, ascending per row.
+    pub d2: &'a [f32],
+    /// Neighbour indices parallel to `d2` (`u32::MAX` = padding).
+    pub idx: &'a [u32],
+}
+
 /// Batched k-NN: indices of the `k` nearest neighbours of every point,
 /// row-major `n × k` (padded with `u32::MAX` when fewer exist).
 pub fn knn_indices(ctx: &ExecCtx, points: &PointSet, tree: &KdTree, k: usize) -> Vec<u32> {
@@ -222,6 +305,42 @@ mod tests {
         let one = PointSet::new(vec![1.0, 2.0], 2);
         let tree = KdTree::build(&ctx, &one);
         assert_eq!(core_distances2(&ctx, &one, &tree, 5), vec![0.0]);
+    }
+
+    #[test]
+    fn sorted_rows_match_core_distances_by_prefix() {
+        let ctx = ExecCtx::serial();
+        let points = random_points(150, 3, 9);
+        let tree = KdTree::build(&ctx, &points);
+        let k = 7usize;
+        let (mut d2, mut idx) = (Vec::new(), Vec::new());
+        knn_rows_into(&ctx, &points, &tree, k, &mut d2, &mut idx);
+        assert_eq!(d2.len(), 150 * k);
+        // Rows ascend, and the (m-2)-th entry is the min_pts = m core
+        // distance — the engine's prefix contract.
+        for min_pts in 2..=k + 1 {
+            let core2 = core_distances2(&ctx, &points, &tree, min_pts);
+            for q in 0..points.len() {
+                assert!(d2[q * k..(q + 1) * k].windows(2).all(|w| w[0] <= w[1]));
+                assert_eq!(d2[q * k + min_pts - 2], core2[q], "q={q} m={min_pts}");
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_rows_pad_when_k_exceeds_n() {
+        let ctx = ExecCtx::serial();
+        let points = PointSet::new(vec![0.0, 0.0, 1.0, 0.0, 2.0, 0.0], 2);
+        let tree = KdTree::build(&ctx, &points);
+        let (mut d2, mut idx) = (Vec::new(), Vec::new());
+        knn_rows_into(&ctx, &points, &tree, 5, &mut d2, &mut idx);
+        // Each point has only 2 neighbours; the tail is padding.
+        for q in 0..3 {
+            assert_eq!(idx[q * 5 + 2], u32::MAX);
+            assert_eq!(d2[q * 5 + 2], f32::INFINITY);
+        }
+        assert_eq!(idx[0], 1);
+        assert_eq!(d2[0], 1.0);
     }
 
     #[test]

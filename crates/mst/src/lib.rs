@@ -14,6 +14,9 @@
 //!   (Euclidean or mutual reachability), warm-started across rounds;
 //! * [`emst`](mod@emst) — the orchestrated build → core distances →
 //!   Borůvka pipeline with per-stage timings and kernel-trace phases;
+//! * [`workspace`] — the reusable [`workspace::EmstWorkspace`]: tree built
+//!   once per dataset, sorted k-NN rows serving every `minPts` by prefix,
+//!   pooled Borůvka buffers — the substrate of multi-`minPts` sweeps;
 //! * [`prim`] / [`kruskal`] — exact oracles and graph-input MST.
 
 pub mod boruvka;
@@ -25,11 +28,13 @@ pub mod kruskal;
 pub mod metric;
 pub mod point;
 pub mod prim;
+pub mod workspace;
 
-pub use boruvka::{boruvka_mst, boruvka_mst_seeded};
+pub use boruvka::{boruvka_mst, boruvka_mst_seeded, boruvka_mst_with, EndgameCache};
 pub use emst::{emst, emst_with_core2, Emst, EmstParams, EmstTimings};
 pub use kdtree::{ForeignSearch, KdTree, KnnHeap};
-pub use knn::{core_distances2, core_distances2_and_knn};
+pub use knn::{core_distances2, core_distances2_and_knn, knn_rows_into, KnnRows};
 pub use knn_graph::knn_graph_mst;
 pub use metric::{Euclidean, Metric, MutualReachability};
 pub use point::PointSet;
+pub use workspace::{emst_into, EmstWorkspace, ROW_SLACK};

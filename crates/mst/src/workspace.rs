@@ -1,0 +1,468 @@
+//! Reusable EMST stage workspace: build the spatial substrate **once per
+//! dataset**, serve many `minPts` queries from it.
+//!
+//! The one-shot orchestrator ([`crate::emst::emst`]) rebuilds the kd-tree,
+//! re-runs the core-distance k-NN pass and reallocates every Borůvka buffer
+//! on each call — fine for a single figure run, wasteful for the workloads
+//! the paper's §6.5 study implies (the same dataset swept over
+//! `mpts ∈ {2, 4, 8, 16}`) and for serving repeated clustering requests.
+//! [`EmstWorkspace`] amortizes all of it:
+//!
+//! * the kd-tree (with its AoSoA leaf-coordinate blocks) is built once and
+//!   owned by the workspace;
+//! * one sorted k-NN pass at the **largest** `minPts` of interest captures
+//!   per-point neighbour rows; the squared core distance for every smaller
+//!   `minPts` is then a prefix lookup (`row[min_pts − 2]`), bit-identical
+//!   to a fresh k-NN query because the multiset of k-nearest distances is
+//!   unique;
+//! * the same rows drive the Borůvka **row screen**
+//!   ([`crate::knn::KnnRows`]): most first-round queries resolve exactly
+//!   from their row without touching the tree, and rows double as
+//!   boundary-filter lower bounds in later rounds;
+//! * every Borůvka round buffer is drawn from a pooled
+//!   [`pandora_exec::scratch::ScratchPool`], so repeat runs perform no
+//!   per-run buffer allocation.
+//!
+//! Results are **bit-identical** to the one-shot path (serial and
+//! threaded) — enforced by `tests/engine_equivalence.rs`.
+
+use std::time::Instant;
+
+use pandora_exec::{ExecCtx, ScratchPool, UnsafeSlice, DEFAULT_GRAIN};
+
+use crate::boruvka::{boruvka_mst_with, EndgameCache};
+use crate::emst::{Emst, EmstTimings};
+use crate::kdtree::{KdTree, DEFAULT_LEAF_SIZE};
+use crate::knn::{knn_rows_into, KnnRows};
+use crate::metric::{Euclidean, MutualReachability};
+use crate::point::PointSet;
+
+/// Extra neighbours captured past the largest requested `minPts` when
+/// preparing a sweep ([`EmstWorkspace::prepare`]).
+///
+/// The row screen proves a row-resolved winner exact only when it sits
+/// *strictly below* the row's k-th distance; at `minPts = k + 1` the core
+/// distance **is** the k-th distance, so a slack-free row can never certify
+/// the largest swept `minPts`. A few spare neighbours restore the screen
+/// for every member of the sweep at a marginal one-off k-NN cost.
+pub const ROW_SLACK: usize = 8;
+
+/// Identity of the dataset a workspace was warmed on: shape plus a content
+/// hash (FNV-1a over the raw coordinate bytes). A buffer address would be
+/// a tempting fast path, but it is unsound from the workspace's vantage:
+/// the original point set may be dropped between runs and a *different*
+/// dataset allocated at the recycled address, so contents are always
+/// hashed (an O(n·dim) scan — noise next to any pipeline stage).
+#[derive(Clone, Copy, PartialEq)]
+struct DatasetId {
+    n: usize,
+    dim: usize,
+    content: u64,
+}
+
+impl DatasetId {
+    fn of(points: &PointSet) -> Self {
+        Self {
+            n: points.len(),
+            dim: points.dim(),
+            content: fnv1a_f32(points.coords()),
+        }
+    }
+
+    /// Whether `points` is (observably) the dataset this id was taken of.
+    fn matches(&self, points: &PointSet) -> bool {
+        (self.n, self.dim) == (points.len(), points.dim())
+            && self.content == fnv1a_f32(points.coords())
+    }
+}
+
+/// FNV-1a over the raw bytes of a coordinate slice.
+fn fnv1a_f32(coords: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for c in coords {
+        for b in c.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// A long-lived EMST workspace bound to one dataset (see the module docs).
+pub struct EmstWorkspace {
+    leaf_size: usize,
+    /// Identity of the dataset the tree was warmed on (`None` = cold).
+    bound: Option<DatasetId>,
+    tree: Option<KdTree>,
+    /// Neighbours captured per row (0 = no rows yet).
+    rows_k: usize,
+    row_d2: Vec<f32>,
+    row_idx: Vec<u32>,
+    scratch: ScratchPool,
+    endgame: EndgameCache,
+    build_s: f64,
+    rows_s: f64,
+}
+
+impl Default for EmstWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EmstWorkspace {
+    /// Creates a cold workspace with the default kd-tree leaf size.
+    pub fn new() -> Self {
+        Self::with_leaf_size(DEFAULT_LEAF_SIZE)
+    }
+
+    /// Creates a cold workspace with a caller-chosen kd-tree leaf size.
+    pub fn with_leaf_size(leaf_size: usize) -> Self {
+        Self {
+            leaf_size,
+            bound: None,
+            tree: None,
+            rows_k: 0,
+            row_d2: Vec::new(),
+            row_idx: Vec::new(),
+            scratch: ScratchPool::new(),
+            endgame: EndgameCache::new(),
+            build_s: 0.0,
+            rows_s: 0.0,
+        }
+    }
+
+    /// Builds the kd-tree if this is the first call; returns the seconds
+    /// spent (0 when already warm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace was warmed on a **different dataset**: a
+    /// workspace serves exactly one dataset for its lifetime (the tree
+    /// indexes concrete coordinates, so swapping point sets silently would
+    /// corrupt every result). Identity is checked by shape plus a content
+    /// hash — same-shape different-content datasets are rejected, not
+    /// corrupted.
+    pub fn ensure_tree(&mut self, ctx: &ExecCtx, points: &PointSet) -> f64 {
+        match &self.bound {
+            None => self.bound = Some(DatasetId::of(points)),
+            Some(id) => assert!(
+                id.matches(points),
+                "EmstWorkspace is bound to the dataset it was warmed on \
+                 (got a different point set of shape {}x{})",
+                points.len(),
+                points.dim()
+            ),
+        }
+        if self.tree.is_some() {
+            return 0.0;
+        }
+        ctx.set_phase("emst_build");
+        let t = Instant::now();
+        self.tree = Some(KdTree::build_with_leaf_size(ctx, points, self.leaf_size));
+        let spent = t.elapsed().as_secs_f64();
+        self.build_s += spent;
+        spent
+    }
+
+    /// Ensures the sorted k-NN rows cover `min_pts` (capturing
+    /// `min(min_pts − 1, n − 1)` neighbours per point if they do not yet);
+    /// returns the seconds spent (0 when already wide enough).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_pts` is 0 or (for `n ≥ 2`) exceeds the point count —
+    /// the same contract as [`crate::knn::core_distances2`].
+    pub fn ensure_rows(&mut self, ctx: &ExecCtx, points: &PointSet, min_pts: usize) -> f64 {
+        let n = points.len();
+        assert!(min_pts >= 1, "min_pts must be at least 1");
+        assert!(
+            n <= 1 || min_pts <= n,
+            "min_pts ({min_pts}) exceeds the number of points ({n}): \
+             the {min_pts}-th nearest neighbour does not exist"
+        );
+        let k = (min_pts - 1).min(n.saturating_sub(1));
+        self.capture_rows(ctx, points, k)
+    }
+
+    /// Prepares the workspace for a sweep whose largest `minPts` is
+    /// `max_min_pts`: builds the tree and captures rows wide enough for
+    /// every member **plus [`ROW_SLACK`] spare neighbours** (so the row
+    /// screen stays exact even at the sweep maximum). Returns the seconds
+    /// spent on shared (amortized) work this call.
+    pub fn prepare(&mut self, ctx: &ExecCtx, points: &PointSet, max_min_pts: usize) -> f64 {
+        let mut spent = self.ensure_tree(ctx, points);
+        let n = points.len();
+        assert!(max_min_pts >= 1, "min_pts must be at least 1");
+        assert!(
+            n <= 1 || max_min_pts <= n,
+            "min_pts ({max_min_pts}) exceeds the number of points ({n}): \
+             the {max_min_pts}-th nearest neighbour does not exist"
+        );
+        let k = (max_min_pts - 1 + ROW_SLACK).min(n.saturating_sub(1));
+        spent += self.capture_rows(ctx, points, k);
+        spent
+    }
+
+    fn capture_rows(&mut self, ctx: &ExecCtx, points: &PointSet, k: usize) -> f64 {
+        if k <= self.rows_k || points.len() <= 1 {
+            return 0.0;
+        }
+        let tree = self.tree.as_ref().expect("ensure_tree before rows");
+        ctx.set_phase("emst_core");
+        let t = Instant::now();
+        knn_rows_into(ctx, points, tree, k, &mut self.row_d2, &mut self.row_idx);
+        self.rows_k = k;
+        let spent = t.elapsed().as_secs_f64();
+        self.rows_s += spent;
+        spent
+    }
+
+    /// The owned kd-tree (`None` before the first [`EmstWorkspace::ensure_tree`]).
+    pub fn tree(&self) -> Option<&KdTree> {
+        self.tree.as_ref()
+    }
+
+    /// Neighbours currently captured per row.
+    pub fn rows_k(&self) -> usize {
+        self.rows_k
+    }
+
+    /// Total seconds spent building the tree (amortized over all runs).
+    pub fn build_seconds(&self) -> f64 {
+        self.build_s
+    }
+
+    /// Total seconds spent capturing k-NN rows (amortized over all runs).
+    pub fn rows_seconds(&self) -> f64 {
+        self.rows_s
+    }
+
+    /// The scratch pool backing the Borůvka buffers (for accounting).
+    pub fn scratch(&self) -> &ScratchPool {
+        &self.scratch
+    }
+}
+
+/// Runs one EMST under the mutual-reachability metric for `min_pts` out of
+/// a (possibly warm) workspace.
+///
+/// The first call pays the kd-tree build and (unless
+/// [`EmstWorkspace::prepare`] already ran) a k-NN pass; later calls reuse
+/// both, so a sweep pays **one build + one k-NN pass** total. Reported
+/// [`EmstTimings`] cover only the seconds actually spent in this call —
+/// warm runs report `tree_build_s = 0`.
+///
+/// The returned MST edges and core distances are bit-identical to
+/// [`crate::emst::emst`] with the same `min_pts`.
+///
+/// # Panics
+///
+/// As [`crate::emst::emst`]: `min_pts` must be ≥ 1 and (for `n ≥ 2`) at
+/// most `n`; the workspace must not have been warmed on a different
+/// dataset.
+pub fn emst_into(ctx: &ExecCtx, points: &PointSet, min_pts: usize, ws: &mut EmstWorkspace) -> Emst {
+    let n = points.len();
+    let mut timings = EmstTimings {
+        tree_build_s: ws.ensure_tree(ctx, points),
+        ..Default::default()
+    };
+
+    ctx.set_phase("emst_core");
+    let t = Instant::now();
+    let mut rows_spent = ws.ensure_rows(ctx, points, min_pts);
+    // Core distances by prefix: the (min_pts − 1)-th entry of a sorted row
+    // is the exact distance to the (min_pts − 1)-th nearest neighbour.
+    let mut core2 = vec![0.0f32; n];
+    if min_pts >= 2 && n > 1 {
+        let k = ws.rows_k;
+        debug_assert!(k >= (min_pts - 1).min(n - 1));
+        let core_view = UnsafeSlice::new(&mut core2);
+        let row_d2 = &ws.row_d2;
+        ctx.for_each_chunk(n, DEFAULT_GRAIN, |range| {
+            for q in range {
+                // SAFETY: disjoint writes.
+                unsafe { core_view.write(q, row_d2[q * k + (min_pts - 2)]) };
+            }
+        });
+    }
+    rows_spent += t.elapsed().as_secs_f64();
+
+    if min_pts >= 2 && n > 1 {
+        // Attach per-subtree core minima for mutual-reachability pruning
+        // (reuses the previously attached buffer on warm runs).
+        let tree = ws.tree.as_mut().expect("tree ensured above");
+        tree.attach_core2(&core2);
+    }
+    timings.core_s = rows_spent;
+
+    ctx.set_phase("emst_boruvka");
+    let t = Instant::now();
+    let tree = ws.tree.as_ref().expect("tree ensured above");
+    let rows = (ws.rows_k > 0).then_some(KnnRows {
+        k: ws.rows_k,
+        d2: &ws.row_d2,
+        idx: &ws.row_idx,
+    });
+    // The endgame cache transfers late-round bounds between runs; its
+    // metric rank is the `minPts` the bounds were proved under (1 = plain
+    // Euclidean, the base of the mutual-reachability monotone family).
+    let cache = Some((&mut ws.endgame, min_pts.max(1)));
+    let edges = if min_pts <= 1 {
+        boruvka_mst_with(
+            ctx,
+            points,
+            tree,
+            &Euclidean,
+            None,
+            rows,
+            cache,
+            &mut ws.scratch,
+        )
+    } else {
+        let metric = MutualReachability { core2: &core2 };
+        boruvka_mst_with(
+            ctx,
+            points,
+            tree,
+            &metric,
+            None,
+            rows,
+            cache,
+            &mut ws.scratch,
+        )
+    };
+    timings.boruvka_s = t.elapsed().as_secs_f64();
+
+    Emst {
+        edges,
+        core2,
+        timings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emst::{emst, EmstParams};
+    use rand::prelude::*;
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> PointSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PointSet::new(
+            (0..n * dim).map(|_| rng.gen_range(-5.0..5.0f32)).collect(),
+            dim,
+        )
+    }
+
+    #[test]
+    fn warm_sweep_matches_cold_runs_exactly() {
+        let ctx = ExecCtx::serial();
+        let points = random_points(400, 3, 11);
+        let mut ws = EmstWorkspace::new();
+        ws.prepare(&ctx, &points, 16);
+        for min_pts in [2usize, 4, 8, 16] {
+            let warm = emst_into(&ctx, &points, min_pts, &mut ws);
+            let cold = emst(&ctx, &points, &EmstParams::with_min_pts(min_pts));
+            assert_eq!(warm.core2, cold.core2, "min_pts={min_pts}");
+            assert_eq!(warm.edges.len(), cold.edges.len());
+            for (a, b) in warm.edges.iter().zip(cold.edges.iter()) {
+                assert_eq!((a.u, a.v, a.w), (b.u, b.v, b.w), "min_pts={min_pts}");
+            }
+        }
+        // The tree was built exactly once and the rows captured once.
+        assert!(ws.build_seconds() > 0.0);
+        assert_eq!(ws.rows_k(), 15 + ROW_SLACK);
+        assert_eq!(ws.scratch().outstanding(), 0);
+    }
+
+    #[test]
+    fn rows_grow_on_demand() {
+        let ctx = ExecCtx::serial();
+        let points = random_points(120, 2, 3);
+        let mut ws = EmstWorkspace::new();
+        let a = emst_into(&ctx, &points, 2, &mut ws);
+        assert_eq!(ws.rows_k(), 1);
+        let b = emst_into(&ctx, &points, 6, &mut ws);
+        assert_eq!(ws.rows_k(), 5);
+        let cold_a = emst(&ctx, &points, &EmstParams::with_min_pts(2));
+        let cold_b = emst(&ctx, &points, &EmstParams::with_min_pts(6));
+        assert_eq!(a.core2, cold_a.core2);
+        assert_eq!(b.core2, cold_b.core2);
+    }
+
+    #[test]
+    fn min_pts_one_and_tiny_inputs() {
+        let ctx = ExecCtx::serial();
+        let mut ws = EmstWorkspace::new();
+        let points = random_points(50, 2, 7);
+        let r = emst_into(&ctx, &points, 1, &mut ws);
+        assert!(r.core2.iter().all(|&c| c == 0.0));
+        assert_eq!(r.edges.len(), 49);
+
+        for n in [0usize, 1] {
+            let mut ws = EmstWorkspace::new();
+            let tiny = random_points(n, 2, 1);
+            let r = emst_into(&ctx, &tiny, 2, &mut ws);
+            assert!(r.edges.is_empty());
+            assert_eq!(r.core2.len(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the number of points")]
+    fn min_pts_above_n_panics_like_one_shot() {
+        let ctx = ExecCtx::serial();
+        let points = random_points(5, 2, 1);
+        let mut ws = EmstWorkspace::new();
+        let _ = emst_into(&ctx, &points, 6, &mut ws);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound to the dataset")]
+    fn rejects_a_different_dataset() {
+        let ctx = ExecCtx::serial();
+        let mut ws = EmstWorkspace::new();
+        let _ = emst_into(&ctx, &random_points(30, 2, 1), 2, &mut ws);
+        let _ = emst_into(&ctx, &random_points(40, 2, 2), 2, &mut ws);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound to the dataset")]
+    fn rejects_a_same_shape_different_content_dataset() {
+        // The silent-corruption case: identical (n, dim) but different
+        // coordinates must be caught by the content hash, not served from
+        // the stale tree.
+        let ctx = ExecCtx::serial();
+        let mut ws = EmstWorkspace::new();
+        let _ = emst_into(&ctx, &random_points(30, 2, 1), 2, &mut ws);
+        let _ = emst_into(&ctx, &random_points(30, 2, 99), 2, &mut ws);
+    }
+
+    #[test]
+    fn accepts_a_moved_copy_of_the_same_dataset() {
+        // A clone relocates the coord buffer; the content hash must still
+        // recognize it as the bound dataset.
+        let ctx = ExecCtx::serial();
+        let points = random_points(30, 2, 1);
+        let copy = points.clone();
+        let mut ws = EmstWorkspace::new();
+        let a = emst_into(&ctx, &points, 2, &mut ws);
+        let b = emst_into(&ctx, &copy, 2, &mut ws);
+        assert_eq!(a.core2, b.core2);
+    }
+
+    #[test]
+    fn timings_are_amortized() {
+        let ctx = ExecCtx::serial();
+        let points = random_points(300, 2, 9);
+        let mut ws = EmstWorkspace::new();
+        ws.prepare(&ctx, &points, 8);
+        let first = emst_into(&ctx, &points, 4, &mut ws);
+        // Tree and rows were prepared before the run: nothing rebuilt.
+        assert_eq!(first.timings.tree_build_s, 0.0);
+        let second = emst_into(&ctx, &points, 8, &mut ws);
+        assert_eq!(second.timings.tree_build_s, 0.0);
+        assert!(second.timings.boruvka_s > 0.0);
+    }
+}

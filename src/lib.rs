@@ -32,6 +32,14 @@
 //! let points = PointSet::new(coords, 2);
 //! let result = Hdbscan::new(HdbscanParams::default()).run(&points);
 //! assert_eq!(result.n_clusters(), 3);
+//!
+//! // Serving the same dataset repeatedly (e.g. a minPts sweep)? Hold an
+//! // engine: one kd-tree build + one k-NN pass amortize across every run,
+//! // with bit-identical results.
+//! let mut engine = Hdbscan::new(HdbscanParams::default()).engine(&points);
+//! for r in engine.sweep_min_pts(&[2, 4, 8]) {
+//!     assert_eq!(r.n_clusters(), 3);
+//! }
 //! ```
 
 pub use pandora_core as core;
@@ -45,7 +53,7 @@ pub mod prelude {
     pub use pandora_core::pandora::{dendrogram, dendrogram_with_stats};
     pub use pandora_core::{Dendrogram, Edge, SortedMst};
     pub use pandora_exec::ExecCtx;
-    pub use pandora_hdbscan::{Hdbscan, HdbscanParams, HdbscanResult};
+    pub use pandora_hdbscan::{Hdbscan, HdbscanEngine, HdbscanParams, HdbscanResult};
     pub use pandora_mst::{
         boruvka_mst, core_distances2, Euclidean, KdTree, MutualReachability, PointSet,
     };

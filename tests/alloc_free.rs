@@ -11,6 +11,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use pandora::exec::ExecCtx;
+use pandora::hdbscan::{Hdbscan, HdbscanParams};
 use pandora::mst::{
     boruvka_mst, core_distances2, Euclidean, KdTree, KnnHeap, MutualReachability, PointSet,
 };
@@ -119,17 +120,44 @@ fn steady_state_queries_do_not_allocate() {
     );
 
     // --- Full Borůvka: the round-persistent buffers are allocated once up
-    //     front, so an entire run (every round, every per-lane query) stays
-    //     within a small constant allocation budget — nothing proportional
-    //     to n × rounds. With ~2000 points and ~10 rounds, a per-query or
+    //     front (via a run-local scratch pool, whose free lists add a few
+    //     bookkeeping allocations when the buffers are returned), so an
+    //     entire run (every round, every per-lane query) stays within a
+    //     small constant allocation budget — nothing proportional to
+    //     n × rounds. With ~2000 points and ~10 rounds, a per-query or
     //     per-round-per-point allocation would blow well past the budget.
     let boruvka_allocs = min_allocs_over(3, || {
         let edges = boruvka_mst(&ctx, &points, &tree, &metric);
         assert_eq!(edges.len(), n - 1);
     });
     assert!(
-        boruvka_allocs <= 16,
+        boruvka_allocs <= 24,
         "boruvka_mst made {boruvka_allocs} allocations for a full run \
          (steady-state queries must be allocation-free per lane)"
     );
+
+    // --- Warm engine: after the first run, every stage workspace (kd-tree,
+    //     k-NN rows, Borůvka buffers, contraction hierarchy, chain keys) is
+    //     reused, so a complete warm `run_with` allocates only its outputs
+    //     (result vectors, condensed tree, a few per-level bookkeeping
+    //     vectors) — a small constant w.r.t. n. At n = 2000 a single leaked
+    //     per-point or per-round reallocation pattern adds thousands of
+    //     allocations, an order of magnitude past this bound; steady-state
+    //     reuse is thereby proven, not assumed.
+    let driver = Hdbscan::with_ctx(HdbscanParams::default(), ExecCtx::serial());
+    let mut engine = driver.engine(&points);
+    engine.prepare(8);
+    let _ = engine.run_with(8); // first run: populates every workspace
+    let warm_allocs = min_allocs_over(3, || {
+        let result = engine.run_with(8);
+        assert_eq!(result.labels.len(), n);
+    });
+    assert!(
+        warm_allocs <= 160,
+        "a warm engine run made {warm_allocs} allocations \
+         (stage workspaces are not being reused)"
+    );
+    // And the books balance: nothing stays leased between runs.
+    assert_eq!(engine.emst_workspace().scratch().outstanding(), 0);
+    assert_eq!(engine.dendrogram_workspace().scratch().outstanding(), 0);
 }

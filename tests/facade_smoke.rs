@@ -47,6 +47,38 @@ fn prelude_covers_common_entry_points() {
     let _metric = MutualReachability { core2: &core2 };
 }
 
+/// The repository tree carries no stray empty directories (e.g. an
+/// abandoned `examples_tmp/`). Git cannot even represent empty
+/// directories in a commit, so a CI-side check of the checkout can never
+/// see the hazard — this test runs wherever `cargo test` runs, i.e. on
+/// the machine where the litter actually exists, before it confuses the
+/// next `ls`.
+#[test]
+fn repository_has_no_stray_empty_directories() {
+    fn scan(dir: &std::path::Path, stray: &mut Vec<std::path::PathBuf>) {
+        let mut entries = 0usize;
+        for entry in std::fs::read_dir(dir).expect("readable repo dir") {
+            let entry = entry.expect("readable dir entry");
+            entries += 1;
+            let path = entry.path();
+            let name = entry.file_name();
+            if path.is_dir() && name != ".git" && name != "target" {
+                scan(&path, stray);
+            }
+        }
+        if entries == 0 {
+            stray.push(dir.to_path_buf());
+        }
+    }
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut stray = Vec::new();
+    scan(root, &mut stray);
+    assert!(
+        stray.is_empty(),
+        "stray empty directories in the tree (remove them): {stray:?}"
+    );
+}
+
 /// The quickstart from `README.md` / the `pandora` crate root, verbatim.
 #[test]
 fn readme_quickstart_runs() {

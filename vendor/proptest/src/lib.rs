@@ -9,6 +9,18 @@
 //! Cases are generated from a deterministic RNG (seed = FNV hash of the
 //! test name, advanced per case), so failures are reproducible run-to-run.
 //! There is **no shrinking**: a failing case panics with the case index.
+//!
+//! # Single-case replay
+//!
+//! A failure message names the case index that failed; setting
+//! `PROPTEST_CASE=<index>` re-runs **just that case** (the RNG is advanced
+//! past the earlier cases without executing their bodies), so a debugging
+//! loop over an expensive property costs one case per iteration instead of
+//! the whole run:
+//!
+//! ```bash
+//! PROPTEST_CASE=17 cargo test -p pandora --test properties failing_prop
+//! ```
 
 use rand::prelude::*;
 
@@ -244,7 +256,15 @@ pub mod test_runner {
         h
     }
 
-    /// Runs `body` on `config.cases` generated inputs.
+    /// The case index requested via `PROPTEST_CASE` (replay mode), if any.
+    pub fn replay_case() -> Option<u32> {
+        std::env::var("PROPTEST_CASE").ok()?.parse().ok()
+    }
+
+    /// Runs `body` on `config.cases` generated inputs — or, when
+    /// `PROPTEST_CASE=<index>` is set, on exactly that case (generation for
+    /// the earlier cases still advances the RNG, so the replayed input is
+    /// bit-identical to the one the full run produced).
     pub fn run<S: Strategy>(
         test_name: &str,
         config: &ProptestConfig,
@@ -252,13 +272,42 @@ pub mod test_runner {
         body: impl Fn(S::Value),
     ) {
         let mut rng = StdRng::seed_from_u64(seed_for(test_name));
+        // The env var applies to every property the invocation executes;
+        // properties with fewer cases than the requested index (usually
+        // unrelated tests swept up by a broad filter) fall back to a full
+        // run instead of spuriously failing.
+        match replay_case() {
+            Some(replay) if (replay as u64) < config.cases as u64 => {
+                // Discard the inputs of the earlier cases; values are a
+                // pure function of the RNG stream, so this lands on the
+                // exact failing input.
+                for _ in 0..replay {
+                    let _ = strategy.generate(&mut rng);
+                }
+                let value = strategy.generate(&mut rng);
+                eprintln!(
+                    "proptest: replaying only case {replay} of `{test_name}` (PROPTEST_CASE)"
+                );
+                body(value);
+                return;
+            }
+            Some(replay) => {
+                eprintln!(
+                    "proptest: PROPTEST_CASE={replay} is out of range for `{test_name}` \
+                     ({} cases); running the property in full",
+                    config.cases
+                );
+            }
+            None => {}
+        }
         for case in 0..config.cases {
             let value = strategy.generate(&mut rng);
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(value)));
             if let Err(payload) = result {
                 eprintln!(
                     "proptest: property `{test_name}` failed at case {case}/{} \
-                     (deterministic seed {}; no shrinking in this shim)",
+                     (deterministic seed {}; no shrinking in this shim). \
+                     Re-run just this case with PROPTEST_CASE={case}",
                     config.cases,
                     seed_for(test_name),
                 );
@@ -381,5 +430,29 @@ mod tests {
         let a = s.generate(&mut StdRng::seed_from_u64(seed));
         let b = s.generate(&mut StdRng::seed_from_u64(seed));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replay_reproduces_the_exact_case_input() {
+        use std::cell::RefCell;
+        // Record every case input of a normal run, then check that RNG
+        // fast-forwarding (what PROPTEST_CASE does) reproduces each one.
+        let config = crate::ProptestConfig::with_cases(8);
+        let strategy = crate::collection::vec(0u32..1_000_000, 3..7);
+        let seen: RefCell<Vec<Vec<u32>>> = RefCell::new(Vec::new());
+        crate::test_runner::run("replay_demo", &config, &strategy, |v| {
+            seen.borrow_mut().push(v);
+        });
+        let seen = seen.into_inner();
+        assert_eq!(seen.len(), 8);
+        use rand::prelude::*;
+        for (case, expected) in seen.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(crate::test_runner::seed_for("replay_demo"));
+            for _ in 0..case {
+                let _ = crate::Strategy::generate(&strategy, &mut rng);
+            }
+            let replayed = crate::Strategy::generate(&strategy, &mut rng);
+            assert_eq!(&replayed, expected, "case {case}");
+        }
     }
 }
