@@ -5,7 +5,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use pandora_data::by_name;
 use pandora_exec::ExecCtx;
 use pandora_mst::{
-    boruvka_mst, core_distances2, emst, EmstParams, Euclidean, KdTree, MutualReachability,
+    boruvka_mst, boruvka_mst_seeded, core_distances2, emst, EmstParams, Euclidean, KdTree,
+    MutualReachability,
 };
 
 fn bench_kdtree_build(c: &mut Criterion) {
@@ -54,11 +55,12 @@ fn bench_boruvka(c: &mut Criterion) {
             BenchmarkId::new("mutual_reachability", name),
             &points,
             |b, points| {
-                let mut tree = KdTree::build(&ctx, points);
+                let tree = KdTree::build(&ctx, points);
                 let core2 = core_distances2(&ctx, points, &tree, 2);
-                tree.attach_core2(&core2);
+                let mut node_core2 = Vec::new();
+                tree.min_core2_into(&core2, &mut node_core2);
                 let metric = MutualReachability { core2: &core2 };
-                b.iter(|| boruvka_mst(&ctx, points, &tree, &metric))
+                b.iter(|| boruvka_mst_seeded(&ctx, points, &tree, &metric, None, &node_core2))
             },
         );
     }

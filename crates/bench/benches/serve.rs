@@ -1,0 +1,56 @@
+//! Serving-path benchmarks: a warm [`Session`] over a frozen
+//! [`DatasetIndex`] against the cold one-shot pipeline, plus the freeze
+//! cost itself — the per-request economics of the two-tier API.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+
+use pandora_data::by_name;
+use pandora_exec::ExecCtx;
+use pandora_hdbscan::{ClusterRequest, DatasetIndex, Hdbscan, HdbscanParams};
+
+fn bench_session_vs_cold(c: &mut Criterion) {
+    let n = 8_000usize;
+    let points = by_name("Hacc37M").expect("registry").generate(n, 42);
+    let ctx = ExecCtx::serial();
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+
+    group.bench_function(BenchmarkId::new("warm_session", "Hacc37M"), |b| {
+        let index = Arc::new(
+            DatasetIndex::freeze_with_ctx(ctx.clone(), points.clone(), 16).expect("freeze"),
+        );
+        let mut session = index.session();
+        let requests = [2usize, 4, 8, 16].map(|m| ClusterRequest::new().min_pts(m));
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % requests.len();
+            session.run(&requests[i]).expect("valid request")
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("cold_one_shot", "Hacc37M"), |b| {
+        let mut i = 0usize;
+        let mpts = [2usize, 4, 8, 16];
+        b.iter(|| {
+            i = (i + 1) % mpts.len();
+            Hdbscan::with_ctx(
+                HdbscanParams {
+                    min_pts: mpts[i],
+                    ..Default::default()
+                },
+                ctx.clone(),
+            )
+            .run(&points)
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("freeze", "Hacc37M"), |b| {
+        b.iter(|| DatasetIndex::freeze_with_ctx(ctx.clone(), points.clone(), 16).expect("freeze"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_vs_cold);
+criterion_main!(benches);

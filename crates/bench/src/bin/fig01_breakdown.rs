@@ -11,7 +11,7 @@
 
 use pandora_bench::harness::{
     emst_serial_vs_threaded, engine_vs_cold, fmt_s, print_table, project_at, run_pipeline,
-    write_bench_ci_json,
+    serve_throughput, write_bench_ci_json,
 };
 use pandora_bench::suite::bench_scale;
 use pandora_data::by_name;
@@ -122,8 +122,22 @@ fn main() {
         // across runs — with bit-identical results, asserted inside).
         let sweep = [2usize, 4, 8, 16];
         let engine = engine_vs_cold(&points, &sweep, 2);
-        write_bench_ci_json(&json_path, n, 2, &serial, &threaded, lanes, Some(&engine))
-            .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
+        // Serving canary: the same shared-index request mix answered by 1
+        // and by 4 serving threads (per-thread sessions, serial stage
+        // dispatch). Every answer is asserted bit-identical to the
+        // one-shot pipeline inside the harness.
+        let serve = serve_throughput(&points, &sweep, 4, 4, 3);
+        write_bench_ci_json(
+            &json_path,
+            n,
+            2,
+            &serial,
+            &threaded,
+            lanes,
+            Some(&engine),
+            Some(&serve),
+        )
+        .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
         let speedup = serial.total() / threaded.total().max(1e-12);
         print_table(
             &format!("CI canary — serial vs threaded EMST ({lanes} lanes, best of 3)"),
@@ -152,6 +166,15 @@ fn main() {
             engine.sweep_s * 1e3,
             engine.cold_s * 1e3,
             engine.speedup
+        );
+        println!(
+            "serving canary — {} requests over one shared index: \
+             {:.1} req/s at 1 thread, {:.1} req/s at {} threads ({:.2}x)",
+            serve.requests,
+            serve.rps_t1,
+            serve.rps_t_many,
+            serve.t_many,
+            serve.rps_t_many / serve.rps_t1.max(1e-12)
         );
         // PANDORA_BENCH_MIN_SPEEDUP raises the bar above "not slower"
         // (default 1.0): a silently-serialized path measures ~1.0x ± noise,
@@ -189,6 +212,26 @@ fn main() {
                 engine.sweep_s * 1e3,
                 engine.cold_s * 1e3,
                 engine.speedup,
+            );
+            std::process::exit(1);
+        }
+        // Serving bar: 4 threads over one shared index must not serve
+        // fewer requests/second than 1 thread (PANDORA_BENCH_MIN_SERVE_RATIO
+        // defaults to that knife edge; on a multi-core runner request-level
+        // parallelism measures ~Tx, far from the noise floor, so any index
+        // contention regression — an accidental lock on the read path, a
+        // session pool serializing requests — lands well below the bar).
+        let min_serve_ratio = std::env::var("PANDORA_BENCH_MIN_SERVE_RATIO")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(1.0);
+        let serve_ratio = serve.rps_t_many / serve.rps_t1.max(1e-12);
+        if enforce && serve_ratio < min_serve_ratio {
+            eprintln!(
+                "FAIL: {}-thread serving ({:.1} req/s) vs 1-thread ({:.1} req/s) is \
+                 only {serve_ratio:.2}x (required ≥ {min_serve_ratio:.2}x) — \
+                 concurrent sessions are contending on the shared index",
+                serve.t_many, serve.rps_t_many, serve.rps_t1,
             );
             std::process::exit(1);
         }

@@ -1,5 +1,6 @@
 //! Shared measurement machinery for the figure binaries.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use pandora_core::baseline::dendrogram_union_find_mt;
@@ -7,7 +8,7 @@ use pandora_core::{pandora, DendrogramWorkspace, Edge, PhaseTimings, SortedMst};
 use pandora_exec::device::DeviceModel;
 use pandora_exec::trace::Trace;
 use pandora_exec::ExecCtx;
-use pandora_hdbscan::{Hdbscan, HdbscanParams};
+use pandora_hdbscan::{ClusterRequest, DatasetIndex, Hdbscan, HdbscanParams};
 use pandora_mst::{emst, emst_into, EmstParams, EmstTimings, EmstWorkspace, PointSet};
 
 /// Everything the figure binaries need from one dataset run: real wall-clock
@@ -207,6 +208,106 @@ pub fn engine_vs_cold(points: &PointSet, min_pts_list: &[usize], reps: usize) ->
     }
 }
 
+/// Measured concurrent-serving throughput over one shared
+/// [`DatasetIndex`]: requests/second at 1 and at `t_many` serving
+/// threads, same request mix, same total request count.
+#[derive(Debug, Clone)]
+pub struct ServeCanary {
+    /// Requests/second with a single serving thread.
+    pub rps_t1: f64,
+    /// Requests/second with `t_many` serving threads over the same index.
+    pub rps_t_many: f64,
+    /// The "many" thread count measured.
+    pub t_many: usize,
+    /// Total requests answered per measurement.
+    pub requests: usize,
+}
+
+/// Answers `total_requests` clustering requests (a fixed `minPts` mix)
+/// against one `Arc<DatasetIndex>` using `threads` serving threads, each
+/// with its own serial-context session (request-level parallelism), and
+/// returns the wall seconds. Labels are sanity-checked against `expect`
+/// (one labelling per mix entry, computed by the caller) so a throughput
+/// win can never hide a wrong answer.
+fn serve_wall_s(
+    index: &Arc<DatasetIndex>,
+    mix: &[ClusterRequest],
+    expect: &[Vec<i32>],
+    threads: usize,
+    total_requests: usize,
+) -> f64 {
+    let per_thread = total_requests.div_ceil(threads.max(1));
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for thread in 0..threads {
+            let index = Arc::clone(index);
+            scope.spawn(move || {
+                // Serial stage dispatch: with T sessions in flight the
+                // request-level parallelism already covers the lanes.
+                let mut session = index.session_with_ctx(ExecCtx::serial());
+                for i in 0..per_thread {
+                    let which = (thread + i) % mix.len();
+                    let result = session
+                        .run(&mix[which])
+                        .expect("bench requests are within the frozen ceiling");
+                    assert_eq!(
+                        result.labels, expect[which],
+                        "thread {thread} request {i}: serving diverged from one-shot"
+                    );
+                }
+            });
+        }
+    });
+    t.elapsed().as_secs_f64()
+}
+
+/// Measures [`ServeCanary`]: freezes one index over `points`, computes the
+/// ground-truth labelling per mix member once, then times the same total
+/// request volume at 1 serving thread and at `t_many` (best of `reps`
+/// each). Every served answer is asserted bit-identical to the one-shot
+/// labelling, so the canary measures *correct* concurrent serving only.
+pub fn serve_throughput(
+    points: &PointSet,
+    min_pts_mix: &[usize],
+    t_many: usize,
+    requests_per_thread: usize,
+    reps: usize,
+) -> ServeCanary {
+    let ceiling = min_pts_mix.iter().copied().max().unwrap_or(2);
+    let index = Arc::new(
+        DatasetIndex::freeze_with_ctx(ExecCtx::serial(), points.clone(), ceiling)
+            .expect("bench dataset freezes"),
+    );
+    let mix: Vec<ClusterRequest> = min_pts_mix
+        .iter()
+        .map(|&m| ClusterRequest::new().min_pts(m))
+        .collect();
+    let expect: Vec<Vec<i32>> = mix
+        .iter()
+        .map(|request| {
+            Hdbscan::with_ctx(request.to_params(), ExecCtx::serial())
+                .run(points)
+                .labels
+        })
+        .collect();
+    let total_requests = requests_per_thread * t_many;
+    let best = |threads: usize| -> f64 {
+        let mut wall = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            wall = wall.min(serve_wall_s(&index, &mix, &expect, threads, total_requests));
+        }
+        wall
+    };
+    let wall_t1 = best(1);
+    let wall_t_many = best(t_many);
+    ServeCanary {
+        rps_t1: total_requests as f64 / wall_t1.max(1e-12),
+        rps_t_many: total_requests as f64 / wall_t_many.max(1e-12),
+        t_many,
+        requests: total_requests,
+    }
+}
+
 /// Runs the EMST stage under a serial and a threaded context (best of
 /// `reps` runs each) and returns `(serial, threaded, threaded_lanes)`.
 ///
@@ -237,8 +338,10 @@ pub fn emst_serial_vs_threaded(
 
 /// Writes the `BENCH_ci.json` canary payload: per-phase milliseconds for
 /// the serial and threaded EMST runs, the thread count, and (when
-/// measured) the engine-sweep-vs-cold-runs amortization, as one stable
-/// hand-rolled JSON object (no serde in the offline environment).
+/// measured) the engine-sweep-vs-cold-runs amortization and the
+/// concurrent-serving throughput (`serve_rps_t1` / `serve_rps_t4`), as one
+/// stable hand-rolled JSON object (no serde in the offline environment).
+#[allow(clippy::too_many_arguments)] // one writer for the whole canary file
 pub fn write_bench_ci_json(
     path: &str,
     n: usize,
@@ -247,6 +350,7 @@ pub fn write_bench_ci_json(
     threaded: &EmstTimings,
     lanes: usize,
     engine: Option<&EngineCanary>,
+    serve: Option<&ServeCanary>,
 ) -> std::io::Result<()> {
     let phase = |t: &EmstTimings| {
         format!(
@@ -265,9 +369,16 @@ pub fn write_bench_ci_json(
             e.speedup
         )
     });
+    let serve_json = serve.map_or(String::new(), |s| {
+        format!(
+            ",\n  \"serve_rps_t1\": {:.3},\n  \"serve_rps_t{}\": {:.3},\n  \
+             \"serve_requests\": {}",
+            s.rps_t1, s.t_many, s.rps_t_many, s.requests
+        )
+    });
     let json = format!(
         "{{\n  \"n\": {n},\n  \"min_pts\": {min_pts},\n  \"threads\": {lanes},\n  \
-         \"serial\": {},\n  \"threaded\": {},\n  \"speedup\": {:.3}{engine_json}\n}}\n",
+         \"serial\": {},\n  \"threaded\": {},\n  \"speedup\": {:.3}{engine_json}{serve_json}\n}}\n",
         phase(serial),
         phase(threaded),
         serial.total() / threaded.total().max(1e-12)
@@ -381,6 +492,18 @@ mod tests {
         let canary = engine_vs_cold(&points, &[2, 4], 1);
         assert!(canary.sweep_s > 0.0 && canary.cold_s > 0.0);
         assert!(canary.speedup > 0.0);
+    }
+
+    #[test]
+    fn serve_canary_measures_both_thread_counts() {
+        // Small volume: the point is the machinery (threads spawn, every
+        // answer verified bit-identical inside serve_wall_s), not the
+        // throughput numbers themselves.
+        let points = uniform(800, 2, 5);
+        let canary = serve_throughput(&points, &[2, 4], 2, 2, 1);
+        assert_eq!(canary.t_many, 2);
+        assert_eq!(canary.requests, 4);
+        assert!(canary.rps_t1 > 0.0 && canary.rps_t_many > 0.0);
     }
 
     #[test]

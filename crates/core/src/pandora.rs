@@ -85,7 +85,7 @@ pub fn dendrogram_from_sorted(ctx: &ExecCtx, mst: &SortedMst) -> (Dendrogram, Pa
 /// [`ScratchPool`], so the steady state stops reallocating the hierarchy.
 /// Only the returned [`Dendrogram`] arrays are freshly allocated (the
 /// caller owns them).
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct DendrogramWorkspace {
     scratch: ScratchPool,
     keys: Vec<u64>,

@@ -253,6 +253,18 @@ impl Default for ExecCtx {
     }
 }
 
+impl std::fmt::Debug for ExecCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The pool and tracer internals are not informative; report the
+        // execution shape (what debugging a serving structure needs).
+        f.debug_struct("ExecCtx")
+            .field("lanes", &self.lanes())
+            .field("serial", &self.is_serial())
+            .field("tracing", &self.tracer.is_some())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,10 +11,16 @@
 //! it, and *puts* it back, so the steady state performs no heap traffic
 //! beyond first-use growth.
 //!
-//! The pool is deliberately not thread-safe: it lives inside a workspace
-//! that is `&mut`-threaded through the (single-threaded) stage
-//! orchestration, while the *contents* of taken buffers are free to be
-//! written by pool lanes through the usual [`crate::UnsafeSlice`] views.
+//! # Thread safety
+//!
+//! The pool is **concurrency-safe**: every method takes `&self` (free
+//! lists live behind per-lane mutexes, the accounting in atomics), so a
+//! pool can sit inside a shared, `Sync` serving structure — e.g. the
+//! per-session scratch sets that `pandora-hdbscan`'s `DatasetIndex` hands
+//! to concurrent requests — and `take`/`put` may race freely. Lane locks
+//! are held only for the O(1) pop/push, never while a buffer is in use;
+//! single-owner workspaces pay one uncontended lock per checkout, which is
+//! noise next to the allocation the checkout replaces.
 //!
 //! # Accounting
 //!
@@ -23,23 +29,31 @@
 //! between runs, and debug builds assert exactly that when the pool is
 //! dropped, so a stage that forgets to return a buffer (a slow leak that
 //! silently regrows allocations) fails loudly in tests instead of shipping.
-//! Buffers that are intentionally converted into caller-owned outputs must
-//! be checked out with the `detach_*` variants, which keep the books
-//! balanced. [`ScratchPool::pooled_bytes`] and [`ScratchPool::reuse_hits`]
-//! quantify how much memory the pool retains and how often a take was
-//! served without allocating.
+//! The counters are atomics, so the books stay exact under concurrent
+//! take/put races (two threads returning at once must never lose a
+//! decrement — a plain field would, and the debug leak check would then
+//! fire on innocent code or miss real leaks). Buffers that are
+//! intentionally converted into caller-owned outputs must be checked out
+//! with the `detach_*` variants, which keep the books balanced.
+//! [`ScratchPool::pooled_bytes`] and [`ScratchPool::reuse_hits`] quantify
+//! how much memory the pool retains and how often a take was served
+//! without allocating.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
 
 use crate::dsu::AtomicDsu;
 
 /// One typed free-list lane of the pool.
 #[derive(Debug, Default)]
 struct Lane<T> {
-    free: Vec<Vec<T>>,
+    free: Mutex<Vec<Vec<T>>>,
 }
 
 impl<T> Lane<T> {
-    fn take(&mut self) -> (Vec<T>, bool) {
-        match self.free.pop() {
+    fn take(&self) -> (Vec<T>, bool) {
+        match self.free.lock().pop() {
             Some(mut v) => {
                 v.clear();
                 (v, true)
@@ -48,19 +62,21 @@ impl<T> Lane<T> {
         }
     }
 
-    fn put(&mut self, v: Vec<T>) {
-        self.free.push(v);
+    fn put(&self, v: Vec<T>) {
+        self.free.lock().push(v);
     }
 
     fn bytes(&self) -> usize {
         self.free
+            .lock()
             .iter()
             .map(|v| v.capacity() * std::mem::size_of::<T>())
             .sum()
     }
 }
 
-/// A recyclable pool of typed scratch buffers (see the module docs).
+/// A recyclable, concurrency-safe pool of typed scratch buffers (see the
+/// module docs).
 #[derive(Debug, Default)]
 pub struct ScratchPool {
     u32s: Lane<u32>,
@@ -71,10 +87,10 @@ pub struct ScratchPool {
     /// `(key, a, b)` triples — the canonical MST sort shape.
     triples: Lane<(u32, u32, u32)>,
     /// Reusable union–find structures.
-    dsus: Vec<AtomicDsu>,
-    outstanding: usize,
-    takes: usize,
-    hits: usize,
+    dsus: Mutex<Vec<AtomicDsu>>,
+    outstanding: AtomicUsize,
+    takes: AtomicUsize,
+    hits: AtomicUsize,
 }
 
 macro_rules! lane_methods {
@@ -82,33 +98,33 @@ macro_rules! lane_methods {
         /// Checks out a cleared buffer (capacity retained from earlier use).
         /// Must be balanced by the matching `put_*` (or have been taken via
         /// the `detach_*` variant).
-        pub fn $take(&mut self) -> Vec<$t> {
-            self.outstanding += 1;
-            self.takes += 1;
+        pub fn $take(&self) -> Vec<$t> {
+            self.outstanding.fetch_add(1, Ordering::Relaxed);
+            self.takes.fetch_add(1, Ordering::Relaxed);
             let (v, hit) = self.$lane.take();
-            self.hits += hit as usize;
+            self.hits.fetch_add(hit as usize, Ordering::Relaxed);
             v
         }
 
         /// Checks out a buffer that will be handed to the caller as an
         /// output instead of returned — counted as immediately balanced.
-        pub fn $detach(&mut self) -> Vec<$t> {
+        pub fn $detach(&self) -> Vec<$t> {
             let v = self.$take();
-            self.outstanding -= 1;
+            self.outstanding.fetch_sub(1, Ordering::Relaxed);
             v
         }
 
         /// Returns a buffer to the pool for reuse.
-        pub fn $put(&mut self, v: Vec<$t>) {
-            debug_assert!(self.outstanding > 0, "put without a matching take");
-            self.outstanding = self.outstanding.saturating_sub(1);
+        pub fn $put(&self, v: Vec<$t>) {
+            let prev = self.outstanding.fetch_sub(1, Ordering::Relaxed);
+            debug_assert!(prev > 0, "put without a matching take");
             self.$lane.put(v);
         }
 
         /// Donates a buffer that was never leased from this pool (or left
         /// it via a `detach_*`) — e.g. recycling a dismantled result
         /// structure. No accounting: the books stay balanced.
-        pub fn $give(&mut self, v: Vec<$t>) {
+        pub fn $give(&self, v: Vec<$t>) {
             self.$lane.put(v);
         }
     };
@@ -142,12 +158,13 @@ impl ScratchPool {
 
     /// Checks out a union–find over `0..n` singletons (reusing a previous
     /// structure's storage when one is pooled).
-    pub fn take_dsu(&mut self, n: usize) -> AtomicDsu {
-        self.outstanding += 1;
-        self.takes += 1;
-        match self.dsus.pop() {
+    pub fn take_dsu(&self, n: usize) -> AtomicDsu {
+        self.outstanding.fetch_add(1, Ordering::Relaxed);
+        self.takes.fetch_add(1, Ordering::Relaxed);
+        let pooled = self.dsus.lock().pop();
+        match pooled {
             Some(mut d) => {
-                self.hits += 1;
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 d.reset(n);
                 d
             }
@@ -156,26 +173,26 @@ impl ScratchPool {
     }
 
     /// Returns a union–find to the pool.
-    pub fn put_dsu(&mut self, d: AtomicDsu) {
-        debug_assert!(self.outstanding > 0, "put without a matching take");
-        self.outstanding = self.outstanding.saturating_sub(1);
-        self.dsus.push(d);
+    pub fn put_dsu(&self, d: AtomicDsu) {
+        let prev = self.outstanding.fetch_sub(1, Ordering::Relaxed);
+        debug_assert!(prev > 0, "put without a matching take");
+        self.dsus.lock().push(d);
     }
 
     /// Number of checked-out buffers not yet returned (0 between runs for a
     /// leak-free workspace).
     pub fn outstanding(&self) -> usize {
-        self.outstanding
+        self.outstanding.load(Ordering::Relaxed)
     }
 
     /// Total takes served so far.
     pub fn takes(&self) -> usize {
-        self.takes
+        self.takes.load(Ordering::Relaxed)
     }
 
     /// Takes served from the free lists (no allocation).
     pub fn reuse_hits(&self) -> usize {
-        self.hits
+        self.hits.load(Ordering::Relaxed)
     }
 
     /// Bytes currently retained by pooled (idle) buffers.
@@ -187,6 +204,7 @@ impl ScratchPool {
             + self.triples.bytes()
             + self
                 .dsus
+                .lock()
                 .iter()
                 .map(|d| d.len() * std::mem::size_of::<u32>())
                 .sum::<usize>()
@@ -199,10 +217,10 @@ impl Drop for ScratchPool {
         // by a put or have used a detach variant. Skipped mid-panic so an
         // unwinding test reports its own failure, not this one.
         if cfg!(debug_assertions) && !std::thread::panicking() {
+            let outstanding = *self.outstanding.get_mut();
             assert_eq!(
-                self.outstanding, 0,
-                "ScratchPool dropped with {} leased buffer(s) unreturned",
-                self.outstanding
+                outstanding, 0,
+                "ScratchPool dropped with {outstanding} leased buffer(s) unreturned"
             );
         }
     }
@@ -214,7 +232,7 @@ mod tests {
 
     #[test]
     fn take_put_reuses_capacity() {
-        let mut pool = ScratchPool::new();
+        let pool = ScratchPool::new();
         let mut v = pool.take_u32();
         v.extend(0..1000);
         let cap = v.capacity();
@@ -231,7 +249,7 @@ mod tests {
 
     #[test]
     fn detach_balances_books() {
-        let mut pool = ScratchPool::new();
+        let pool = ScratchPool::new();
         let out = pool.detach_f32();
         assert_eq!(pool.outstanding(), 0);
         drop(out); // caller-owned; never returns to the pool
@@ -239,7 +257,7 @@ mod tests {
 
     #[test]
     fn dsu_checkout_resets_state() {
-        let mut pool = ScratchPool::new();
+        let pool = ScratchPool::new();
         let d = pool.take_dsu(8);
         d.union(0, 5);
         pool.put_dsu(d);
@@ -252,10 +270,61 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_take_put_keeps_exact_books() {
+        // Regression for the serving redesign: the leak accounting must be
+        // race-free when many threads take/put against ONE shared pool.
+        // With the old plain-field counters, concurrent increments lose
+        // updates and this test's final assertions flake; atomics make the
+        // books exact. Repeated spawns shake out interleavings without a
+        // model checker (no loom in the offline vendor set).
+        let pool = std::sync::Arc::new(ScratchPool::new());
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 200;
+        for _ in 0..5 {
+            let taken_before = pool.takes();
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let pool = std::sync::Arc::clone(&pool);
+                    std::thread::spawn(move || {
+                        for i in 0..ROUNDS {
+                            let mut a = pool.take_u32();
+                            let mut b = pool.take_f32();
+                            let d = pool.take_dsu(16 + t);
+                            a.push(i as u32);
+                            b.push(i as f32);
+                            d.union(0, 1);
+                            pool.put_dsu(d);
+                            pool.put_f32(b);
+                            pool.put_u32(a);
+                            // Detached buffers leave the books balanced too.
+                            let out = pool.detach_u64();
+                            drop(out);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("worker thread");
+            }
+            assert_eq!(
+                pool.outstanding(),
+                0,
+                "books must balance after a spawn wave"
+            );
+            assert_eq!(
+                pool.takes() - taken_before,
+                THREADS * ROUNDS * 4,
+                "every take must be counted exactly once"
+            );
+        }
+        assert!(pool.reuse_hits() > 0, "free lists must actually be shared");
+    }
+
+    #[test]
     #[should_panic(expected = "unreturned")]
     #[cfg(debug_assertions)]
     fn leak_is_caught_on_drop() {
-        let mut pool = ScratchPool::new();
+        let pool = ScratchPool::new();
         let _leaked = pool.take_u64();
         drop(pool); // leased buffer never returned
     }

@@ -1,24 +1,14 @@
-//! The long-lived HDBSCAN\* engine: one dataset, many `minPts` queries.
+//! The long-lived HDBSCAN\* engine: one dataset, many `minPts` queries —
+//! now a **thin shim over the two-tier serving API**.
 //!
-//! [`Hdbscan::run`] answers a single clustering request and throws its
-//! spatial substrate away. The paper's own evaluation (§6.5, Fig. 15)
-//! already wants more — the same dataset swept over `mpts ∈ {2, 4, 8, 16}`
-//! — and a serving deployment wants arbitrary repetition. An
-//! [`HdbscanEngine`] keeps every stage workspace alive between runs:
-//!
-//! * the EMST substrate ([`EmstWorkspace`]) builds the kd-tree **once**,
-//!   captures sorted k-NN rows at the largest `minPts` of interest once,
-//!   serves every smaller `minPts`'s core distances by prefix, and reuses
-//!   all Borůvka round buffers;
-//! * the dendrogram stage ([`DendrogramWorkspace`]) recycles the
-//!   contraction hierarchy, α splits, union–find and chain-key buffers.
-//!
-//! Every [`HdbscanResult`] an engine produces is **bit-identical** to the
-//! corresponding one-shot [`Hdbscan::run`] — MST edges, dendrogram, labels
-//! and all — in both serial and threaded contexts (enforced by
-//! `tests/engine_equivalence.rs`). What changes is the cost: a sweep pays
-//! one tree build and one k-NN pass instead of one per member, and repeat
-//! runs allocate only their outputs.
+//! [`HdbscanEngine`] predates [`crate::serve::DatasetIndex`] /
+//! [`crate::serve::Session`]: it is `&mut self`, lifetime-bound to one
+//! borrower, and panics on bad input. Since the serving redesign it simply
+//! freezes an index on first use and delegates every run to a session —
+//! same substrate sharing, same bit-identical results, one implementation.
+//! New code should hold a [`DatasetIndex`] directly (it adds concurrency
+//! and fallible APIs); the engine remains for the sequential sweep
+//! ergonomics its callers already rely on:
 //!
 //! ```
 //! use pandora_hdbscan::{Hdbscan, HdbscanParams};
@@ -35,26 +25,40 @@
 //! assert_eq!(sweep.len(), 3);
 //! assert!(sweep.iter().all(|r| r.n_clusters() == 2));
 //! ```
+//!
+//! Every [`HdbscanResult`] an engine produces is **bit-identical** to the
+//! corresponding one-shot [`Hdbscan::run`] — MST edges, dendrogram, labels
+//! and all — in both serial and threaded contexts (enforced by
+//! `tests/engine_equivalence.rs`). What changes is the cost: a sweep pays
+//! one kd-tree build and one k-NN pass instead of one per member, and
+//! repeat runs allocate only their outputs.
 
-use std::time::Instant;
+use std::sync::Arc;
 
-use pandora_core::{pandora, DendrogramWorkspace, SortedMst};
+use pandora_core::DendrogramWorkspace;
 use pandora_exec::ExecCtx;
-use pandora_mst::{emst_into, EmstWorkspace, PointSet};
+use pandora_mst::PointSet;
 
-use crate::condensed::condense;
 use crate::pipeline::{Hdbscan, HdbscanParams, HdbscanResult, StageTimings};
-use crate::stability::{cluster_stabilities, extract_labels, select_clusters};
+use crate::serve::{finish_pipeline, ClusterRequest, DatasetIndex, Session};
 
 /// A reusable HDBSCAN\* pipeline bound to one dataset (see module docs).
 ///
 /// Created by [`Hdbscan::engine`]; borrows the point set for its lifetime.
+/// Deprecated in spirit (not yet in attribute — the figure binaries still
+/// sweep through it): new code should freeze a
+/// [`DatasetIndex`] and draw [`Session`]s,
+/// which this engine now merely wraps.
 pub struct HdbscanEngine<'a> {
     params: HdbscanParams,
     ctx: ExecCtx,
     points: &'a PointSet,
-    emst: EmstWorkspace,
-    dendro: DendrogramWorkspace,
+    /// The frozen substrate (`None` until the first run or `prepare`).
+    index: Option<Arc<DatasetIndex>>,
+    /// The engine's single long-lived session over `index`.
+    session: Option<Session>,
+    /// Workspace for the empty-dataset bypass (no index exists for n = 0).
+    empty_dendro: DendrogramWorkspace,
 }
 
 impl<'a> HdbscanEngine<'a> {
@@ -63,8 +67,9 @@ impl<'a> HdbscanEngine<'a> {
             params,
             ctx,
             points,
-            emst: EmstWorkspace::new(),
-            dendro: DendrogramWorkspace::new(),
+            index: None,
+            session: None,
+            empty_dendro: DendrogramWorkspace::new(),
         }
     }
 
@@ -80,69 +85,108 @@ impl<'a> HdbscanEngine<'a> {
         self.points
     }
 
+    /// The frozen index backing this engine (`None` until the first run or
+    /// [`HdbscanEngine::prepare`]). Clone the `Arc` to share the same
+    /// substrate with concurrent sessions.
+    pub fn index(&self) -> Option<&Arc<DatasetIndex>> {
+        self.index.as_ref()
+    }
+
+    /// The engine's session (`None` until the first run or `prepare`) —
+    /// exposes the scratch accounting the leak tests assert on.
+    pub fn session(&self) -> Option<&Session> {
+        self.session.as_ref()
+    }
+
     /// Pre-warms the shared substrate for requests up to `max_min_pts`:
-    /// builds the kd-tree and captures k-NN rows wide enough (with slack,
-    /// see [`pandora_mst::ROW_SLACK`]) for every `min_pts ≤ max_min_pts`.
-    /// Returns the seconds spent (0 when already warm enough).
+    /// freezes a [`DatasetIndex`] whose kd-tree and k-NN rows (with slack,
+    /// see [`pandora_mst::ROW_SLACK`]) cover every `min_pts ≤ max_min_pts`.
+    /// Returns the seconds spent (0 when already frozen wide enough).
     ///
     /// Calling this first keeps a descending or unsorted sweep from
-    /// re-capturing rows at each widening request.
+    /// re-freezing at each widening request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_min_pts` exceeds the point count (for two or more
+    /// points), exactly like the one-shot pipeline.
     pub fn prepare(&mut self, max_min_pts: usize) -> f64 {
-        self.emst.prepare(&self.ctx, self.points, max_min_pts)
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let needed = max_min_pts.max(1);
+        if self
+            .index
+            .as_ref()
+            .is_some_and(|index| index.max_min_pts() >= needed)
+        {
+            return 0.0;
+        }
+        // Widening re-freeze: cover everything served before as well, so
+        // alternating wide/narrow requests never thrash the ceiling down.
+        let ceiling = needed.max(self.index.as_ref().map_or(0, |i| i.max_min_pts()));
+        let index = DatasetIndex::freeze_with_ctx(self.ctx.clone(), self.points.clone(), ceiling)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let spent = index.freeze_seconds();
+        let index = Arc::new(index);
+        // A fresh index invalidates nothing semantically (results are
+        // dataset + minPts functions), but the session's endgame cache is
+        // kept by re-drawing from the old session's pool via drop order:
+        // the old session parks its scratch in the *old* index, which is
+        // dropped with it, so the new session starts cold. Correctness is
+        // unaffected (the cache is purely an optimization).
+        self.session = Some(index.session_with_ctx(self.ctx.clone()));
+        self.index = Some(index);
+        spent
     }
 
     /// Runs the full pipeline for one `min_pts`, reusing every warm stage.
     ///
-    /// The first call (or a call widening the k-NN rows) pays the shared
-    /// substrate cost and reports it in
+    /// The first call (or a call widening the frozen `minPts` ceiling)
+    /// pays the shared substrate cost and reports it in
     /// [`StageTimings::tree_build_s`] / [`StageTimings::core_s`]; warm runs
     /// report only their incremental work.
     ///
     /// # Panics
     ///
     /// Panics if `min_pts` is 0 or (for two or more points) exceeds the
-    /// point count, exactly like the one-shot pipeline.
+    /// point count, exactly like the one-shot pipeline. The concurrent
+    /// serving API ([`Session::run`]) reports these as errors instead.
     pub fn run_with(&mut self, min_pts: usize) -> HdbscanResult {
-        let ctx = self.ctx.clone();
-        let mut timings = StageTimings::default();
-
-        // EMST stage out of the warm workspace (phases emst_build /
-        // emst_core / emst_boruvka are traced by the workspace runner).
-        let result = emst_into(&ctx, self.points, min_pts, &mut self.emst);
-        timings.tree_build_s = result.timings.tree_build_s;
-        timings.core_s = result.timings.core_s;
-        timings.mst_s = result.timings.boruvka_s;
-        let (core2, edges) = (result.core2, result.edges);
-
-        let t = Instant::now();
-        ctx.set_phase("sort");
-        let sort_start = Instant::now();
-        let mst = SortedMst::from_edges(&ctx, self.points.len(), &edges);
-        let input_sort_s = sort_start.elapsed().as_secs_f64();
-        let (dendrogram, mut pandora_stats) =
-            pandora::dendrogram_from_sorted_with(&ctx, &mst, &mut self.dendro);
-        pandora_stats.timings.sort_s += input_sort_s;
-        timings.dendrogram_s = t.elapsed().as_secs_f64();
-
-        let t = Instant::now();
-        ctx.set_phase("extract");
-        let condensed = condense(&dendrogram, self.params.min_cluster_size);
-        let stabilities = cluster_stabilities(&condensed);
-        let selected = select_clusters(&condensed, &stabilities, self.params.allow_single_cluster);
-        let (labels, probabilities) = extract_labels(&condensed, &selected);
-        timings.extract_s = t.elapsed().as_secs_f64();
-
-        HdbscanResult {
-            core2,
-            mst,
-            dendrogram,
-            condensed,
-            stabilities,
-            labels,
-            probabilities,
-            timings,
-            pandora_stats,
+        if min_pts == 0 {
+            // Rejected before the empty-dataset bypass and before freezing,
+            // so the panic names the actual offender on every input (the
+            // legacy engine rejected min_pts = 0 unconditionally too).
+            panic!("invalid min_pts = 0: must be at least 1");
         }
+        if self.points.is_empty() {
+            // No index exists for an empty dataset; run the back half of
+            // the pipeline directly over an empty MST (legacy behavior:
+            // nothing to cluster, nothing to mis-serve).
+            let ctx = self.ctx.clone();
+            let request = self.request_with(min_pts);
+            return finish_pipeline(
+                &ctx,
+                0,
+                Vec::new(),
+                &[],
+                &request,
+                &mut self.empty_dendro,
+                StageTimings::default(),
+            );
+        }
+        let freeze_s = self.prepare(min_pts);
+        let request = self.request_with(min_pts);
+        let session = self.session.as_mut().expect("prepare froze an index");
+        let mut result = session.run(&request).unwrap_or_else(|e| panic!("{e}"));
+        if freeze_s > 0.0 {
+            // This run paid the freeze: surface it in the stage timings the
+            // way the pre-index engine reported its lazy tree build.
+            let index = self.index.as_ref().expect("prepare froze an index");
+            result.timings.tree_build_s += index.emst().build_seconds();
+            result.timings.core_s += index.emst().rows_seconds();
+        }
+        result
     }
 
     /// Runs the pipeline once per entry of `min_pts_list` (in order),
@@ -156,14 +200,12 @@ impl<'a> HdbscanEngine<'a> {
         min_pts_list.iter().map(|&m| self.run_with(m)).collect()
     }
 
-    /// The EMST workspace (tree / row / Borůvka-buffer accounting).
-    pub fn emst_workspace(&self) -> &EmstWorkspace {
-        &self.emst
-    }
-
-    /// The dendrogram workspace (hierarchy-buffer accounting).
-    pub fn dendrogram_workspace(&self) -> &DendrogramWorkspace {
-        &self.dendro
+    /// The engine's driver parameters specialized to one `min_pts`.
+    fn request_with(&self, min_pts: usize) -> ClusterRequest {
+        ClusterRequest::new()
+            .min_pts(min_pts)
+            .min_cluster_size(self.params.min_cluster_size)
+            .allow_single_cluster(self.params.allow_single_cluster)
     }
 }
 
@@ -171,8 +213,10 @@ impl Hdbscan {
     /// Creates a long-lived engine over `points`, inheriting this driver's
     /// parameters and execution context.
     ///
-    /// The engine is lazy: the kd-tree is built by the first run (or by
+    /// The engine is lazy: the index is frozen by the first run (or by
     /// [`HdbscanEngine::prepare`] / [`HdbscanEngine::sweep_min_pts`]).
+    /// For concurrent serving, freeze a [`DatasetIndex`]
+    /// instead and draw one [`Session`] per thread.
     pub fn engine<'a>(&self, points: &'a PointSet) -> HdbscanEngine<'a> {
         HdbscanEngine::new(*self.params(), self.ctx().clone(), points)
     }
@@ -216,8 +260,8 @@ mod tests {
         assert_eq!(warm.timings.tree_build_s, 0.0);
         assert!(warm.timings.mst_s > 0.0);
         // Buffers all returned between runs.
-        assert_eq!(engine.emst_workspace().scratch().outstanding(), 0);
-        assert_eq!(engine.dendrogram_workspace().scratch().outstanding(), 0);
+        let session = engine.session().expect("engine is warm");
+        assert_eq!(session.scratch_outstanding(), 0);
     }
 
     #[test]
@@ -228,5 +272,41 @@ mod tests {
         let b = engine.run_with(4);
         assert_eq!(a.labels, b.labels);
         assert_eq!(a.mst.weight, b.mst.weight);
+    }
+
+    #[test]
+    fn widening_requests_refreeze_and_stay_exact() {
+        // Request orders a frozen index cannot serve must transparently
+        // re-freeze at the wider ceiling (the legacy grow-on-demand
+        // contract) — and stay bit-identical to cold runs.
+        let (points, _) = gaussian_blobs(200, 2, 2, 50.0, 0.8, 7);
+        let mut engine = Hdbscan::new(HdbscanParams::default()).engine(&points);
+        let ctx = ExecCtx::serial();
+        for &min_pts in &[2usize, 8, 4, 16, 2] {
+            let warm = engine.run_with(min_pts);
+            let cold = Hdbscan::with_ctx(
+                HdbscanParams {
+                    min_pts,
+                    ..Default::default()
+                },
+                ctx.clone(),
+            )
+            .run(&points);
+            assert_eq!(warm.labels, cold.labels, "min_pts={min_pts}");
+            assert_eq!(warm.mst.weight, cold.mst.weight, "min_pts={min_pts}");
+        }
+        assert_eq!(
+            engine.index().map(|i| i.max_min_pts()),
+            Some(16),
+            "the ceiling must only widen"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "min_pts = 0")]
+    fn zero_min_pts_still_panics_like_the_legacy_engine() {
+        let (points, _) = gaussian_blobs(50, 2, 1, 20.0, 0.5, 2);
+        let mut engine = Hdbscan::new(HdbscanParams::default()).engine(&points);
+        let _ = engine.run_with(0);
     }
 }

@@ -23,6 +23,7 @@ pub mod dbscan;
 pub mod engine;
 pub mod outlier;
 pub mod pipeline;
+pub mod serve;
 pub mod stability;
 pub mod validity;
 
@@ -31,5 +32,11 @@ pub use dbscan::{dbscan_star, epsilon_profile};
 pub use engine::HdbscanEngine;
 pub use outlier::glosh_scores;
 pub use pipeline::{Hdbscan, HdbscanParams, HdbscanResult, StageTimings};
+pub use serve::{ClusterRequest, DatasetIndex, Session};
 pub use stability::{cluster_stabilities, extract_labels, select_clusters};
 pub use validity::dbcv;
+
+// The stack-wide error type lives in `pandora-mst` (the lowest layer that
+// validates datasets); re-exported here so serving code can name it from
+// the crate it actually calls.
+pub use pandora_mst::PandoraError;

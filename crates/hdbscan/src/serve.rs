@@ -1,0 +1,578 @@
+//! The concurrent serving API: one shared [`DatasetIndex`], many
+//! per-request [`Session`]s.
+//!
+//! The engine of PR 4 ([`crate::engine::HdbscanEngine`]) amortizes the
+//! spatial substrate across *sequential* requests, but it is `&mut self`
+//! and lifetime-bound to one borrower — one request at a time per dataset.
+//! A serving deployment wants T threads answering clustering requests over
+//! the same dataset simultaneously. This module splits the engine along
+//! the read/write boundary the PANDORA stages already have:
+//!
+//! * [`DatasetIndex`] — the immutable tier: a validated point set, the
+//!   frozen kd-tree with its AoSoA leaf blocks, and sorted k-NN rows wide
+//!   enough for every `minPts` up to the freeze ceiling. `Send + Sync`;
+//!   wrap it in an [`Arc`] and share it.
+//! * [`Session`] — the cheap mutable tier: pooled Borůvka round buffers,
+//!   the dendrogram workspace and the endgame cache. Each in-flight
+//!   request owns one; finished sessions return their scratch to a
+//!   thread-safe pool inside the index, so the steady state allocates
+//!   nothing per request.
+//! * [`ClusterRequest`] — a typed, validated description of one query.
+//!
+//! Every entry point is **fallible**: bad datasets and bad parameters come
+//! back as [`PandoraError`] values instead of panics, so one malformed
+//! request degrades one response, never the process. Results are
+//! **bit-identical** to the one-shot [`crate::Hdbscan::run`] path in both
+//! serial and threaded contexts (enforced by `tests/serve_concurrent.rs`).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pandora_hdbscan::{ClusterRequest, DatasetIndex};
+//! use pandora_mst::PointSet;
+//!
+//! let mut coords = Vec::new();
+//! for i in 0..40 {
+//!     coords.extend_from_slice(&[i as f32 * 0.01, 0.0]);
+//!     coords.extend_from_slice(&[50.0 + i as f32 * 0.01, 0.0]);
+//! }
+//! let points = PointSet::try_new(coords, 2)?;
+//! let index = Arc::new(DatasetIndex::freeze(points, 8)?);
+//!
+//! // Any number of threads can hold sessions over the same index.
+//! let mut session = index.session();
+//! let result = session.run(&ClusterRequest::new().min_pts(4))?;
+//! assert_eq!(result.n_clusters(), 2);
+//! # Ok::<(), pandora_mst::PandoraError>(())
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use pandora_core::{pandora, DendrogramWorkspace, Edge, SortedMst};
+use pandora_exec::ExecCtx;
+use pandora_mst::{emst_from_index, EmstIndex, EmstScratch, PandoraError, PointSet};
+
+use crate::condensed::condense;
+use crate::pipeline::{HdbscanParams, HdbscanResult, StageTimings};
+use crate::stability::{cluster_stabilities, extract_labels, select_clusters};
+
+/// One validated clustering request: the per-query parameters of a
+/// [`Session::run`].
+///
+/// Built with a fluent, infallible builder; range validation happens at
+/// [`Session::run`] against the concrete index (whether `min_pts` fits the
+/// dataset and the freeze ceiling is a property of the pair, not of the
+/// request alone).
+///
+/// ```
+/// use pandora_hdbscan::ClusterRequest;
+///
+/// let request = ClusterRequest::new()
+///     .min_pts(8)
+///     .min_cluster_size(10)
+///     .allow_single_cluster(true);
+/// assert_eq!(request.min_pts, 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a request does nothing until passed to Session::run"]
+pub struct ClusterRequest {
+    /// HDBSCAN\* `minPts` (neighbours including self defining the core
+    /// distance). Must be `1..=min(n, index ceiling)` at run time.
+    pub min_pts: usize,
+    /// Minimum condensed-cluster size. Must be at least 1 at run time.
+    pub min_cluster_size: usize,
+    /// Whether the root may be selected as a flat cluster.
+    pub allow_single_cluster: bool,
+}
+
+impl Default for ClusterRequest {
+    fn default() -> Self {
+        let params = HdbscanParams::default();
+        Self {
+            min_pts: params.min_pts,
+            min_cluster_size: params.min_cluster_size,
+            allow_single_cluster: params.allow_single_cluster,
+        }
+    }
+}
+
+impl ClusterRequest {
+    /// A request with the stack's default parameters (`min_pts = 2`,
+    /// `min_cluster_size = 5`, no single-cluster selection).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets `minPts` (the core-distance neighbour count, including self).
+    pub fn min_pts(mut self, min_pts: usize) -> Self {
+        self.min_pts = min_pts;
+        self
+    }
+
+    /// Sets the minimum condensed-cluster size.
+    pub fn min_cluster_size(mut self, min_cluster_size: usize) -> Self {
+        self.min_cluster_size = min_cluster_size;
+        self
+    }
+
+    /// Sets whether the root may be selected as a flat cluster.
+    pub fn allow_single_cluster(mut self, allow: bool) -> Self {
+        self.allow_single_cluster = allow;
+        self
+    }
+
+    /// The equivalent driver parameters (for the legacy one-shot API).
+    pub fn to_params(&self) -> HdbscanParams {
+        HdbscanParams {
+            min_pts: self.min_pts,
+            min_cluster_size: self.min_cluster_size,
+            allow_single_cluster: self.allow_single_cluster,
+        }
+    }
+}
+
+/// The per-session mutable state, pooled inside the index between
+/// sessions so steady-state serving allocates nothing per request.
+#[derive(Debug, Default)]
+struct SessionState {
+    emst: EmstScratch,
+    dendro: DendrogramWorkspace,
+}
+
+/// Most scratch sets an index retains for recycling. Each set holds
+/// O(n)-sized round buffers, so an unbounded pool would turn one burst of
+/// K concurrent sessions into a permanent K×O(n) memory high-water mark;
+/// beyond this many parked sets, dropped sessions free their scratch
+/// instead. Steady-state concurrency above the cap still works — the
+/// excess sessions just start cold.
+const MAX_POOLED_SESSIONS: usize = 16;
+
+/// The immutable, `Arc`-shareable tier of the serving API: one dataset,
+/// frozen once, read by every concurrent request (see the module docs).
+pub struct DatasetIndex {
+    emst: EmstIndex,
+    ctx: ExecCtx,
+    /// Scratch sets of finished sessions, recycled into new ones.
+    pool: Mutex<Vec<SessionState>>,
+}
+
+/// Compile-time proof the index can be shared across serving threads and
+/// sessions can be moved into them.
+fn _assert_send_sync() {
+    fn shared<T: Send + Sync>() {}
+    fn movable<T: Send>() {}
+    shared::<DatasetIndex>();
+    movable::<Session>();
+}
+
+impl std::fmt::Debug for DatasetIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DatasetIndex")
+            .field("n", &self.emst.len())
+            .field("dim", &self.emst.points().dim())
+            .field("max_min_pts", &self.emst.max_min_pts())
+            .field("pooled_sessions", &self.pool.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DatasetIndex {
+    /// Freezes a dataset into a shareable index on the global thread pool:
+    /// validates the points (already done if they came through
+    /// [`PointSet::try_new`]), builds the kd-tree, and captures one sorted
+    /// k-NN pass wide enough for every request with
+    /// `min_pts <= max_min_pts`.
+    ///
+    /// The freeze is the only expensive step of the serving API; sessions
+    /// drawn afterwards are cheap and the index never changes again.
+    ///
+    /// # Errors
+    ///
+    /// * [`PandoraError::EmptyDataset`] — no points to index;
+    /// * [`PandoraError::BadParams`] — `max_min_pts` is 0 or exceeds the
+    ///   point count (for two or more points).
+    ///
+    /// ```
+    /// use pandora_hdbscan::DatasetIndex;
+    /// use pandora_mst::{PandoraError, PointSet};
+    ///
+    /// let points = PointSet::try_new(vec![0.0, 0.0, 1.0, 0.0, 5.0, 1.0], 2)?;
+    /// let index = DatasetIndex::freeze(points, 3)?;
+    /// assert_eq!(index.len(), 3);
+    /// assert_eq!(index.max_min_pts(), 3);
+    ///
+    /// // Bad ceilings are errors, not panics.
+    /// let empty = DatasetIndex::freeze(PointSet::try_new(vec![], 2)?, 2);
+    /// assert_eq!(empty.err(), Some(PandoraError::EmptyDataset));
+    /// # Ok::<(), PandoraError>(())
+    /// ```
+    pub fn freeze(points: PointSet, max_min_pts: usize) -> Result<Self, PandoraError> {
+        Self::freeze_with_ctx(ExecCtx::threads(), points, max_min_pts)
+    }
+
+    /// [`DatasetIndex::freeze`] on a caller-chosen execution context; the
+    /// context also becomes the default for sessions drawn from this index.
+    pub fn freeze_with_ctx(
+        ctx: ExecCtx,
+        points: PointSet,
+        max_min_pts: usize,
+    ) -> Result<Self, PandoraError> {
+        let emst = EmstIndex::freeze(&ctx, points, max_min_pts)?;
+        Ok(Self {
+            emst,
+            ctx,
+            pool: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.emst.len()
+    }
+
+    /// Whether the index holds no points (never true — freezing an empty
+    /// dataset is rejected).
+    pub fn is_empty(&self) -> bool {
+        self.emst.is_empty()
+    }
+
+    /// The largest `min_pts` a request against this index may carry.
+    pub fn max_min_pts(&self) -> usize {
+        self.emst.max_min_pts()
+    }
+
+    /// The frozen EMST substrate (tree, rows, dataset).
+    pub fn emst(&self) -> &EmstIndex {
+        &self.emst
+    }
+
+    /// The execution context sessions inherit by default.
+    pub fn ctx(&self) -> &ExecCtx {
+        &self.ctx
+    }
+
+    /// Seconds the freeze spent on the kd-tree build plus the k-NN pass.
+    pub fn freeze_seconds(&self) -> f64 {
+        self.emst.build_seconds() + self.emst.rows_seconds()
+    }
+
+    /// Scratch sets currently parked in the session pool.
+    pub fn pooled_sessions(&self) -> usize {
+        self.pool.lock().len()
+    }
+
+    /// Draws a session on the index's own execution context. Cheap: the
+    /// scratch set is recycled from a finished session when one is pooled.
+    #[must_use = "a session serves nothing until run() is called"]
+    pub fn session(self: &Arc<Self>) -> Session {
+        self.session_with_ctx(self.ctx.clone())
+    }
+
+    /// Draws a session that dispatches its stages on a caller-chosen
+    /// context — e.g. [`ExecCtx::serial`] when request-level parallelism
+    /// (many sessions on many threads) already saturates the machine.
+    #[must_use = "a session serves nothing until run() is called"]
+    pub fn session_with_ctx(self: &Arc<Self>, ctx: ExecCtx) -> Session {
+        let state = self.pool.lock().pop().unwrap_or_default();
+        Session {
+            index: Arc::clone(self),
+            ctx,
+            state,
+        }
+    }
+
+    /// Returns a finished session's scratch to the pool — unless the pool
+    /// already holds [`MAX_POOLED_SESSIONS`] sets, in which case the
+    /// scratch is simply dropped. The cap bounds the index's memory
+    /// high-water mark: a burst of K concurrent sessions must not leave K
+    /// dataset-sized scratch sets resident for the index's lifetime.
+    fn check_in(&self, state: SessionState) {
+        let mut pool = self.pool.lock();
+        if pool.len() < MAX_POOLED_SESSIONS {
+            pool.push(state);
+        }
+    }
+}
+
+/// The mutable tier of one in-flight request stream: borůvka round
+/// buffers, dendrogram workspace and endgame cache, bound to one shared
+/// [`DatasetIndex`] (see the module docs).
+///
+/// A session is `Send` (move it into a serving thread); running takes
+/// `&mut self`, so two concurrent requests take two sessions. Dropping a
+/// session parks its scratch in the index's pool for the next one.
+#[derive(Debug)]
+pub struct Session {
+    index: Arc<DatasetIndex>,
+    ctx: ExecCtx,
+    state: SessionState,
+}
+
+impl Session {
+    /// The index this session serves.
+    pub fn index(&self) -> &Arc<DatasetIndex> {
+        &self.index
+    }
+
+    /// Leased-but-unreturned scratch buffers (0 between runs — the leak
+    /// accounting the stress tests assert on).
+    pub fn scratch_outstanding(&self) -> usize {
+        self.state.emst.pool().outstanding() + self.state.dendro.scratch().outstanding()
+    }
+
+    /// Answers one clustering request, reusing every warm stage buffer.
+    ///
+    /// The result is **bit-identical** to
+    /// [`crate::Hdbscan::run`] with the request's parameters — the frozen
+    /// rows, the pooled buffers and the endgame cache are all strictly
+    /// conservative optimizations. `timings.tree_build_s` is always 0: the
+    /// substrate was paid once, at [`DatasetIndex::freeze`].
+    ///
+    /// # Errors
+    ///
+    /// [`PandoraError::BadParams`] when `min_pts` is 0, exceeds the point
+    /// count, or exceeds the index's freeze ceiling; or when
+    /// `min_cluster_size` is 0. A rejected request leaves the session
+    /// fully reusable.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pandora_hdbscan::{ClusterRequest, DatasetIndex};
+    /// use pandora_mst::{PandoraError, PointSet};
+    ///
+    /// let points = PointSet::try_new((0..64).map(|i| i as f32).collect(), 2)?;
+    /// let index = Arc::new(DatasetIndex::freeze(points, 4)?);
+    /// let mut session = index.session();
+    ///
+    /// let labels = session.run(&ClusterRequest::new().min_pts(3))?.labels;
+    /// assert_eq!(labels.len(), 32);
+    ///
+    /// // A min_pts above the freeze ceiling is an error, not a panic.
+    /// let err = session.run(&ClusterRequest::new().min_pts(9));
+    /// assert!(matches!(err, Err(PandoraError::BadParams { .. })));
+    /// # Ok::<(), PandoraError>(())
+    /// ```
+    pub fn run(&mut self, request: &ClusterRequest) -> Result<HdbscanResult, PandoraError> {
+        if request.min_cluster_size == 0 {
+            return Err(PandoraError::BadParams {
+                param: "min_cluster_size",
+                value: 0,
+                reason: "must be at least 1",
+            });
+        }
+        let ctx = self.ctx.clone();
+        let mut timings = StageTimings::default();
+
+        // EMST stage against the frozen substrate (phases emst_core /
+        // emst_boruvka; the build was paid by the freeze).
+        let emst = emst_from_index(
+            &ctx,
+            &self.index.emst,
+            request.min_pts,
+            &mut self.state.emst,
+        )?;
+        timings.tree_build_s = emst.timings.tree_build_s;
+        timings.core_s = emst.timings.core_s;
+        timings.mst_s = emst.timings.boruvka_s;
+
+        Ok(finish_pipeline(
+            &ctx,
+            self.index.len(),
+            emst.core2,
+            &emst.edges,
+            request,
+            &mut self.state.dendro,
+            timings,
+        ))
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.index.check_in(std::mem::take(&mut self.state));
+    }
+}
+
+/// The dendrogram + extraction back half of the pipeline, shared by
+/// [`Session::run`] and the legacy engine shim: sorts the MST, builds the
+/// PANDORA dendrogram through the reusable workspace, condenses and
+/// extracts flat clusters.
+pub(crate) fn finish_pipeline(
+    ctx: &ExecCtx,
+    n: usize,
+    core2: Vec<f32>,
+    edges: &[Edge],
+    request: &ClusterRequest,
+    dendro_ws: &mut DendrogramWorkspace,
+    mut timings: StageTimings,
+) -> HdbscanResult {
+    let t = Instant::now();
+    ctx.set_phase("sort");
+    let sort_start = Instant::now();
+    let mst = SortedMst::from_edges(ctx, n, edges);
+    let input_sort_s = sort_start.elapsed().as_secs_f64();
+    let (dendrogram, mut pandora_stats) =
+        pandora::dendrogram_from_sorted_with(ctx, &mst, dendro_ws);
+    pandora_stats.timings.sort_s += input_sort_s;
+    timings.dendrogram_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    ctx.set_phase("extract");
+    let condensed = condense(&dendrogram, request.min_cluster_size);
+    let stabilities = cluster_stabilities(&condensed);
+    let selected = select_clusters(&condensed, &stabilities, request.allow_single_cluster);
+    let (labels, probabilities) = extract_labels(&condensed, &selected);
+    timings.extract_s = t.elapsed().as_secs_f64();
+
+    HdbscanResult {
+        core2,
+        mst,
+        dendrogram,
+        condensed,
+        stabilities,
+        labels,
+        probabilities,
+        timings,
+        pandora_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Hdbscan;
+    use pandora_data::synthetic::gaussian_blobs;
+
+    fn assert_identical(a: &HdbscanResult, b: &HdbscanResult, what: &str) {
+        assert_eq!(a.core2, b.core2, "{what}: core2");
+        assert_eq!(a.mst.src, b.mst.src, "{what}: mst src");
+        assert_eq!(a.mst.dst, b.mst.dst, "{what}: mst dst");
+        assert_eq!(a.mst.weight, b.mst.weight, "{what}: mst weights");
+        assert_eq!(a.dendrogram, b.dendrogram, "{what}: dendrogram");
+        assert_eq!(a.labels, b.labels, "{what}: labels");
+        assert_eq!(a.probabilities, b.probabilities, "{what}: probabilities");
+    }
+
+    #[test]
+    fn session_matches_one_shot_pipeline() {
+        let (points, _) = gaussian_blobs(500, 2, 3, 90.0, 0.8, 17);
+        let ctx = ExecCtx::serial();
+        let index = Arc::new(
+            DatasetIndex::freeze_with_ctx(ctx.clone(), points.clone(), 16).expect("freeze"),
+        );
+        let mut session = index.session();
+        for min_pts in [2usize, 4, 8, 16] {
+            let request = ClusterRequest::new().min_pts(min_pts);
+            let served = session.run(&request).expect("valid request");
+            let one_shot = Hdbscan::with_ctx(request.to_params(), ctx.clone()).run(&points);
+            assert_identical(&served, &one_shot, &format!("min_pts={min_pts}"));
+            assert_eq!(served.timings.tree_build_s, 0.0);
+        }
+        assert_eq!(session.scratch_outstanding(), 0);
+    }
+
+    #[test]
+    fn sessions_recycle_scratch_through_the_index_pool() {
+        let (points, _) = gaussian_blobs(300, 2, 2, 60.0, 0.7, 3);
+        let index =
+            Arc::new(DatasetIndex::freeze_with_ctx(ExecCtx::serial(), points, 8).expect("freeze"));
+        assert_eq!(index.pooled_sessions(), 0);
+        {
+            let mut session = index.session();
+            let _ = session.run(&ClusterRequest::new()).expect("run");
+        }
+        assert_eq!(index.pooled_sessions(), 1, "drop must park the scratch");
+        {
+            // The next session must pick the warm scratch back up.
+            let mut session = index.session();
+            assert_eq!(index.pooled_sessions(), 0);
+            let before = session.state.emst.pool().reuse_hits();
+            let _ = session.run(&ClusterRequest::new().min_pts(4)).expect("run");
+            assert!(
+                session.state.emst.pool().reuse_hits() > before,
+                "recycled scratch must serve warm buffers"
+            );
+        }
+        assert_eq!(index.pooled_sessions(), 1);
+    }
+
+    #[test]
+    fn session_pool_is_capped_after_a_burst() {
+        // A burst of concurrent sessions must not leave an unbounded pile
+        // of dataset-sized scratch sets parked in the index forever.
+        let (points, _) = gaussian_blobs(80, 2, 2, 40.0, 0.6, 9);
+        let index =
+            Arc::new(DatasetIndex::freeze_with_ctx(ExecCtx::serial(), points, 4).expect("freeze"));
+        let burst: Vec<Session> = (0..MAX_POOLED_SESSIONS + 8)
+            .map(|_| index.session())
+            .collect();
+        drop(burst);
+        assert_eq!(index.pooled_sessions(), MAX_POOLED_SESSIONS);
+        // The pool still serves warm sessions normally.
+        let mut session = index.session();
+        assert!(session.run(&ClusterRequest::new()).is_ok());
+    }
+
+    #[test]
+    fn bad_requests_error_and_leave_the_session_usable() {
+        let (points, _) = gaussian_blobs(100, 2, 2, 50.0, 0.6, 5);
+        let index =
+            Arc::new(DatasetIndex::freeze_with_ctx(ExecCtx::serial(), points, 8).expect("freeze"));
+        let mut session = index.session();
+        for request in [
+            ClusterRequest::new().min_pts(0),
+            ClusterRequest::new().min_pts(101),
+            ClusterRequest::new().min_pts(9), // above the freeze ceiling
+            ClusterRequest::new().min_cluster_size(0),
+        ] {
+            let err = session.run(&request);
+            assert!(
+                matches!(err, Err(PandoraError::BadParams { .. })),
+                "{request:?} gave {err:?}"
+            );
+        }
+        assert_eq!(session.scratch_outstanding(), 0);
+        let ok = session
+            .run(&ClusterRequest::new())
+            .expect("session survives");
+        assert_eq!(ok.labels.len(), 100);
+    }
+
+    #[test]
+    fn freeze_is_fallible_not_panicking() {
+        assert_eq!(
+            DatasetIndex::freeze(PointSet::new(vec![], 3), 2).err(),
+            Some(PandoraError::EmptyDataset)
+        );
+        let (points, _) = gaussian_blobs(10, 2, 1, 10.0, 0.5, 1);
+        assert!(matches!(
+            DatasetIndex::freeze(points.clone(), 0).err(),
+            Some(PandoraError::BadParams {
+                param: "max_min_pts",
+                ..
+            })
+        ));
+        assert!(matches!(
+            DatasetIndex::freeze(points, 11).err(),
+            Some(PandoraError::BadParams {
+                param: "max_min_pts",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn request_builder_round_trips_params() {
+        let request = ClusterRequest::new()
+            .min_pts(7)
+            .min_cluster_size(9)
+            .allow_single_cluster(true);
+        let params = request.to_params();
+        assert_eq!(params.min_pts, 7);
+        assert_eq!(params.min_cluster_size, 9);
+        assert!(params.allow_single_cluster);
+        assert_eq!(ClusterRequest::default(), ClusterRequest::new());
+    }
+}

@@ -77,7 +77,7 @@ const ENDGAME_SNAPSHOT_MAX: usize = 64;
 /// multi-`minPts` sweep (ascending) pays the endgame search volume once,
 /// not once per member. Purely an optimization: skips are strictly
 /// conservative, so results stay bit-identical.
-#[derive(Default)]
+#[derive(Debug, Default)]
 struct EndgameSnapshot {
     /// `minPts` rank the bounds were proved under.
     min_pts: usize,
@@ -96,7 +96,7 @@ struct EndgameSnapshot {
 /// coarse snapshots carry the largest bounds but their components conflict
 /// most often, so each of the next run's endgame rounds is usually served
 /// by a different member of the set.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct EndgameCache {
     /// Applied by the current run: the previous run's snapshots.
     active: Vec<EndgameSnapshot>,
@@ -190,12 +190,37 @@ impl EndgameCache {
     }
 }
 
+/// Optional configuration of a [`boruvka_mst_with`] run, bundled so the
+/// entry point reads as *what extras are engaged* rather than a positional
+/// argument soup. [`Default`] is the bare run: no seeds, no rows, no
+/// pruning bounds, no cross-run cache.
+///
+/// Every extra is strictly conservative — engaging any subset changes the
+/// work performed, never the returned MST.
+#[derive(Debug, Default)]
+pub struct BoruvkaExtras<'a> {
+    /// Exact per-point first-round candidates (`(_, u32::MAX)` = none);
+    /// see [`boruvka_mst_seeded`].
+    pub seeds: Option<&'a [(f32, u32)]>,
+    /// Sorted k-NN rows driving the first-round row screen and the
+    /// boundary filter (see [`KnnRows`]).
+    pub rows: Option<KnnRows<'a>>,
+    /// Per-tree-node minimum squared core distances for mutual-reachability
+    /// subtree pruning ([`KdTree::min_core2_into`]); empty = no bounds.
+    /// Per-request data: the tree itself stays immutable and shareable.
+    pub node_core2: &'a [f32],
+    /// Cross-run endgame cache plus the metric's `minPts` rank (1 for
+    /// plain Euclidean); see [`EndgameCache`].
+    pub cache: Option<(&'a mut EndgameCache, usize)>,
+}
+
 /// Computes the MST of `points` under `metric` using parallel Borůvka.
 ///
-/// The `tree` must index the same point set (and must carry core distances
-/// via [`KdTree::attach_core2`] when `metric` is mutual reachability).
-/// Returns the `n-1` edges with weights = `sqrt` of the metric's squared
-/// distance.
+/// The `tree` must index the same point set. Pass per-node core minima for
+/// mutual-reachability subtree pruning via [`BoruvkaExtras::node_core2`]
+/// on the [`boruvka_mst_with`] entry point — this bare convenience runs
+/// without pruning bounds (identical edges, more traversal). Returns the
+/// `n-1` edges with weights = `sqrt` of the metric's squared distance.
 ///
 /// # Panics
 ///
@@ -208,10 +233,19 @@ pub fn boruvka_mst<M: Metric>(
     tree: &KdTree,
     metric: &M,
 ) -> Vec<Edge> {
-    boruvka_mst_seeded(ctx, points, tree, metric, None)
+    let scratch = ScratchPool::new();
+    boruvka_mst_with(
+        ctx,
+        points,
+        tree,
+        metric,
+        BoruvkaExtras::default(),
+        &scratch,
+    )
 }
 
-/// [`boruvka_mst`] with optional per-point first-round candidates.
+/// [`boruvka_mst`] with optional per-point first-round candidates and
+/// per-node core-minimum pruning bounds.
 ///
 /// Each seed is an **exact** metric distance to a specific other point
 /// (e.g. the cheapest mutual-reachability neighbour captured by the
@@ -229,25 +263,28 @@ pub fn boruvka_mst_seeded<M: Metric>(
     tree: &KdTree,
     metric: &M,
     seeds: Option<Vec<(f32, u32)>>,
+    node_core2: &[f32],
 ) -> Vec<Edge> {
-    let mut scratch = ScratchPool::new();
+    let scratch = ScratchPool::new();
     boruvka_mst_with(
         ctx,
         points,
         tree,
         metric,
-        seeds.as_deref(),
-        None,
-        None,
-        &mut scratch,
+        BoruvkaExtras {
+            seeds: seeds.as_deref(),
+            node_core2,
+            ..Default::default()
+        },
+        &scratch,
     )
 }
 
-/// The full-configuration Borůvka entry point: optional exact first-round
-/// `seeds`, optional sorted k-NN `rows`, and a caller-owned [`ScratchPool`]
-/// all round-persistent buffers are drawn from (and returned to), so a
-/// long-lived workspace pays the buffer allocations once per *dataset*, not
-/// once per MST.
+/// The full-configuration Borůvka entry point: [`BoruvkaExtras`] (seeds,
+/// sorted k-NN rows, subtree pruning bounds, endgame cache) plus a
+/// caller-owned [`ScratchPool`] all round-persistent buffers are drawn
+/// from (and returned to), so a long-lived workspace pays the buffer
+/// allocations once per *dataset*, not once per MST.
 ///
 /// The `rows` screen (see [`KnnRows`]) resolves most first-round queries
 /// without touching the tree: a point whose cheapest foreign row member
@@ -264,18 +301,20 @@ pub fn boruvka_mst_seeded<M: Metric>(
 ///
 /// As [`boruvka_mst`]; additionally if a provided `seeds` or `rows` shape
 /// does not match `points.len()`.
-#[allow(clippy::too_many_arguments)] // the full-configuration entry point
 pub fn boruvka_mst_with<M: Metric>(
     ctx: &ExecCtx,
     points: &PointSet,
     tree: &KdTree,
     metric: &M,
-    seeds: Option<&[(f32, u32)]>,
-    rows: Option<KnnRows<'_>>,
-    cache: Option<(&mut EndgameCache, usize)>,
-    scratch: &mut ScratchPool,
+    extras: BoruvkaExtras<'_>,
+    scratch: &ScratchPool,
 ) -> Vec<Edge> {
-    let mut cache = cache;
+    let BoruvkaExtras {
+        seeds,
+        rows,
+        node_core2,
+        mut cache,
+    } = extras;
     let n = points.len();
     if let Some(seeds) = seeds {
         // Checked even for degenerate inputs: a mis-sized seeds array is a
@@ -517,8 +556,9 @@ pub fn boruvka_mst_with<M: Metric>(
                     if run_bound.is_finite() && seed.is_none_or(|(d2, _)| run_bound < d2) {
                         seed = Some((run_bound, u32::MAX));
                     }
-                    let found =
-                        tree.nearest_foreign_bounded(points, metric, q, comp_ref, purity_ref, seed);
+                    let found = tree.nearest_foreign_bounded(
+                        points, metric, q, comp_ref, purity_ref, node_core2, seed,
+                    );
                     match found {
                         ForeignSearch::Found(d2, p) => {
                             // The search returned q's exact nearest-foreign
@@ -679,9 +719,21 @@ mod tests {
             .map(|q| tree0.knn(&points, q as u32, 4)[3].0)
             .collect();
         let metric = MutualReachability { core2: &core2 };
-        let mut tree = KdTree::build(&ctx, &points);
-        tree.attach_core2(&core2);
-        let got = boruvka_mst(&ctx, &points, &tree, &metric);
+        let tree = KdTree::build(&ctx, &points);
+        let mut node_core2 = Vec::new();
+        tree.min_core2_into(&core2, &mut node_core2);
+        let scratch = ScratchPool::new();
+        let got = boruvka_mst_with(
+            &ctx,
+            &points,
+            &tree,
+            &metric,
+            BoruvkaExtras {
+                node_core2: &node_core2,
+                ..Default::default()
+            },
+            &scratch,
+        );
         let expect = prim_mst(&points, &metric);
         let wa = total_weight(&got);
         let wb = total_weight(&expect);

@@ -6,8 +6,8 @@
 //! kernels (`kdtree`, `knn`, `boruvka`) should not know about:
 //!
 //! 1. build the kd-tree over the points (traced phase `emst_build`);
-//! 2. compute `minPts` core distances and attach their per-subtree minima
-//!    to the tree for mutual-reachability pruning (phase `emst_core`);
+//! 2. compute `minPts` core distances and their per-subtree minima for
+//!    mutual-reachability pruning (phase `emst_core`);
 //! 3. run Borůvka under the mutual-reachability metric — or plain
 //!    Euclidean when `min_pts <= 1`, where both metrics coincide
 //!    (phase `emst_boruvka`).
@@ -97,7 +97,7 @@ pub fn emst(ctx: &ExecCtx, points: &PointSet, params: &EmstParams) -> Emst {
 
     ctx.set_phase("emst_build");
     let t = Instant::now();
-    let mut tree = KdTree::build_with_leaf_size(ctx, points, params.leaf_size);
+    let tree = KdTree::build_with_leaf_size(ctx, points, params.leaf_size);
     let tree_build_s = t.elapsed().as_secs_f64();
 
     let mut timings = EmstTimings {
@@ -121,7 +121,10 @@ pub fn emst(ctx: &ExecCtx, points: &PointSet, params: &EmstParams) -> Emst {
     ctx.set_phase("emst_core");
     let t = Instant::now();
     let (core2, nn) = core_distances2_and_knn(ctx, points, &tree, params.min_pts);
-    tree.attach_core2(&core2);
+    // Per-request subtree core minima for mutual-reachability pruning; the
+    // tree itself stays immutable (and thus shareable across requests).
+    let mut node_core2 = Vec::new();
+    tree.min_core2_into(&core2, &mut node_core2);
     // First-round Borůvka seeds from the k-NN pass: for a heap member p of
     // q, the Euclidean part is ≤ core2[q], so the mutual-reachability
     // distance collapses to max(core2[q], core2[p]) — pick the cheapest
@@ -153,7 +156,7 @@ pub fn emst(ctx: &ExecCtx, points: &PointSet, params: &EmstParams) -> Emst {
     ctx.set_phase("emst_boruvka");
     let t = Instant::now();
     let metric = MutualReachability { core2: &core2 };
-    let edges = boruvka_mst_seeded(ctx, points, &tree, &metric, Some(seeds));
+    let edges = boruvka_mst_seeded(ctx, points, &tree, &metric, Some(seeds), &node_core2);
     timings.boruvka_s = t.elapsed().as_secs_f64();
 
     Emst {
@@ -166,14 +169,15 @@ pub fn emst(ctx: &ExecCtx, points: &PointSet, params: &EmstParams) -> Emst {
 /// Mutual-reachability MST with **caller-provided** squared core distances
 /// (e.g. subset MSTs evaluated under a global metric, as DBCV needs).
 ///
-/// Builds the tree, attaches the subtree core minima for pruning, and runs
+/// Builds the tree, computes the subtree core minima for pruning, and runs
 /// Borůvka; `core2.len()` must equal `points.len()`.
 pub fn emst_with_core2(ctx: &ExecCtx, points: &PointSet, core2: &[f32]) -> Vec<Edge> {
     assert_eq!(core2.len(), points.len(), "one core distance per point");
-    let mut tree = KdTree::build(ctx, points);
-    tree.attach_core2(core2);
+    let tree = KdTree::build(ctx, points);
+    let mut node_core2 = Vec::new();
+    tree.min_core2_into(core2, &mut node_core2);
     let metric = MutualReachability { core2 };
-    boruvka_mst(ctx, points, &tree, &metric)
+    boruvka_mst_seeded(ctx, points, &tree, &metric, None, &node_core2)
 }
 
 #[cfg(test)]

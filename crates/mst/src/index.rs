@@ -1,0 +1,592 @@
+//! The frozen EMST substrate: an immutable, `Send + Sync` index one
+//! dataset, shared by arbitrarily many concurrent requests.
+//!
+//! [`crate::workspace::EmstWorkspace`] amortizes the spatial substrate
+//! across *sequential* runs, but it is a single-owner structure: the rows
+//! grow on demand, the kd-tree is built lazily, and every run threads
+//! `&mut` state. A serving deployment wants the opposite split — cuSLINK
+//! ships its pipeline as independently reusable building blocks behind a
+//! stable API, and ParChain's framework draws the same boundary between
+//! the immutable proximity substrate and per-query state. This module is
+//! that boundary for the EMST stage:
+//!
+//! * [`EmstIndex`] — everything that is **read-only after a freeze step**:
+//!   the validated [`PointSet`], the kd-tree (with its AoSoA leaf blocks),
+//!   and one sorted k-NN pass captured at the largest `minPts` the index
+//!   will serve (plus [`ROW_SLACK`] spare neighbours, so the Borůvka row
+//!   screen stays exact at the ceiling). The index is `Send + Sync`; wrap
+//!   it in an `Arc` and every serving thread reads the same tree.
+//! * [`EmstScratch`] — everything a single request mutates: the pooled
+//!   Borůvka round buffers, the per-node core-minimum bounds, and the
+//!   cross-run [`EndgameCache`]. Cheap to create, reusable across
+//!   requests, never shared between two in-flight runs.
+//!
+//! [`emst_from_index`] answers one `minPts` request from the pair, with
+//! results **bit-identical** to the one-shot [`crate::emst::emst`] path
+//! (enforced by `tests/serve_concurrent.rs` and the engine equivalence
+//! proptests). Every entry point is fallible: bad datasets and bad
+//! parameters come back as [`PandoraError`], never a panic.
+
+use std::time::Instant;
+
+use pandora_core::Edge;
+use pandora_exec::{ExecCtx, ScratchPool};
+
+use crate::boruvka::{boruvka_mst_with, BoruvkaExtras, EndgameCache};
+use crate::emst::{Emst, EmstTimings};
+use crate::error::PandoraError;
+use crate::kdtree::{KdTree, DEFAULT_LEAF_SIZE};
+use crate::knn::{core2_from_rows, knn_rows_into, KnnRows};
+use crate::metric::{Euclidean, MutualReachability};
+use crate::point::PointSet;
+use crate::workspace::ROW_SLACK;
+
+/// An immutable, shareable EMST substrate for one dataset (module docs).
+///
+/// Everything inside is read-only after [`EmstIndex::freeze`] returns, so
+/// `&EmstIndex` (typically through an `Arc`) can serve any number of
+/// concurrent [`emst_from_index`] calls, each with its own
+/// [`EmstScratch`].
+#[derive(Debug)]
+pub struct EmstIndex {
+    /// Process-unique identity of this freeze (see [`EmstIndex::instance_id`]).
+    id: u64,
+    points: PointSet,
+    tree: KdTree,
+    /// The largest `minPts` this index serves.
+    max_min_pts: usize,
+    /// Neighbours captured per sorted row (0 when `n <= 1`).
+    rows_k: usize,
+    row_d2: Vec<f32>,
+    row_idx: Vec<u32>,
+    build_s: f64,
+    rows_s: f64,
+}
+
+/// Compile-time proof the index is shareable across serving threads.
+fn _assert_index_is_send_sync() {
+    fn assert<T: Send + Sync>() {}
+    assert::<EmstIndex>();
+}
+
+impl EmstIndex {
+    /// Freezes the EMST substrate for `points`: builds the kd-tree and
+    /// captures sorted k-NN rows wide enough for every request with
+    /// `min_pts <= max_min_pts` (plus [`ROW_SLACK`] spare neighbours).
+    /// Takes ownership of the points — the index must outlive any borrower
+    /// relationship to stay `'static`-shareable behind an `Arc`.
+    ///
+    /// # Errors
+    ///
+    /// * [`PandoraError::EmptyDataset`] — `points` holds no points;
+    /// * [`PandoraError::BadParams`] — `max_min_pts` is 0, or exceeds the
+    ///   point count (for two or more points).
+    pub fn freeze(
+        ctx: &ExecCtx,
+        points: PointSet,
+        max_min_pts: usize,
+    ) -> Result<Self, PandoraError> {
+        Self::freeze_with_leaf_size(ctx, points, max_min_pts, DEFAULT_LEAF_SIZE)
+    }
+
+    /// [`EmstIndex::freeze`] with a caller-chosen kd-tree leaf capacity.
+    pub fn freeze_with_leaf_size(
+        ctx: &ExecCtx,
+        points: PointSet,
+        max_min_pts: usize,
+        leaf_size: usize,
+    ) -> Result<Self, PandoraError> {
+        let n = points.len();
+        if n == 0 {
+            return Err(PandoraError::EmptyDataset);
+        }
+        check_min_pts(max_min_pts, n, "max_min_pts")?;
+
+        ctx.set_phase("emst_build");
+        let t = Instant::now();
+        let tree = KdTree::build_with_leaf_size(ctx, &points, leaf_size);
+        let build_s = t.elapsed().as_secs_f64();
+
+        // One sorted pass at the ceiling; every smaller minPts is a prefix.
+        let rows_k = if n > 1 {
+            (max_min_pts - 1 + ROW_SLACK).min(n - 1)
+        } else {
+            0
+        };
+        ctx.set_phase("emst_core");
+        let t = Instant::now();
+        let (mut row_d2, mut row_idx) = (Vec::new(), Vec::new());
+        if rows_k > 0 {
+            knn_rows_into(ctx, &points, &tree, rows_k, &mut row_d2, &mut row_idx);
+        }
+        let rows_s = t.elapsed().as_secs_f64();
+
+        // Process-unique freeze id: scratch sets bind their cross-run
+        // caches to it, so bounds proved against one index can never be
+        // applied to another (indexes are immutable, so identity — not a
+        // content hash — is sufficient and O(1)).
+        static NEXT_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+        Ok(Self {
+            id: NEXT_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            points,
+            tree,
+            max_min_pts,
+            rows_k,
+            row_d2,
+            row_idx,
+            build_s,
+            rows_s,
+        })
+    }
+
+    /// The indexed dataset.
+    pub fn points(&self) -> &PointSet {
+        &self.points
+    }
+
+    /// The frozen kd-tree.
+    pub fn tree(&self) -> &KdTree {
+        &self.tree
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index holds no points (never true: freezing an empty
+    /// dataset is rejected — kept for clippy's `len`-without-`is_empty`).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The largest `minPts` this index serves.
+    pub fn max_min_pts(&self) -> usize {
+        self.max_min_pts
+    }
+
+    /// Neighbours captured per sorted k-NN row.
+    pub fn rows_k(&self) -> usize {
+        self.rows_k
+    }
+
+    /// Borrowed view of the sorted k-NN rows (`None` for single-point
+    /// datasets, which have no neighbours to capture).
+    pub fn rows(&self) -> Option<KnnRows<'_>> {
+        (self.rows_k > 0).then_some(KnnRows {
+            k: self.rows_k,
+            d2: &self.row_d2,
+            idx: &self.row_idx,
+        })
+    }
+
+    /// Process-unique identity of this freeze. Two indexes never share an
+    /// id, so per-scratch cross-run caches keyed on it can never transfer
+    /// bounds between datasets.
+    pub fn instance_id(&self) -> u64 {
+        self.id
+    }
+
+    /// Seconds the freeze spent building the kd-tree.
+    pub fn build_seconds(&self) -> f64 {
+        self.build_s
+    }
+
+    /// Seconds the freeze spent capturing the k-NN rows.
+    pub fn rows_seconds(&self) -> f64 {
+        self.rows_s
+    }
+
+    /// Fills `core2` with every point's squared core distance for
+    /// `min_pts`, by prefix lookup into the frozen rows — bit-identical to
+    /// a fresh k-NN query at that `min_pts` (the multiset of k-nearest
+    /// distances is unique). `core2` is cleared and resized.
+    ///
+    /// # Errors
+    ///
+    /// [`PandoraError::BadParams`] when `min_pts` is 0, exceeds the point
+    /// count, or exceeds [`EmstIndex::max_min_pts`].
+    pub fn core2_into(
+        &self,
+        ctx: &ExecCtx,
+        min_pts: usize,
+        core2: &mut Vec<f32>,
+    ) -> Result<(), PandoraError> {
+        self.check_request(min_pts)?;
+        let n = self.points.len();
+        core2.clear();
+        core2.resize(n, 0.0);
+        if min_pts >= 2 && n > 1 {
+            debug_assert!(self.rows_k >= (min_pts - 1).min(n - 1));
+            core2_from_rows(ctx, &self.row_d2, self.rows_k, min_pts, core2);
+        }
+        Ok(())
+    }
+
+    /// Validates a request's `min_pts` against this index.
+    fn check_request(&self, min_pts: usize) -> Result<(), PandoraError> {
+        check_min_pts(min_pts, self.points.len(), "min_pts")?;
+        if min_pts > self.max_min_pts {
+            return Err(PandoraError::BadParams {
+                param: "min_pts",
+                value: min_pts,
+                reason: "exceeds the minPts ceiling this index was frozen for",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Shared `minPts` range validation (freeze ceiling and per-request).
+fn check_min_pts(min_pts: usize, n: usize, param: &'static str) -> Result<(), PandoraError> {
+    if min_pts == 0 {
+        return Err(PandoraError::BadParams {
+            param,
+            value: min_pts,
+            reason: "must be at least 1",
+        });
+    }
+    if n >= 2 && min_pts > n {
+        return Err(PandoraError::BadParams {
+            param,
+            value: min_pts,
+            reason: "exceeds the number of points (the minPts-th neighbour does not exist)",
+        });
+    }
+    Ok(())
+}
+
+/// The mutable half of a request: pooled round buffers, per-request
+/// pruning bounds and the cross-run endgame cache. One per in-flight run;
+/// reuse across sequential runs keeps the steady state allocation-free.
+///
+/// A scratch set may be reused across **different** indexes too: it
+/// remembers which index its cross-run endgame bounds were proved
+/// against ([`EmstIndex::instance_id`]) and drops them on a switch, so
+/// stale bounds from one dataset can never leak into another's MST. (The
+/// buffer pool itself is content-free and carries over freely.)
+#[derive(Debug, Default)]
+pub struct EmstScratch {
+    pool: ScratchPool,
+    endgame: EndgameCache,
+    node_core2: Vec<f32>,
+    /// `instance_id` of the index the endgame bounds belong to.
+    bound_to: Option<u64>,
+}
+
+impl EmstScratch {
+    /// Creates an empty (cold) scratch set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The backing buffer pool (for allocation/leak accounting).
+    pub fn pool(&self) -> &ScratchPool {
+        &self.pool
+    }
+
+    /// Whether the cross-run endgame cache holds transferable bounds.
+    pub fn endgame_is_warm(&self) -> bool {
+        self.endgame.is_warm()
+    }
+
+    /// Points the cross-run caches at `index`, discarding them if they
+    /// were proved against a different one.
+    fn rebind(&mut self, index: &EmstIndex) {
+        if self.bound_to != Some(index.id) {
+            self.endgame.clear();
+            self.bound_to = Some(index.id);
+        }
+    }
+}
+
+/// The per-request EMST stage body shared by the frozen-index path
+/// ([`emst_from_index`]) and the single-owner workspace path
+/// ([`crate::workspace::emst_into`]): per-subtree pruning bounds, metric
+/// selection, and the fully-configured Borůvka run. **One implementation**
+/// — the two public surfaces differ only in where the tree, rows and
+/// core distances come from, so they cannot drift apart and silently
+/// break the bit-identicality contract.
+#[allow(clippy::too_many_arguments)] // internal seam between the two substrates
+pub(crate) fn run_request(
+    ctx: &ExecCtx,
+    points: &PointSet,
+    tree: &KdTree,
+    rows: Option<KnnRows<'_>>,
+    core2: &[f32],
+    min_pts: usize,
+    node_core2: &mut Vec<f32>,
+    endgame: &mut EndgameCache,
+    pool: &ScratchPool,
+) -> Vec<Edge> {
+    if min_pts >= 2 && points.len() > 1 {
+        // Per-subtree core minima for mutual-reachability pruning — a
+        // property of this request, computed into caller scratch so the
+        // (possibly shared) tree stays untouched.
+        tree.min_core2_into(core2, node_core2);
+    } else {
+        node_core2.clear();
+    }
+    ctx.set_phase("emst_boruvka");
+    // The endgame cache's metric rank is the `minPts` the bounds were
+    // proved under (1 = plain Euclidean, the base of the monotone family).
+    if min_pts <= 1 {
+        boruvka_mst_with(
+            ctx,
+            points,
+            tree,
+            &Euclidean,
+            BoruvkaExtras {
+                rows,
+                cache: Some((endgame, min_pts.max(1))),
+                ..Default::default()
+            },
+            pool,
+        )
+    } else {
+        let metric = MutualReachability { core2 };
+        boruvka_mst_with(
+            ctx,
+            points,
+            tree,
+            &metric,
+            BoruvkaExtras {
+                rows,
+                node_core2: node_core2.as_slice(),
+                cache: Some((endgame, min_pts.max(1))),
+                ..Default::default()
+            },
+            pool,
+        )
+    }
+}
+
+/// Answers one `minPts` request from a frozen [`EmstIndex`] and a
+/// per-request [`EmstScratch`].
+///
+/// The returned MST edges and core distances are **bit-identical** to
+/// [`crate::emst::emst`] at the same `min_pts`: the row screen, the
+/// endgame transfer and the subtree bounds are all strictly conservative.
+/// Reported [`EmstTimings`] cover only this call (`tree_build_s` is always
+/// 0 — the build was paid by the freeze).
+///
+/// # Errors
+///
+/// [`PandoraError::BadParams`] when `min_pts` is 0, exceeds the point
+/// count, or exceeds the index's frozen ceiling.
+pub fn emst_from_index(
+    ctx: &ExecCtx,
+    index: &EmstIndex,
+    min_pts: usize,
+    scratch: &mut EmstScratch,
+) -> Result<Emst, PandoraError> {
+    ctx.set_phase("emst_core");
+    let t = Instant::now();
+    let mut core2 = Vec::new();
+    index.core2_into(ctx, min_pts, &mut core2)?;
+    scratch.rebind(index);
+    let core_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let edges = run_request(
+        ctx,
+        &index.points,
+        &index.tree,
+        index.rows(),
+        &core2,
+        min_pts,
+        &mut scratch.node_core2,
+        &mut scratch.endgame,
+        &scratch.pool,
+    );
+    let boruvka_s = t.elapsed().as_secs_f64();
+
+    Ok(Emst {
+        edges,
+        core2,
+        timings: EmstTimings {
+            tree_build_s: 0.0,
+            core_s,
+            boruvka_s,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emst::{emst, EmstParams};
+    use rand::prelude::*;
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> PointSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PointSet::new(
+            (0..n * dim).map(|_| rng.gen_range(-5.0..5.0f32)).collect(),
+            dim,
+        )
+    }
+
+    #[test]
+    fn frozen_index_matches_cold_runs_exactly() {
+        let ctx = ExecCtx::serial();
+        let points = random_points(400, 3, 11);
+        let index = EmstIndex::freeze(&ctx, points.clone(), 16).expect("freeze a valid dataset");
+        let mut scratch = EmstScratch::new();
+        for min_pts in [1usize, 2, 4, 8, 16] {
+            let served =
+                emst_from_index(&ctx, &index, min_pts, &mut scratch).expect("valid request");
+            let cold = emst(&ctx, &points, &EmstParams::with_min_pts(min_pts));
+            assert_eq!(served.core2, cold.core2, "min_pts={min_pts}");
+            assert_eq!(served.edges.len(), cold.edges.len());
+            for (a, b) in served.edges.iter().zip(cold.edges.iter()) {
+                assert_eq!((a.u, a.v, a.w), (b.u, b.v, b.w), "min_pts={min_pts}");
+            }
+            assert_eq!(served.timings.tree_build_s, 0.0);
+        }
+        assert_eq!(index.rows_k(), 15 + ROW_SLACK);
+        assert_eq!(scratch.pool().outstanding(), 0);
+    }
+
+    #[test]
+    fn shared_index_serves_concurrent_scratches() {
+        // The tentpole property at the mst layer: one &EmstIndex, many
+        // threads, each with its own EmstScratch — all answers identical
+        // to the cold path.
+        let ctx = ExecCtx::serial();
+        let points = random_points(300, 2, 7);
+        let index =
+            std::sync::Arc::new(EmstIndex::freeze(&ctx, points.clone(), 8).expect("freeze"));
+        let cold: Vec<_> = [2usize, 4, 8]
+            .iter()
+            .map(|&m| emst(&ctx, &points, &EmstParams::with_min_pts(m)))
+            .collect();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let index = std::sync::Arc::clone(&index);
+                std::thread::spawn(move || {
+                    let ctx = ExecCtx::serial();
+                    let mut scratch = EmstScratch::new();
+                    let mine = [2usize, 4, 8][t % 3];
+                    emst_from_index(&ctx, &index, mine, &mut scratch)
+                        .map(|r| (mine, r))
+                        .expect("valid request")
+                })
+            })
+            .collect();
+        for h in handles {
+            let (mine, served) = h.join().expect("serving thread");
+            let want = &cold[[2usize, 4, 8]
+                .iter()
+                .position(|&m| m == mine)
+                .expect("member")];
+            assert_eq!(served.core2, want.core2, "min_pts={mine}");
+            for (a, b) in served.edges.iter().zip(want.edges.iter()) {
+                assert_eq!((a.u, a.v, a.w), (b.u, b.v, b.w), "min_pts={mine}");
+            }
+        }
+    }
+
+    #[test]
+    fn freeze_rejects_bad_inputs_without_panicking() {
+        let ctx = ExecCtx::serial();
+        assert_eq!(
+            EmstIndex::freeze(&ctx, PointSet::new(vec![], 2), 2).err(),
+            Some(PandoraError::EmptyDataset)
+        );
+        let points = random_points(5, 2, 1);
+        assert!(matches!(
+            EmstIndex::freeze(&ctx, points.clone(), 0).err(),
+            Some(PandoraError::BadParams {
+                param: "max_min_pts",
+                value: 0,
+                ..
+            })
+        ));
+        assert!(matches!(
+            EmstIndex::freeze(&ctx, points, 6).err(),
+            Some(PandoraError::BadParams {
+                param: "max_min_pts",
+                value: 6,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn requests_outside_the_frozen_range_error() {
+        let ctx = ExecCtx::serial();
+        let index = EmstIndex::freeze(&ctx, random_points(40, 2, 3), 4).expect("freeze");
+        let mut scratch = EmstScratch::new();
+        for bad in [0usize, 5, 41] {
+            let err = emst_from_index(&ctx, &index, bad, &mut scratch).err();
+            assert!(
+                matches!(
+                    err,
+                    Some(PandoraError::BadParams {
+                        param: "min_pts",
+                        ..
+                    })
+                ),
+                "min_pts={bad} gave {err:?}"
+            );
+        }
+        // The books stay balanced even across rejected requests.
+        assert_eq!(scratch.pool().outstanding(), 0);
+    }
+
+    #[test]
+    fn single_point_dataset_serves_trivially() {
+        let ctx = ExecCtx::serial();
+        let index = EmstIndex::freeze(&ctx, PointSet::new(vec![1.0, 2.0], 2), 4).expect("freeze");
+        assert_eq!(index.rows_k(), 0);
+        let mut scratch = EmstScratch::new();
+        let served = emst_from_index(&ctx, &index, 2, &mut scratch).expect("serve");
+        assert!(served.edges.is_empty());
+        assert_eq!(served.core2, vec![0.0]);
+    }
+
+    #[test]
+    fn scratch_reuse_across_different_indexes_stays_exact() {
+        // Regression (review finding): the endgame cache validates
+        // snapshots only by shape, so reusing one scratch across two
+        // same-size indexes of DIFFERENT datasets must drop the bounds —
+        // otherwise geometry proved on A silently corrupts B's MST.
+        let ctx = ExecCtx::serial();
+        let a_points = random_points(300, 2, 1);
+        let b_points = random_points(300, 2, 99); // same n/dim, different data
+        let a = EmstIndex::freeze(&ctx, a_points, 8).expect("freeze A");
+        let b = EmstIndex::freeze(&ctx, b_points.clone(), 8).expect("freeze B");
+        let mut scratch = EmstScratch::new();
+        // Warm the endgame bounds on A...
+        let _ = emst_from_index(&ctx, &a, 2, &mut scratch).expect("serve A");
+        let _ = emst_from_index(&ctx, &a, 4, &mut scratch).expect("serve A again");
+        assert!(scratch.endgame_is_warm());
+        // ...then serve B with the SAME scratch: bounds must be dropped
+        // (rebind) and the answer must equal B's cold run exactly.
+        let served = emst_from_index(&ctx, &b, 4, &mut scratch).expect("serve B");
+        let cold = emst(&ctx, &b_points, &EmstParams::with_min_pts(4));
+        assert_eq!(served.core2, cold.core2);
+        for (x, y) in served.edges.iter().zip(cold.edges.iter()) {
+            assert_eq!((x.u, x.v, x.w), (y.u, y.v, y.w));
+        }
+    }
+
+    #[test]
+    fn warm_scratch_keeps_endgame_bounds() {
+        let ctx = ExecCtx::serial();
+        let index = EmstIndex::freeze(&ctx, random_points(200, 2, 9), 8).expect("freeze");
+        let mut scratch = EmstScratch::new();
+        assert!(!scratch.endgame_is_warm());
+        let _ = emst_from_index(&ctx, &index, 2, &mut scratch).expect("serve");
+        assert!(
+            scratch.endgame_is_warm(),
+            "run one must stage endgame bounds"
+        );
+        let hits_before = scratch.pool().reuse_hits();
+        let _ = emst_from_index(&ctx, &index, 4, &mut scratch).expect("serve");
+        assert!(
+            scratch.pool().reuse_hits() > hits_before,
+            "warm runs must reuse pooled buffers"
+        );
+    }
+}

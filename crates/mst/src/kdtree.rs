@@ -70,6 +70,7 @@ pub enum ForeignSearch {
 }
 
 /// A static kd-tree with structure-of-arrays node metadata.
+#[derive(Debug)]
 pub struct KdTree {
     dim: usize,
     /// Left child id per node; `INVALID` marks a leaf. The right child is
@@ -94,8 +95,6 @@ pub struct KdTree {
     /// final block. Leaf scans stream these blocks through the 8-wide
     /// [`euclid_block_dist2`] kernel with no strided loads.
     leaf_coords: Vec<f32>,
-    /// Per-node minimum squared core distance (after [`KdTree::attach_core2`]).
-    min_core2: Option<Vec<f32>>,
     /// Tree depth (root = 0 counts as depth 1 when any node exists).
     depth: usize,
 }
@@ -132,7 +131,6 @@ impl KdTree {
             bbox_max: vec![f32::NEG_INFINITY; dim],
             perm: (0..n as u32).collect(),
             leaf_coords: Vec::new(),
-            min_core2: None,
             depth: usize::from(n > 0),
         };
         if n == 0 {
@@ -374,30 +372,32 @@ impl KdTree {
         self.depth
     }
 
-    /// Attaches per-node minimum squared core distances (leaf-up sweep),
-    /// enabling mutual-reachability pruning bounds.
+    /// Computes per-node minimum squared core distances (leaf-up sweep)
+    /// into a caller-owned buffer, for mutual-reachability pruning bounds.
     ///
-    /// Re-attaching (e.g. once per `minPts` of an engine sweep) reuses the
-    /// previously attached buffer, so the steady state allocates nothing.
-    pub fn attach_core2(&mut self, core2: &[f32]) {
+    /// The tree itself stays untouched — core distances are a property of
+    /// the *request* (`minPts`), not of the index, so a tree shared by
+    /// concurrent sessions stays immutable while each session passes its
+    /// own bounds to [`KdTree::nearest_foreign_bounded`]. The buffer is
+    /// cleared and resized (capacity retained), so steady-state reuse
+    /// allocates nothing.
+    pub fn min_core2_into(&self, core2: &[f32], out: &mut Vec<f32>) {
         assert_eq!(core2.len(), self.perm.len());
-        let mut min_core = self.min_core2.take().unwrap_or_default();
-        min_core.clear();
-        min_core.resize(self.n_nodes(), f32::INFINITY);
+        out.clear();
+        out.resize(self.n_nodes(), f32::INFINITY);
         // Children have larger ids than parents: reverse order is leaf-up.
         for nid in (0..self.n_nodes()).rev() {
             let left = self.left[nid];
-            min_core[nid] = if left == INVALID {
+            out[nid] = if left == INVALID {
                 let mut m = f32::INFINITY;
                 for &p in &self.perm[self.start[nid] as usize..self.end[nid] as usize] {
                     m = m.min(core2[p as usize]);
                 }
                 m
             } else {
-                min_core[left as usize].min(min_core[left as usize + 1])
+                out[left as usize].min(out[left as usize + 1])
             };
         }
-        self.min_core2 = Some(min_core);
     }
 
     /// Per-node component purity: the component id shared by every point in
@@ -546,8 +546,11 @@ impl KdTree {
     /// Nearest point to `q` in a *different component*, under `metric`.
     ///
     /// `purity` comes from [`KdTree::component_purity`] for the current
-    /// Borůvka round. Returns `(squared distance, index)`; ties broken by
-    /// smaller index for determinism.
+    /// Borůvka round. `node_core2` is either empty (no pruning bounds —
+    /// always valid, just less pruning for mutual reachability) or the
+    /// per-node subtree core minima from [`KdTree::min_core2_into`] for
+    /// the request's `minPts`. Returns `(squared distance, index)`; ties
+    /// broken by smaller index for determinism.
     pub fn nearest_foreign<M: Metric>(
         &self,
         points: &PointSet,
@@ -555,8 +558,9 @@ impl KdTree {
         q: u32,
         comp: &[u32],
         purity: &[u32],
+        node_core2: &[f32],
     ) -> Option<(f32, u32)> {
-        self.nearest_foreign_from(points, metric, q, comp, purity, None)
+        self.nearest_foreign_from(points, metric, q, comp, purity, node_core2, None)
     }
 
     /// [`KdTree::nearest_foreign`] warm-started with a known candidate.
@@ -571,6 +575,7 @@ impl KdTree {
     /// to the unseeded query; with a bound-only seed the query returns
     /// `None` unless it finds a point at distance ≤ the bound (equal-bound
     /// subtrees are still visited, so smaller-index ties win regardless).
+    #[allow(clippy::too_many_arguments)] // mirrors nearest_foreign_bounded
     pub fn nearest_foreign_from<M: Metric>(
         &self,
         points: &PointSet,
@@ -578,9 +583,10 @@ impl KdTree {
         q: u32,
         comp: &[u32],
         purity: &[u32],
+        node_core2: &[f32],
         seed: Option<(f32, u32)>,
     ) -> Option<(f32, u32)> {
-        match self.nearest_foreign_bounded(points, metric, q, comp, purity, seed) {
+        match self.nearest_foreign_bounded(points, metric, q, comp, purity, node_core2, seed) {
             ForeignSearch::Found(d2, p) => Some((d2, p)),
             ForeignSearch::Empty(_) => None,
         }
@@ -595,6 +601,7 @@ impl KdTree {
     /// bound on `q`'s nearest-foreign distance that is usually far tighter
     /// than the seed bound. Borůvka stores it so interior points stay
     /// filtered for many rounds instead of re-searching every round.
+    #[allow(clippy::too_many_arguments)] // the innermost configurable query
     pub fn nearest_foreign_bounded<M: Metric>(
         &self,
         points: &PointSet,
@@ -602,6 +609,7 @@ impl KdTree {
         q: u32,
         comp: &[u32],
         purity: &[u32],
+        node_core2: &[f32],
         seed: Option<(f32, u32)>,
     ) -> ForeignSearch {
         if self.perm.is_empty() {
@@ -609,13 +617,16 @@ impl KdTree {
         }
         let (mut best_d2, mut best_p) = seed.unwrap_or((f32::INFINITY, INVALID));
         debug_assert!(best_p == INVALID || comp[best_p as usize] != comp[q as usize]);
+        debug_assert!(
+            node_core2.is_empty() || node_core2.len() == self.n_nodes(),
+            "node_core2 must be empty or hold one bound per tree node"
+        );
         // Lower bound on everything foreign this search pruned or rejected;
         // only meaningful when no candidate is found.
         let mut margin = f32::INFINITY;
         let qp = points.point(q as usize);
         let my_comp = comp[q as usize];
-        let zero_core: &[f32] = &[];
-        let min_core2: &[f32] = self.min_core2.as_deref().unwrap_or(zero_core);
+        let min_core2: &[f32] = node_core2;
         let node_bound = |nid: usize| -> f32 {
             let box_d2 = self.node_box_dist2(nid, qp);
             let mc = if min_core2.is_empty() {
@@ -1137,7 +1148,7 @@ mod tests {
         let purity = tree.component_purity(&comp);
         for q in [0u32, 7, 150] {
             let (d2, p) = tree
-                .nearest_foreign(&points, &Euclidean, q, &comp, &purity)
+                .nearest_foreign(&points, &Euclidean, q, &comp, &purity, &[])
                 .unwrap();
             assert_ne!(comp[p as usize], comp[q as usize]);
             // Brute force check.
@@ -1158,7 +1169,7 @@ mod tests {
         let comp: Vec<u32> = (0..500u32).map(|i| i % 3).collect();
         let purity = tree.component_purity(&comp);
         for q in 0..50u32 {
-            let plain = tree.nearest_foreign(&points, &Euclidean, q, &comp, &purity);
+            let plain = tree.nearest_foreign(&points, &Euclidean, q, &comp, &purity, &[]);
             // Seed with an arbitrary valid foreign candidate (worse than
             // the optimum) and with the optimum itself.
             let any_foreign = (0..500u32)
@@ -1166,9 +1177,10 @@ mod tests {
                 .unwrap();
             let weak_seed = Some((points.dist2(q as usize, any_foreign as usize), any_foreign));
             let seeded =
-                tree.nearest_foreign_from(&points, &Euclidean, q, &comp, &purity, weak_seed);
+                tree.nearest_foreign_from(&points, &Euclidean, q, &comp, &purity, &[], weak_seed);
             assert_eq!(plain, seeded, "weak seed, q={q}");
-            let tight = tree.nearest_foreign_from(&points, &Euclidean, q, &comp, &purity, plain);
+            let tight =
+                tree.nearest_foreign_from(&points, &Euclidean, q, &comp, &purity, &[], plain);
             assert_eq!(plain, tight, "tight seed, q={q}");
         }
     }

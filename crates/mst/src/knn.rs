@@ -177,6 +177,30 @@ pub fn knn_rows_into(
     }
 }
 
+/// Fills `core2` with every point's squared core distance for `min_pts`
+/// by **prefix lookup** into sorted k-NN rows (`row_d2`, row-major
+/// `n × k`, ascending): the `(min_pts − 2)`-th entry of a sorted row is
+/// the exact distance to the `(min_pts − 1)`-th nearest neighbour, so the
+/// result is bit-identical to a fresh [`core_distances2`] query. This is
+/// the one implementation behind both serving substrates
+/// ([`crate::workspace::EmstWorkspace`] and [`crate::index::EmstIndex`]).
+///
+/// Requires `min_pts >= 2`, `k >= min_pts - 1` and
+/// `core2.len() * k == row_d2.len()`; callers handle the
+/// `min_pts <= 1` / tiny-`n` cases (all-zero core distances) themselves.
+pub fn core2_from_rows(ctx: &ExecCtx, row_d2: &[f32], k: usize, min_pts: usize, core2: &mut [f32]) {
+    let n = core2.len();
+    debug_assert!(min_pts >= 2 && k >= min_pts - 1);
+    debug_assert_eq!(row_d2.len(), n * k);
+    let core_view = UnsafeSlice::new(core2);
+    ctx.for_each_chunk(n, pandora_exec::DEFAULT_GRAIN, |range| {
+        for q in range {
+            // SAFETY: disjoint writes.
+            unsafe { core_view.write(q, row_d2[q * k + (min_pts - 2)]) };
+        }
+    });
+}
+
 /// A borrowed view over sorted k-NN rows (see [`knn_rows_into`]).
 ///
 /// The Borůvka row screen uses these rows two ways, both **exact**:
@@ -191,7 +215,7 @@ pub fn knn_rows_into(
 /// Both arguments require the metric to **dominate the Euclidean
 /// distance** (`dist2(a,b) ≥ ‖a−b‖²`), which holds for [`crate::metric::Euclidean`]
 /// and [`crate::metric::MutualReachability`].
-#[derive(Clone, Copy)]
+#[derive(Debug, Clone, Copy)]
 pub struct KnnRows<'a> {
     /// Neighbours per row.
     pub k: usize,

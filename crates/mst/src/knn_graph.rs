@@ -24,12 +24,18 @@ use crate::metric::Metric;
 use crate::point::PointSet;
 
 /// Spanning tree from the k-NN graph plus exact completion rounds.
+///
+/// `node_core2` is either empty (no subtree pruning bounds) or the
+/// per-node core minima from [`KdTree::min_core2_into`] for the metric's
+/// `minPts` — purely an optimization for the completion rounds under
+/// mutual reachability (results are identical either way).
 pub fn knn_graph_mst<M: Metric>(
     ctx: &ExecCtx,
     points: &PointSet,
     tree: &KdTree,
     metric: &M,
     k: usize,
+    node_core2: &[f32],
 ) -> Vec<Edge> {
     let n = points.len();
     if n <= 1 {
@@ -118,8 +124,8 @@ pub fn knn_graph_mst<M: Metric>(
             let (comp_ref, purity_ref, cand_ref) = (&comp, &purity, &candidate);
             ctx.for_each_chunk_traced(n, 256, KernelKind::TreeTraverse, (n * 64) as u64, |range| {
                 for q in range {
-                    if let Some((d2, p)) =
-                        tree.nearest_foreign(points, metric, q as u32, comp_ref, purity_ref)
+                    if let Some((d2, p)) = tree
+                        .nearest_foreign(points, metric, q as u32, comp_ref, purity_ref, node_core2)
                     {
                         // SAFETY: slot q owned by this iteration.
                         unsafe { best_view.write(q, (d2, p)) };
@@ -173,7 +179,7 @@ mod tests {
         for k in [1usize, 2, 4, 16] {
             let points = random_points(300, 2, k as u64);
             let tree = KdTree::build(&ctx, &points);
-            let edges = knn_graph_mst(&ctx, &points, &tree, &Euclidean, k);
+            let edges = knn_graph_mst(&ctx, &points, &tree, &Euclidean, k, &[]);
             assert_eq!(edges.len(), 299, "k={k}");
             let mst = pandora_core::SortedMst::from_edges(&ctx, 300, &edges);
             mst.validate_tree().unwrap();
@@ -188,7 +194,7 @@ mod tests {
         let exact = total_weight(&prim_mst(&points, &Euclidean));
         let mut prev_ratio = f64::INFINITY;
         for k in [2usize, 4, 8] {
-            let approx = total_weight(&knn_graph_mst(&ctx, &points, &tree, &Euclidean, k));
+            let approx = total_weight(&knn_graph_mst(&ctx, &points, &tree, &Euclidean, k, &[]));
             let ratio = approx / exact;
             assert!((1.0 - 1e-6..1.10).contains(&ratio), "k={k}: ratio {ratio}");
             assert!(ratio <= prev_ratio + 1e-9, "ratio not improving at k={k}");
@@ -205,7 +211,7 @@ mod tests {
         let points = random_points(60, 3, 4);
         let tree = KdTree::build(&ctx, &points);
         let exact = total_weight(&prim_mst(&points, &Euclidean));
-        let approx = total_weight(&knn_graph_mst(&ctx, &points, &tree, &Euclidean, 59));
+        let approx = total_weight(&knn_graph_mst(&ctx, &points, &tree, &Euclidean, 59, &[]));
         assert!((approx - exact).abs() < 1e-4 * exact.max(1.0));
     }
 
@@ -223,7 +229,7 @@ mod tests {
         }
         let points = PointSet::new(coords, 2);
         let tree = KdTree::build(&ctx, &points);
-        let edges = knn_graph_mst(&ctx, &points, &tree, &Euclidean, 1);
+        let edges = knn_graph_mst(&ctx, &points, &tree, &Euclidean, 1, &[]);
         assert_eq!(edges.len(), 39);
         // Exactly one long bridge edge.
         let bridges = edges.iter().filter(|e| e.w > 100.0).count();

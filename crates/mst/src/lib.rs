@@ -21,6 +21,8 @@
 
 pub mod boruvka;
 pub mod emst;
+pub mod error;
+pub mod index;
 pub mod kdtree;
 pub mod knn;
 pub mod knn_graph;
@@ -30,8 +32,10 @@ pub mod point;
 pub mod prim;
 pub mod workspace;
 
-pub use boruvka::{boruvka_mst, boruvka_mst_seeded, boruvka_mst_with, EndgameCache};
+pub use boruvka::{boruvka_mst, boruvka_mst_seeded, boruvka_mst_with, BoruvkaExtras, EndgameCache};
 pub use emst::{emst, emst_with_core2, Emst, EmstParams, EmstTimings};
+pub use error::PandoraError;
+pub use index::{emst_from_index, EmstIndex, EmstScratch};
 pub use kdtree::{ForeignSearch, KdTree, KnnHeap};
 pub use knn::{core_distances2, core_distances2_and_knn, knn_rows_into, KnnRows};
 pub use knn_graph::knn_graph_mst;

@@ -1,5 +1,7 @@
 //! Point sets: flat, dimension-generic f32 coordinates.
 
+use crate::error::PandoraError;
+
 /// A set of `len` points in `dim` dimensions, stored row-major.
 #[derive(Debug, Clone)]
 pub struct PointSet {
@@ -8,32 +10,59 @@ pub struct PointSet {
 }
 
 impl PointSet {
-    /// Wraps a flat coordinate buffer (`len * dim` values, row-major).
+    /// Wraps a flat coordinate buffer (`len * dim` values, row-major),
+    /// validating it: `dim` must be positive, the buffer length a multiple
+    /// of `dim`, and every coordinate finite.
     ///
-    /// # Panics
+    /// This is the fallible entry point serving layers should use — a bad
+    /// dataset comes back as a [`PandoraError`] instead of crashing the
+    /// process. [`PointSet::new`] is the panicking convenience wrapper.
     ///
-    /// Panics if the buffer length is not a multiple of `dim`, or if any
-    /// coordinate is not finite.
-    pub fn new(coords: Vec<f32>, dim: usize) -> Self {
-        assert!(dim > 0, "dimension must be positive");
-        assert_eq!(
-            coords.len() % dim,
-            0,
-            "coordinate buffer not a multiple of dim"
-        );
+    /// ```
+    /// use pandora_mst::{PandoraError, PointSet};
+    ///
+    /// let ok = PointSet::try_new(vec![0.0, 0.0, 3.0, 4.0], 2);
+    /// assert_eq!(ok.map(|p| p.len()), Ok(2));
+    ///
+    /// let bad = PointSet::try_new(vec![1.0, f32::NAN], 2);
+    /// assert_eq!(bad.err(), Some(PandoraError::NonFinite { point: 0, dim: 1 }));
+    /// ```
+    pub fn try_new(coords: Vec<f32>, dim: usize) -> Result<Self, PandoraError> {
+        if dim == 0 || !coords.len().is_multiple_of(dim) {
+            return Err(PandoraError::BadShape {
+                len: coords.len(),
+                dim,
+            });
+        }
         // Unconditional: a single NaN coordinate poisons every distance
         // comparison downstream (Borůvka candidate packing, kd-tree splits)
         // and can turn release builds into infinite loops. The O(n·dim)
         // scan is noise next to any algorithm run over the same data.
         if let Some(pos) = coords.iter().position(|c| !c.is_finite()) {
-            panic!(
-                "non-finite coordinate {} at point {} dim {}",
-                coords[pos],
-                pos / dim,
-                pos % dim
-            );
+            return Err(PandoraError::NonFinite {
+                point: pos / dim,
+                dim: pos % dim,
+            });
         }
-        Self { coords, dim }
+        Ok(Self { coords, dim })
+    }
+
+    /// Wraps a flat coordinate buffer (`len * dim` values, row-major).
+    ///
+    /// Thin wrapper over [`PointSet::try_new`] for contexts where a bad
+    /// dataset is a programming error (tests, generators, figure
+    /// binaries); serving paths should call `try_new` and surface the
+    /// error instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length is not a multiple of `dim`, if `dim` is
+    /// zero, or if any coordinate is not finite.
+    pub fn new(coords: Vec<f32>, dim: usize) -> Self {
+        match Self::try_new(coords, dim) {
+            Ok(points) => points,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Number of points.
@@ -138,5 +167,24 @@ mod tests {
     #[should_panic(expected = "point 1 dim 0")]
     fn infinite_coordinate_panics_with_location() {
         let _ = PointSet::new(vec![1.0, 2.0, f32::INFINITY, 4.0], 2);
+    }
+
+    #[test]
+    fn try_new_reports_structured_errors() {
+        use crate::error::PandoraError;
+        assert_eq!(
+            PointSet::try_new(vec![1.0, 2.0, 3.0], 2).err(),
+            Some(PandoraError::BadShape { len: 3, dim: 2 })
+        );
+        assert_eq!(
+            PointSet::try_new(vec![1.0], 0).err(),
+            Some(PandoraError::BadShape { len: 1, dim: 0 })
+        );
+        assert_eq!(
+            PointSet::try_new(vec![1.0, 2.0, f32::NEG_INFINITY, 4.0], 2).err(),
+            Some(PandoraError::NonFinite { point: 1, dim: 0 })
+        );
+        let ok = PointSet::try_new(vec![], 3).expect("empty buffers are a valid (empty) set");
+        assert_eq!(ok.len(), 0);
     }
 }

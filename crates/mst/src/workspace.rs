@@ -28,13 +28,12 @@
 
 use std::time::Instant;
 
-use pandora_exec::{ExecCtx, ScratchPool, UnsafeSlice, DEFAULT_GRAIN};
+use pandora_exec::{ExecCtx, ScratchPool};
 
-use crate::boruvka::{boruvka_mst_with, EndgameCache};
+use crate::boruvka::EndgameCache;
 use crate::emst::{Emst, EmstTimings};
 use crate::kdtree::{KdTree, DEFAULT_LEAF_SIZE};
-use crate::knn::{knn_rows_into, KnnRows};
-use crate::metric::{Euclidean, MutualReachability};
+use crate::knn::{core2_from_rows, knn_rows_into, KnnRows};
 use crate::point::PointSet;
 
 /// Extra neighbours captured past the largest requested `minPts` when
@@ -98,6 +97,9 @@ pub struct EmstWorkspace {
     rows_k: usize,
     row_d2: Vec<f32>,
     row_idx: Vec<u32>,
+    /// Per-node subtree core minima of the *current* run (recomputed per
+    /// `minPts`, buffer reused).
+    node_core2: Vec<f32>,
     scratch: ScratchPool,
     endgame: EndgameCache,
     build_s: f64,
@@ -125,6 +127,7 @@ impl EmstWorkspace {
             rows_k: 0,
             row_d2: Vec::new(),
             row_idx: Vec::new(),
+            node_core2: Vec::new(),
             scratch: ScratchPool::new(),
             endgame: EndgameCache::new(),
             build_s: 0.0,
@@ -275,28 +278,15 @@ pub fn emst_into(ctx: &ExecCtx, points: &PointSet, min_pts: usize, ws: &mut Emst
     // is the exact distance to the (min_pts − 1)-th nearest neighbour.
     let mut core2 = vec![0.0f32; n];
     if min_pts >= 2 && n > 1 {
-        let k = ws.rows_k;
-        debug_assert!(k >= (min_pts - 1).min(n - 1));
-        let core_view = UnsafeSlice::new(&mut core2);
-        let row_d2 = &ws.row_d2;
-        ctx.for_each_chunk(n, DEFAULT_GRAIN, |range| {
-            for q in range {
-                // SAFETY: disjoint writes.
-                unsafe { core_view.write(q, row_d2[q * k + (min_pts - 2)]) };
-            }
-        });
+        debug_assert!(ws.rows_k >= (min_pts - 1).min(n - 1));
+        core2_from_rows(ctx, &ws.row_d2, ws.rows_k, min_pts, &mut core2);
     }
     rows_spent += t.elapsed().as_secs_f64();
-
-    if min_pts >= 2 && n > 1 {
-        // Attach per-subtree core minima for mutual-reachability pruning
-        // (reuses the previously attached buffer on warm runs).
-        let tree = ws.tree.as_mut().expect("tree ensured above");
-        tree.attach_core2(&core2);
-    }
     timings.core_s = rows_spent;
 
-    ctx.set_phase("emst_boruvka");
+    // The stage body (subtree bounds, metric selection, configured
+    // Borůvka) is shared with the frozen-index path — one implementation,
+    // so the two substrates cannot drift apart (`index::run_request`).
     let t = Instant::now();
     let tree = ws.tree.as_ref().expect("tree ensured above");
     let rows = (ws.rows_k > 0).then_some(KnnRows {
@@ -304,34 +294,17 @@ pub fn emst_into(ctx: &ExecCtx, points: &PointSet, min_pts: usize, ws: &mut Emst
         d2: &ws.row_d2,
         idx: &ws.row_idx,
     });
-    // The endgame cache transfers late-round bounds between runs; its
-    // metric rank is the `minPts` the bounds were proved under (1 = plain
-    // Euclidean, the base of the mutual-reachability monotone family).
-    let cache = Some((&mut ws.endgame, min_pts.max(1)));
-    let edges = if min_pts <= 1 {
-        boruvka_mst_with(
-            ctx,
-            points,
-            tree,
-            &Euclidean,
-            None,
-            rows,
-            cache,
-            &mut ws.scratch,
-        )
-    } else {
-        let metric = MutualReachability { core2: &core2 };
-        boruvka_mst_with(
-            ctx,
-            points,
-            tree,
-            &metric,
-            None,
-            rows,
-            cache,
-            &mut ws.scratch,
-        )
-    };
+    let edges = crate::index::run_request(
+        ctx,
+        points,
+        tree,
+        rows,
+        &core2,
+        min_pts,
+        &mut ws.node_core2,
+        &mut ws.endgame,
+        &ws.scratch,
+    );
     timings.boruvka_s = t.elapsed().as_secs_f64();
 
     Emst {

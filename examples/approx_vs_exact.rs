@@ -17,7 +17,9 @@ use pandora::core::SortedMst;
 use pandora::data::seed_spreader::{Density, SeedSpreader};
 use pandora::exec::ExecCtx;
 use pandora::mst::kruskal::total_weight;
-use pandora::mst::{boruvka_mst, core_distances2, knn_graph_mst, KdTree, MutualReachability};
+use pandora::mst::{
+    boruvka_mst_seeded, core_distances2, knn_graph_mst, KdTree, MutualReachability,
+};
 
 fn main() {
     let ctx = ExecCtx::threads();
@@ -31,13 +33,14 @@ fn main() {
         points.len()
     );
 
-    let mut tree = KdTree::build(&ctx, &points);
+    let tree = KdTree::build(&ctx, &points);
     let core2 = core_distances2(&ctx, &points, &tree, 4);
-    tree.attach_core2(&core2);
+    let mut node_core2 = Vec::new();
+    tree.min_core2_into(&core2, &mut node_core2);
     let metric = MutualReachability { core2: &core2 };
 
     let t = Instant::now();
-    let exact_edges = boruvka_mst(&ctx, &points, &tree, &metric);
+    let exact_edges = boruvka_mst_seeded(&ctx, &points, &tree, &metric, None, &node_core2);
     let exact_s = t.elapsed().as_secs_f64();
     let exact_weight = total_weight(&exact_edges);
     let exact_mst = SortedMst::from_edges(&ctx, points.len(), &exact_edges);
@@ -57,7 +60,7 @@ fn main() {
     );
     for k in [2usize, 4, 8, 16] {
         let t = Instant::now();
-        let approx_edges = knn_graph_mst(&ctx, &points, &tree, &metric, k);
+        let approx_edges = knn_graph_mst(&ctx, &points, &tree, &metric, k, &node_core2);
         let approx_s = t.elapsed().as_secs_f64();
         let ratio = total_weight(&approx_edges) / exact_weight;
         let approx_mst = SortedMst::from_edges(&ctx, points.len(), &approx_edges);

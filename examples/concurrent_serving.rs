@@ -1,0 +1,79 @@
+//! Concurrent serving over one shared `DatasetIndex`: freeze the dataset
+//! once, then answer a mixed request stream from several threads at once —
+//! the deployment shape the two-tier API exists for.
+//!
+//!     cargo run --release --example concurrent_serving
+//!     PANDORA_N=50000 PANDORA_SERVE_THREADS=8 cargo run --release --example concurrent_serving
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pandora::data::synthetic::gaussian_blobs;
+use pandora::exec::ExecCtx;
+use pandora::hdbscan::{ClusterRequest, DatasetIndex};
+
+fn env_or(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let n = env_or("PANDORA_N", 20_000);
+    let threads = env_or("PANDORA_SERVE_THREADS", 4);
+    let requests_per_thread = env_or("PANDORA_REQUESTS", 8);
+    let (points, _) = gaussian_blobs(n, 3, 6, 120.0, 1.1, 42);
+
+    // Tier 1: validate + freeze once. Everything in the index — kd-tree,
+    // AoSoA leaf blocks, sorted k-NN rows up to minPts = 16 — is read-only
+    // from here on, so one Arc serves every thread.
+    let t = Instant::now();
+    let index = Arc::new(DatasetIndex::freeze(points, 16).expect("finite synthetic data"));
+    println!(
+        "froze {} points in {:.1} ms (tree + rows for every minPts ≤ {})",
+        index.len(),
+        t.elapsed().as_secs_f64() * 1e3,
+        index.max_min_pts()
+    );
+
+    // Tier 2: one cheap session per serving thread, mixed requests.
+    let mix = [
+        ClusterRequest::new().min_pts(2),
+        ClusterRequest::new().min_pts(4).min_cluster_size(10),
+        ClusterRequest::new().min_pts(8),
+        ClusterRequest::new().min_pts(16).allow_single_cluster(true),
+    ];
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for thread in 0..threads {
+            let index = Arc::clone(&index);
+            scope.spawn(move || {
+                let mut session = index.session_with_ctx(ExecCtx::serial());
+                for i in 0..requests_per_thread {
+                    let request = &mix[(thread + i) % mix.len()];
+                    match session.run(request) {
+                        Ok(result) => println!(
+                            "thread {thread}: minPts={:<2} mcs={:<2} -> {} clusters, {} noise",
+                            request.min_pts,
+                            request.min_cluster_size,
+                            result.n_clusters(),
+                            result.n_noise()
+                        ),
+                        Err(e) => println!("thread {thread}: rejected: {e}"),
+                    }
+                }
+                // A bad request degrades one response, never the process.
+                let err = session.run(&ClusterRequest::new().min_pts(0));
+                assert!(err.is_err(), "min_pts = 0 must be rejected");
+            });
+        }
+    });
+    let total = threads * requests_per_thread;
+    let spent = t.elapsed().as_secs_f64();
+    println!(
+        "\n{total} requests on {threads} threads over one shared index: \
+         {spent:.2} s ({:.1} req/s)",
+        total as f64 / spent
+    );
+}

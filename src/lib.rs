@@ -17,7 +17,8 @@
 //! ## Quickstart
 //!
 //! ```
-//! use pandora::hdbscan::{Hdbscan, HdbscanParams};
+//! use std::sync::Arc;
+//! use pandora::hdbscan::{ClusterRequest, DatasetIndex};
 //! use pandora::mst::PointSet;
 //!
 //! // Three tight 2-D blobs.
@@ -29,18 +30,28 @@
 //!         coords.push(cy + (i / 7) as f32 * 0.01);
 //!     }
 //! }
-//! let points = PointSet::new(coords, 2);
-//! let result = Hdbscan::new(HdbscanParams::default()).run(&points);
-//! assert_eq!(result.n_clusters(), 3);
 //!
-//! // Serving the same dataset repeatedly (e.g. a minPts sweep)? Hold an
-//! // engine: one kd-tree build + one k-NN pass amortize across every run,
-//! // with bit-identical results.
-//! let mut engine = Hdbscan::new(HdbscanParams::default()).engine(&points);
-//! for r in engine.sweep_min_pts(&[2, 4, 8]) {
-//!     assert_eq!(r.n_clusters(), 3);
+//! // Serving tier 1: validate + freeze the dataset once (kd-tree, AoSoA
+//! // leaf blocks, sorted k-NN rows for every minPts ≤ 8). Immutable and
+//! // Send + Sync — share the Arc with every serving thread.
+//! let points = PointSet::try_new(coords, 2)?;
+//! let index = Arc::new(DatasetIndex::freeze(points, 8)?);
+//!
+//! // Serving tier 2: one cheap Session per in-flight request stream.
+//! let mut session = index.session();
+//! for min_pts in [2usize, 4, 8] {
+//!     let result = session.run(&ClusterRequest::new().min_pts(min_pts))?;
+//!     assert_eq!(result.n_clusters(), 3);
 //! }
+//!
+//! // Bad requests come back as errors, never panics.
+//! assert!(session.run(&ClusterRequest::new().min_pts(0)).is_err());
+//! # Ok::<(), pandora::mst::PandoraError>(())
 //! ```
+//!
+//! The one-shot driver ([`hdbscan::Hdbscan::run`]) and the sequential
+//! sweep engine ([`hdbscan::Hdbscan::engine`]) remain as thin wrappers
+//! over the same two tiers, with bit-identical results.
 
 pub use pandora_core as core;
 pub use pandora_data as data;
@@ -53,8 +64,11 @@ pub mod prelude {
     pub use pandora_core::pandora::{dendrogram, dendrogram_with_stats};
     pub use pandora_core::{Dendrogram, Edge, SortedMst};
     pub use pandora_exec::ExecCtx;
-    pub use pandora_hdbscan::{Hdbscan, HdbscanEngine, HdbscanParams, HdbscanResult};
+    pub use pandora_hdbscan::{
+        ClusterRequest, DatasetIndex, Hdbscan, HdbscanEngine, HdbscanParams, HdbscanResult, Session,
+    };
     pub use pandora_mst::{
-        boruvka_mst, core_distances2, Euclidean, KdTree, MutualReachability, PointSet,
+        boruvka_mst, core_distances2, EmstIndex, EmstScratch, Euclidean, KdTree,
+        MutualReachability, PandoraError, PointSet,
     };
 }

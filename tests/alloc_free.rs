@@ -74,7 +74,7 @@ fn steady_state_queries_do_not_allocate() {
         coords.push(((state >> 40) as f32) / (1 << 24) as f32 * 100.0);
     }
     let points = PointSet::new(coords, 3);
-    let mut tree = KdTree::build(&ctx, &points);
+    let tree = KdTree::build(&ctx, &points);
 
     // --- knn_into with a reused heap: zero allocations per query. ---
     let k = 8usize;
@@ -91,15 +91,16 @@ fn steady_state_queries_do_not_allocate() {
     // --- nearest_foreign: zero allocations per query (incl. the
     //     mutual-reachability metric with subtree core bounds). ---
     let core2 = core_distances2(&ctx, &points, &tree, 2);
-    tree.attach_core2(&core2);
+    let mut node_core2 = Vec::new();
+    tree.min_core2_into(&core2, &mut node_core2);
     let comp: Vec<u32> = (0..n as u32).map(|v| v % 7).collect();
     let purity = tree.component_purity(&comp);
     let metric = MutualReachability { core2: &core2 };
     let foreign_allocs = min_allocs_over(3, || {
         for q in 0..n as u32 {
-            let found = tree.nearest_foreign(&points, &metric, q, &comp, &purity);
+            let found = tree.nearest_foreign(&points, &metric, q, &comp, &purity, &node_core2);
             assert!(found.is_some());
-            let found = tree.nearest_foreign(&points, &Euclidean, q, &comp, &purity);
+            let found = tree.nearest_foreign(&points, &Euclidean, q, &comp, &purity, &[]);
             assert!(found.is_some());
         }
     });
@@ -158,6 +159,6 @@ fn steady_state_queries_do_not_allocate() {
          (stage workspaces are not being reused)"
     );
     // And the books balance: nothing stays leased between runs.
-    assert_eq!(engine.emst_workspace().scratch().outstanding(), 0);
-    assert_eq!(engine.dendrogram_workspace().scratch().outstanding(), 0);
+    let session = engine.session().expect("warm engine has a session");
+    assert_eq!(session.scratch_outstanding(), 0);
 }

@@ -82,8 +82,9 @@ fn repository_has_no_stray_empty_directories() {
 /// The quickstart from `README.md` / the `pandora` crate root, verbatim.
 #[test]
 fn readme_quickstart_runs() {
-    use pandora::hdbscan::{Hdbscan, HdbscanParams};
+    use pandora::hdbscan::{ClusterRequest, DatasetIndex};
     use pandora::mst::PointSet;
+    use std::sync::Arc;
 
     // Three tight 2-D blobs.
     let mut coords = Vec::new();
@@ -94,7 +95,24 @@ fn readme_quickstart_runs() {
             coords.push(cy + (i / 7) as f32 * 0.01);
         }
     }
-    let points = PointSet::new(coords, 2);
-    let result = Hdbscan::new(HdbscanParams::default()).run(&points);
+    let points = PointSet::try_new(coords, 2).expect("finite");
+    let index = Arc::new(DatasetIndex::freeze(points, 8).expect("valid ceiling"));
+
+    let mut session = index.session();
+    let result = session
+        .run(&ClusterRequest::new().min_pts(2))
+        .expect("valid request");
+    assert_eq!(result.n_clusters(), 3);
+
+    // The legacy one-shot driver answers through the same tiers.
+    use pandora::hdbscan::{Hdbscan, HdbscanParams};
+    let coords: Vec<f32> = (0..60)
+        .flat_map(|i| {
+            let c = (i / 20) as f32;
+            [c * 30.0 + (i % 5) as f32 * 0.01, c * -20.0]
+        })
+        .collect();
+    let blobs = PointSet::new(coords, 2);
+    let result = Hdbscan::new(HdbscanParams::default()).run(&blobs);
     assert_eq!(result.n_clusters(), 3);
 }

@@ -6,7 +6,9 @@ use pandora::data::all_datasets;
 use pandora::exec::ExecCtx;
 use pandora::mst::kruskal::{kruskal_mst, total_weight};
 use pandora::mst::prim::prim_mst;
-use pandora::mst::{boruvka_mst, core_distances2, Euclidean, KdTree, MutualReachability};
+use pandora::mst::{
+    boruvka_mst, boruvka_mst_seeded, core_distances2, Euclidean, KdTree, MutualReachability,
+};
 
 #[test]
 fn boruvka_matches_prim_across_families() {
@@ -32,11 +34,12 @@ fn boruvka_matches_prim_under_mutual_reachability() {
     for (name, min_pts) in [("Hacc37M", 4usize), ("VisualVar10M2D", 8), ("Pamap2", 16)] {
         let spec = pandora::data::by_name(name).unwrap();
         let points = spec.generate(600, 21);
-        let mut tree = KdTree::build(&ctx, &points);
+        let tree = KdTree::build(&ctx, &points);
         let core2 = core_distances2(&ctx, &points, &tree, min_pts);
-        tree.attach_core2(&core2);
+        let mut node_core2 = Vec::new();
+        tree.min_core2_into(&core2, &mut node_core2);
         let metric = MutualReachability { core2: &core2 };
-        let got = boruvka_mst(&ctx, &points, &tree, &metric);
+        let got = boruvka_mst_seeded(&ctx, &points, &tree, &metric, None, &node_core2);
         let expect = prim_mst(&points, &metric);
         let (wa, wb) = (total_weight(&got), total_weight(&expect));
         assert!(

@@ -112,7 +112,7 @@ fn knn_graph_mst_is_spanning_on_clusters() {
     let (points, _) = gaussian_blobs(800, 2, 4, 500.0, 0.5, 3);
     let tree = KdTree::build(&ctx, &points);
     for k in [1usize, 3, 8] {
-        let edges = knn_graph_mst(&ctx, &points, &tree, &Euclidean, k);
+        let edges = knn_graph_mst(&ctx, &points, &tree, &Euclidean, k, &[]);
         let mst = SortedMst::from_edges(&ctx, points.len(), &edges);
         mst.validate_tree().unwrap();
         // Exactly 3 long bridges between the 4 far-apart blobs.
