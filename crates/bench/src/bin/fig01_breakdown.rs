@@ -10,8 +10,8 @@
 //! the host-measured times are printed for reference.
 
 use pandora_bench::harness::{
-    emst_serial_vs_threaded, engine_vs_cold, fmt_s, print_table, project_at, run_pipeline,
-    serve_throughput, write_bench_ci_json,
+    dendro_serial_vs_threaded, emst_serial_vs_threaded, engine_vs_cold, fmt_s, print_table,
+    project_at, run_pipeline, serve_throughput, write_bench_ci_json,
 };
 use pandora_bench::suite::bench_scale;
 use pandora_data::by_name;
@@ -127,6 +127,19 @@ fn main() {
         // dispatch). Every answer is asserted bit-identical to the
         // one-shot pipeline inside the harness.
         let serve = serve_throughput(&points, &sweep, 4, 4, 3);
+        // Dendrogram canary: α-contraction serial vs threaded (and the
+        // work-optimal backend raced on both contexts), measured over one
+        // shared sorted MST; bit-identical outputs asserted inside. The
+        // dendrogram stage is measured at ≥ 20k vertices regardless of
+        // PANDORA_SCALE: below that the whole stage fits in a couple of
+        // dispatch grains and the comparison only measures broadcast
+        // overhead, not the parallel contraction.
+        let dendro_points = if n >= 20_000 {
+            points.clone()
+        } else {
+            spec.generate(20_000, 42)
+        };
+        let dendro = dendro_serial_vs_threaded(&dendro_points, 2, 5);
         write_bench_ci_json(
             &json_path,
             n,
@@ -136,6 +149,7 @@ fn main() {
             lanes,
             Some(&engine),
             Some(&serve),
+            Some(&dendro),
         )
         .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
         let speedup = serial.total() / threaded.total().max(1e-12);
@@ -175,6 +189,16 @@ fn main() {
             serve.rps_t_many,
             serve.t_many,
             serve.rps_t_many / serve.rps_t1.max(1e-12)
+        );
+        println!(
+            "dendro canary (n = {}) — α-contraction {:.1} ms serial vs {:.1} ms threaded \
+             ({:.2}x); work-optimal {:.1} ms serial vs {:.1} ms threaded",
+            dendro.n,
+            dendro.serial.total() * 1e3,
+            dendro.threaded.total() * 1e3,
+            dendro.speedup(),
+            dendro.wo_serial_s * 1e3,
+            dendro.wo_threaded_s * 1e3,
         );
         // PANDORA_BENCH_MIN_SPEEDUP raises the bar above "not slower"
         // (default 1.0): a silently-serialized path measures ~1.0x ± noise,
@@ -232,6 +256,28 @@ fn main() {
                  only {serve_ratio:.2}x (required ≥ {min_serve_ratio:.2}x) — \
                  concurrent sessions are contending on the shared index",
                 serve.t_many, serve.rps_t_many, serve.rps_t1,
+            );
+            std::process::exit(1);
+        }
+        // Dendrogram bar: the threaded α-contraction must never be slower
+        // than the serial one (PANDORA_BENCH_MIN_DENDRO_SPEEDUP defaults to
+        // that knife edge; best-of-5 per side keeps the comparison out of
+        // the scheduler noise — a regression that serializes the stage
+        // measures well below 1.0 once broadcast overhead is being paid
+        // for nothing).
+        let min_dendro_speedup = std::env::var("PANDORA_BENCH_MIN_DENDRO_SPEEDUP")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(1.0);
+        if enforce && dendro.speedup() < min_dendro_speedup {
+            eprintln!(
+                "FAIL: threaded α-contraction ({:.1} ms) vs serial ({:.1} ms) is only \
+                 {:.2}x on {} lanes (required ≥ {min_dendro_speedup:.2}x) — dendrogram \
+                 parallelism is not engaging",
+                dendro.threaded.total() * 1e3,
+                dendro.serial.total() * 1e3,
+                dendro.speedup(),
+                dendro.lanes,
             );
             std::process::exit(1);
         }

@@ -5,7 +5,9 @@
 //! Paper result: sorting scales best (10–20×), multilevel contraction worst
 //! (3–5×), total dendrogram 6–16×. All columns are modeled from real traces.
 
-use pandora_bench::harness::{emst_serial_vs_threaded, print_table, run_pipeline};
+use pandora_bench::harness::{
+    dendro_serial_vs_threaded, emst_serial_vs_threaded, fmt_s, print_table, run_pipeline,
+};
 use pandora_bench::suite::{bench_scale, fig12_suite};
 use pandora_exec::device::DeviceModel;
 use pandora_exec::ExecCtx;
@@ -83,5 +85,43 @@ fn main() {
         &format!("EMST phase speedup measured on this host ({lanes} lanes, best of 2)"),
         &["dataset", "build", "core", "Borůvka", "EMST total"],
         &host_rows,
+    );
+
+    // Host-measured dendrogram backend race: α-contraction per-phase
+    // serial/threaded speedup, with the work-optimal backend (Dhulipala
+    // et al.) on the same sorted MST. Outputs are asserted bit-identical
+    // inside the harness before any timing is reported.
+    let mut dendro_rows = Vec::new();
+    for ds in fig12_suite() {
+        let points = ds.generate(n, 5);
+        let d = dendro_serial_vs_threaded(&points, 2, 3);
+        let ratio = |s: f64, t: f64| format!("{:.2}x", s / t.max(1e-12));
+        dendro_rows.push(vec![
+            ds.label.to_string(),
+            ratio(d.serial.sort_s, d.threaded.sort_s),
+            ratio(d.serial.contraction_s, d.threaded.contraction_s),
+            ratio(d.serial.expansion_s, d.threaded.expansion_s),
+            format!("{:.2}x", d.speedup()),
+            fmt_s(d.threaded.total()),
+            ratio(d.wo_serial_s, d.wo_threaded_s),
+            fmt_s(d.wo_threaded_s),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Dendrogram backends measured on this host ({lanes} lanes, best of 3): \
+             α-contraction vs work-optimal"
+        ),
+        &[
+            "dataset",
+            "α sort",
+            "α contr",
+            "α expan",
+            "α total",
+            "α thr wall",
+            "WO total",
+            "WO thr wall",
+        ],
+        &dendro_rows,
     );
 }

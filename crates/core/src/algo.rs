@@ -1,0 +1,203 @@
+//! Pluggable dendrogram-construction backends behind one trait.
+//!
+//! Two backends build the same canonical dendrogram from a [`SortedMst`]:
+//!
+//! * [`DendrogramBackend::AlphaContraction`] — PANDORA's recursive
+//!   α-contraction ([`crate::pandora`]), the paper's algorithm and the
+//!   default.
+//! * [`DendrogramBackend::WorkOptimal`] — rank-space divide and conquer
+//!   ([`crate::work_optimal`], Dhulipala et al., arXiv 2404.19019).
+//!
+//! Both are bit-identical to each other and to the union–find oracle for
+//! every input and execution context; the differential suite in
+//! `tests/dendrogram_differential.rs` enforces this, which is what makes
+//! racing them (fig12/fig13) and swapping them per request safe.
+//!
+//! Selection precedence is **request > environment > default**: an explicit
+//! `ClusterRequest::dendrogram` wins; otherwise the [`DENDROGRAM_ENV`]
+//! variable (`PANDORA_DENDROGRAM=alpha|work-optimal`) applies; otherwise
+//! α-contraction runs. An unparseable environment value is ignored rather
+//! than escalated — the serving tier never panics on configuration.
+
+use pandora_exec::ExecCtx;
+
+use crate::dendrogram::Dendrogram;
+use crate::edge::SortedMst;
+use crate::pandora::{dendrogram_from_sorted_with, DendrogramWorkspace, PandoraStats};
+use crate::work_optimal::dendrogram_work_optimal;
+
+/// Environment variable overriding the default dendrogram backend.
+pub const DENDROGRAM_ENV: &str = "PANDORA_DENDROGRAM";
+
+/// A dendrogram-construction algorithm over a canonically sorted MST.
+///
+/// Implementations must produce output bit-identical to
+/// [`crate::baseline::dendrogram_union_find`] for every tree and every
+/// execution context (serial and threaded) — the differential suite holds
+/// them to it.
+pub trait DendrogramAlgo {
+    /// Stable human-readable backend name (also the env/CLI spelling).
+    fn name(&self) -> &'static str;
+
+    /// Builds the dendrogram and per-phase statistics.
+    ///
+    /// `ws` is a reuse hint: backends with steady-state buffer recycling
+    /// draw from it; backends without simply leave it untouched.
+    fn build(
+        &self,
+        ctx: &ExecCtx,
+        mst: &SortedMst,
+        ws: &mut DendrogramWorkspace,
+    ) -> (Dendrogram, PandoraStats);
+}
+
+/// PANDORA's recursive α-contraction ([`crate::pandora`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlphaContractionAlgo;
+
+impl DendrogramAlgo for AlphaContractionAlgo {
+    fn name(&self) -> &'static str {
+        "alpha-contraction"
+    }
+
+    fn build(
+        &self,
+        ctx: &ExecCtx,
+        mst: &SortedMst,
+        ws: &mut DendrogramWorkspace,
+    ) -> (Dendrogram, PandoraStats) {
+        dendrogram_from_sorted_with(ctx, mst, ws)
+    }
+}
+
+/// Rank divide-and-conquer ([`crate::work_optimal`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkOptimalAlgo;
+
+impl DendrogramAlgo for WorkOptimalAlgo {
+    fn name(&self) -> &'static str {
+        "work-optimal"
+    }
+
+    fn build(
+        &self,
+        ctx: &ExecCtx,
+        mst: &SortedMst,
+        _ws: &mut DendrogramWorkspace,
+    ) -> (Dendrogram, PandoraStats) {
+        // This backend's buffers are subproblem-shaped (sizes vary per
+        // level), so it allocates per call instead of leasing from `ws`.
+        dendrogram_work_optimal(ctx, mst)
+    }
+}
+
+/// The selectable dendrogram backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DendrogramBackend {
+    /// PANDORA recursive α-contraction (the default).
+    #[default]
+    AlphaContraction,
+    /// Dhulipala et al. rank divide-and-conquer.
+    WorkOptimal,
+}
+
+impl DendrogramBackend {
+    /// Every backend, in default-first order (for differential sweeps).
+    pub const ALL: [Self; 2] = [Self::AlphaContraction, Self::WorkOptimal];
+
+    /// The canonical spelling ([`DendrogramAlgo::name`]).
+    pub fn name(self) -> &'static str {
+        self.algo().name()
+    }
+
+    /// Parses a backend name (case-insensitive; accepts the canonical
+    /// spellings plus common aliases). Returns `None` on anything else.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "alpha-contraction" | "alpha_contraction" | "alpha" | "pandora" | "contraction" => {
+                Some(Self::AlphaContraction)
+            }
+            "work-optimal" | "work_optimal" | "workoptimal" | "rank" | "dhulipala" => {
+                Some(Self::WorkOptimal)
+            }
+            _ => None,
+        }
+    }
+
+    /// Reads [`DENDROGRAM_ENV`]; `None` if unset or unparseable (an invalid
+    /// override is ignored, never a panic — serving-tier contract).
+    pub fn from_env() -> Option<Self> {
+        std::env::var(DENDROGRAM_ENV)
+            .ok()
+            .and_then(|v| Self::parse(&v))
+    }
+
+    /// Applies the selection precedence: `requested` > env > default.
+    pub fn resolve(requested: Option<Self>) -> Self {
+        requested.or_else(Self::from_env).unwrap_or_default()
+    }
+
+    /// The backend's implementation object.
+    pub fn algo(self) -> &'static dyn DendrogramAlgo {
+        match self {
+            Self::AlphaContraction => &AlphaContractionAlgo,
+            Self::WorkOptimal => &WorkOptimalAlgo,
+        }
+    }
+
+    /// Builds the dendrogram with this backend
+    /// (shorthand for `self.algo().build(..)`).
+    pub fn build(
+        self,
+        ctx: &ExecCtx,
+        mst: &SortedMst,
+        ws: &mut DendrogramWorkspace,
+    ) -> (Dendrogram, PandoraStats) {
+        self.algo().build(ctx, mst, ws)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_canonical_names_and_aliases() {
+        for b in DendrogramBackend::ALL {
+            assert_eq!(DendrogramBackend::parse(b.name()), Some(b));
+        }
+        assert_eq!(
+            DendrogramBackend::parse(" PANDORA "),
+            Some(DendrogramBackend::AlphaContraction)
+        );
+        assert_eq!(
+            DendrogramBackend::parse("Work_Optimal"),
+            Some(DendrogramBackend::WorkOptimal)
+        );
+        assert_eq!(DendrogramBackend::parse("gpu"), None);
+        assert_eq!(DendrogramBackend::parse(""), None);
+    }
+
+    #[test]
+    fn resolve_prefers_request_over_default() {
+        // Env interaction is exercised in the integration suite (env vars
+        // are process-global; unit tests here stay mutation-free).
+        assert_eq!(
+            DendrogramBackend::resolve(Some(DendrogramBackend::WorkOptimal)),
+            DendrogramBackend::WorkOptimal
+        );
+    }
+
+    #[test]
+    fn backends_build_identical_tiny_dendrograms() {
+        use crate::edge::Edge;
+        let ctx = ExecCtx::serial();
+        let edges = [Edge::new(0, 1, 2.0), Edge::new(1, 2, 1.0)];
+        let mst = SortedMst::from_edges(&ctx, 3, &edges);
+        let mut ws = DendrogramWorkspace::new();
+        let (a, _) = DendrogramBackend::AlphaContraction.build(&ctx, &mst, &mut ws);
+        let (w, _) = DendrogramBackend::WorkOptimal.build(&ctx, &mst, &mut ws);
+        assert_eq!(a, w);
+        assert_eq!(a.root(), Some(0));
+    }
+}

@@ -6,6 +6,29 @@
 //! root) and the dendrogram is unique (paper §3.1.1: "ensuring that edges
 //! with equal weights are ordered consistently to preserve the dendrogram's
 //! uniqueness").
+//!
+//! ## The determinism contract for duplicate weights
+//!
+//! A tree with tied edge weights has several valid single-linkage
+//! dendrograms; which one you get is decided *entirely* by the edge order,
+//! and the canonical sort key
+//! `(weight descending, src ascending, dst ascending)` — after
+//! canonicalizing each edge to `src < dst` — makes that order a pure
+//! function of the edge *set*. Consequences the stack relies on (and the
+//! differential suite enforces, including an all-equal-weights tree at
+//! n = 1000):
+//!
+//! * [`SortedMst::from_edges`] yields the same arrays for any permutation
+//!   of the same input edges — upstream nondeterminism (e.g. parallel MST
+//!   construction emitting edges in lane order) cannot leak into the
+//!   dendrogram.
+//! * Every backend ([`crate::algo::DendrogramBackend`]), serial or
+//!   threaded, consumes only the sorted order — never raw weights for
+//!   tie-decisions — so all of them produce one bit-identical dendrogram.
+//! * Edge ids *are* sort ranks: the tie-break, not the weights, defines
+//!   each edge's dendrogram node id, its chain position, and which of two
+//!   equal-weight edges becomes the other's parent (the earlier-sorted one
+//!   wins, i.e. the smaller `(src, dst)`).
 
 use pandora_exec::atomic::f32_to_ordered_u32_desc;
 use pandora_exec::sort::par_sort_by_key;
@@ -204,6 +227,23 @@ mod tests {
         let mst =
             SortedMst::from_sorted_arrays(4, vec![0, 0, 0], vec![1, 1, 2], vec![3.0, 2.0, 1.0]);
         assert!(mst.validate_tree().is_err());
+    }
+
+    #[test]
+    fn canonical_order_is_invariant_under_input_permutation() {
+        // The determinism contract: the sorted form is a function of the
+        // edge *set*, even when every weight ties.
+        let ctx = ExecCtx::serial();
+        let n = 40u32;
+        let edges: Vec<Edge> = (1..n).map(|v| Edge::new(v / 3, v, 2.5)).collect();
+        let reference = SortedMst::from_edges(&ctx, n as usize, &edges);
+        let mut rotated = edges;
+        rotated.rotate_left(17);
+        rotated.reverse();
+        let permuted = SortedMst::from_edges(&ctx, n as usize, &rotated);
+        assert_eq!(reference.src, permuted.src);
+        assert_eq!(reference.dst, permuted.dst);
+        assert_eq!(reference.weight, permuted.weight);
     }
 
     #[test]

@@ -28,6 +28,10 @@
 //!   (paper Algorithm 2 / the `UnionFind-MT` comparison target).
 //! * [`baseline::dendrogram_top_down`] — divide-and-conquer baseline
 //!   (paper Algorithm 1).
+//! * [`work_optimal::dendrogram_work_optimal`] — the Dhulipala et al.
+//!   rank divide-and-conquer backend; [`algo::DendrogramBackend`] selects
+//!   between it and α-contraction (request > `PANDORA_DENDROGRAM` env >
+//!   default), with both proven bit-identical by the differential suite.
 //!
 //! ```
 //! use pandora_core::{Edge, pandora};
@@ -41,6 +45,7 @@
 //! dendro.validate().unwrap();
 //! ```
 
+pub mod algo;
 pub mod baseline;
 pub mod census;
 pub mod dendrogram;
@@ -50,10 +55,13 @@ pub mod levels;
 pub mod pandora;
 pub mod single_level;
 pub mod validate;
+pub mod work_optimal;
 
+pub use algo::{DendrogramAlgo, DendrogramBackend, DENDROGRAM_ENV};
 pub use dendrogram::Dendrogram;
 pub use edge::{Edge, SortedMst, INVALID};
 pub use pandora::{
     dendrogram_from_sorted_with, dendrogram_with_stats, DendrogramWorkspace, PandoraStats,
     PhaseTimings,
 };
+pub use work_optimal::dendrogram_work_optimal;

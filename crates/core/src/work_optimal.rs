@@ -1,0 +1,349 @@
+//! Work-optimal dendrogram construction by rank-space divide and conquer
+//! (Dhulipala, Dhulipala, Łącki, Mirrokni: *Optimal Parallel Algorithms for
+//! Dendrogram Computation and Single-Linkage Clustering*, arXiv 2404.19019).
+//!
+//! The canonically sorted MST ([`SortedMst`]) already fixes every edge's
+//! dendrogram *id* (its sort rank: 0 = heaviest = root). What remains is the
+//! parent pointer of each edge and vertex, i.e. the heaviest-so-far edge of
+//! the cluster a node sits in when the next heavier edge absorbs it. The
+//! bottom-up union–find oracle ([`crate::baseline::dendrogram_union_find`])
+//! computes exactly that with an inherently sequential lightest→heaviest
+//! pass; this module parallelizes it by splitting the *edge ranks* in half:
+//!
+//! 1. Let `L` be the lighter half and `H` the heavier half of the current
+//!    subproblem's edges. All of `L` merges before any of `H` touches
+//!    anything, so `L` can be solved as an independent subproblem over the
+//!    vertices it touches.
+//! 2. For `H`, contract every connected component of `L` to a supervertex
+//!    (a lock-free [`AtomicDsu`] union over `L`'s edges). When an `H` edge
+//!    later absorbs that supervertex for the first time, the child pointer
+//!    it must write is the component's **top edge** — its heaviest `L` edge,
+//!    which under the canonical order is simply the minimum global rank in
+//!    the component (one `fetch_min` per `L` edge).
+//! 3. Recurse on both halves; subproblems at or below `BASE_CUTOFF` edges
+//!    run the sequential union–find pass directly, writing parents straight
+//!    into the shared output arrays through [`UnsafeSlice`] (every parent
+//!    slot is written by exactly one leaf — see `attach` below).
+//!
+//! Each subproblem carries an `attach` table: for every local vertex, the
+//! *global* parent slot that must be written when a subproblem edge absorbs
+//! that vertex while it is still a local singleton — either a real vertex's
+//! `vertex_parent` slot or (for a supervertex) the `edge_parent` slot of the
+//! contracted component's top edge, tagged with `EDGE_FLAG`. Attach
+//! entries are globally unique, which is what makes the leaf writes disjoint.
+//!
+//! Splitting halves the edge count per level, so the recursion is
+//! `O(log n)` levels deep and does `O(n α(n))` total work — work-optimal up
+//! to the DSU inverse-Ackermann factor, and crucially *independent of
+//! dendrogram height*, unlike the top-down baseline
+//! ([`crate::baseline::dendrogram_top_down`]) it supersedes.
+//!
+//! Determinism: the DSU unions by minimum id, `fetch_min` is commutative,
+//! and supervertex renumbering happens in vertex order on the coordinating
+//! thread, so serial and threaded contexts produce **bit-identical**
+//! dendrograms — the same contract the α-contraction backend honours.
+
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+use pandora_exec::atomic::as_atomic_u32;
+use pandora_exec::dsu::{AtomicDsu, SeqDsu};
+use pandora_exec::{ExecCtx, UnsafeSlice, DEFAULT_GRAIN};
+
+use crate::dendrogram::Dendrogram;
+use crate::edge::{SortedMst, INVALID};
+use crate::pandora::{PandoraStats, PhaseTimings};
+
+/// Top bit of an `attach` entry: set ⇒ the entry is an `edge_parent` slot
+/// (a contracted component's top edge), clear ⇒ a `vertex_parent` slot.
+const EDGE_FLAG: u32 = 1 << 31;
+
+/// Subproblems at or below this many edges run the sequential base case.
+const BASE_CUTOFF: usize = 2048;
+
+/// One recursion node: a contiguous rank range of the global edge order,
+/// with endpoints renumbered into a dense local vertex space.
+struct Subproblem {
+    /// Global edge ids (sort ranks), ascending — i.e. weight-descending.
+    edges: Vec<u32>,
+    /// Local smaller/larger endpoint per edge (parallel to `edges`).
+    src: Vec<u32>,
+    dst: Vec<u32>,
+    /// Per local vertex: the global parent slot to write when a subproblem
+    /// edge absorbs this vertex as a local singleton ([`EDGE_FLAG`] packed).
+    attach: Vec<u32>,
+}
+
+/// Builds the dendrogram of a canonically sorted MST with the work-optimal
+/// rank divide-and-conquer backend.
+///
+/// Output is bit-identical to [`crate::pandora::dendrogram_from_sorted`]
+/// and to the union–find oracle, for any execution context.
+pub fn dendrogram_work_optimal(ctx: &ExecCtx, mst: &SortedMst) -> (Dendrogram, PandoraStats) {
+    let n_edges = mst.n_edges();
+    let n_vertices = mst.n_vertices();
+    assert!(
+        n_vertices < EDGE_FLAG as usize,
+        "work-optimal backend packs ids into 31 bits"
+    );
+
+    let mut edge_parent = vec![INVALID; n_edges];
+    let mut vertex_parent = vec![INVALID; n_vertices];
+    let mut level_edge_counts = vec![n_edges];
+
+    // Split phase: peel rank halves breadth-first until every subproblem is
+    // leaf-sized. Subproblems on one level are split one at a time, each
+    // split using ctx-parallel kernels internally — pool lanes must never
+    // nest a broadcast, so the fan-out lives in the kernels, not the tree.
+    let t_split = Instant::now();
+    ctx.set_phase("contraction");
+    let mut leaves: Vec<Subproblem> = Vec::new();
+    let mut frontier = vec![Subproblem {
+        edges: (0..n_edges as u32).collect(),
+        src: mst.src.clone(),
+        dst: mst.dst.clone(),
+        attach: (0..n_vertices as u32).collect(),
+    }];
+    while !frontier.is_empty() {
+        let mut next = Vec::with_capacity(frontier.len() * 2);
+        for sub in frontier {
+            if sub.edges.len() <= BASE_CUTOFF {
+                leaves.push(sub);
+            } else {
+                let (heavy, light) = split(ctx, &sub);
+                next.push(heavy);
+                next.push(light);
+            }
+        }
+        if !next.is_empty() {
+            level_edge_counts.push(next.iter().map(|s| s.edges.len()).sum());
+        }
+        frontier = next;
+    }
+    let split_s = t_split.elapsed().as_secs_f64();
+
+    // Leaf phase: independent sequential base cases across pool lanes. All
+    // writes go to globally unique slots (component tops and attach entries
+    // are unique per leaf and across leaves), so the shared views are safe.
+    let t_leaves = Instant::now();
+    ctx.set_phase("expansion");
+    {
+        let ep = UnsafeSlice::new(&mut edge_parent);
+        let vp = UnsafeSlice::new(&mut vertex_parent);
+        ctx.for_each(leaves.len(), 1, |i| solve_leaf(&leaves[i], &ep, &vp));
+    }
+    let leaves_s = t_leaves.elapsed().as_secs_f64();
+
+    let stats = PandoraStats {
+        n_levels: level_edge_counts.len(),
+        level_edge_counts,
+        timings: PhaseTimings {
+            sort_s: 0.0, // rank splitting needs no sort beyond the input's
+            contraction_s: split_s,
+            expansion_s: leaves_s,
+        },
+    };
+    (
+        Dendrogram {
+            edge_parent,
+            vertex_parent,
+            edge_weight: mst.weight.clone(),
+        },
+        stats,
+    )
+}
+
+/// Splits a subproblem at its median rank into the heavier-half and
+/// lighter-half children (in that order).
+fn split(ctx: &ExecCtx, sub: &Subproblem) -> (Subproblem, Subproblem) {
+    let m = sub.edges.len();
+    let nv = sub.attach.len();
+    let mid = m / 2;
+
+    // Connected components of the lighter half, union-by-min → the root of
+    // every component is its minimum local vertex id (scheduling-free).
+    let dsu = AtomicDsu::new(nv);
+    ctx.for_each(m - mid, DEFAULT_GRAIN, |i| {
+        dsu.union(sub.src[mid + i], sub.dst[mid + i]);
+    });
+    dsu.flatten();
+    let mut root = vec![0u32; nv];
+    {
+        let out = UnsafeSlice::new(&mut root);
+        ctx.for_each_chunk(nv, DEFAULT_GRAIN, |range| {
+            for v in range {
+                // Safety: each index is written by exactly one chunk.
+                unsafe { out.write(v, dsu.find(v as u32)) };
+            }
+        });
+    }
+
+    // Top edge (heaviest = minimum global rank) of each light component.
+    // INVALID marks a component with no light edges (a singleton).
+    let mut comp_top = vec![INVALID; nv];
+    {
+        let top = as_atomic_u32(&mut comp_top);
+        ctx.for_each(m - mid, DEFAULT_GRAIN, |i| {
+            let r = root[sub.src[mid + i] as usize] as usize;
+            top[r].fetch_min(sub.edges[mid + i], Ordering::Relaxed);
+        });
+    }
+
+    // Dense renumbering, sequential in vertex order so child ids never
+    // depend on lane scheduling. Heavy child: one supervertex per component
+    // (absorbing it means absorbing the component's top edge — or, for a
+    // singleton, whatever the parent's attach slot was). Light child: the
+    // vertices incident to a light edge, keeping their parent attach slots.
+    let mut heavy_id = vec![INVALID; nv];
+    let mut light_id = vec![INVALID; nv];
+    let mut heavy_attach = Vec::new();
+    let mut light_attach = Vec::new();
+    for v in 0..nv {
+        let r = root[v] as usize;
+        if r == v {
+            heavy_id[v] = heavy_attach.len() as u32;
+            heavy_attach.push(if comp_top[v] != INVALID {
+                EDGE_FLAG | comp_top[v]
+            } else {
+                sub.attach[v]
+            });
+        }
+        if comp_top[r] != INVALID {
+            light_id[v] = light_attach.len() as u32;
+            light_attach.push(sub.attach[v]);
+        }
+    }
+
+    let heavy = Subproblem {
+        edges: sub.edges[..mid].to_vec(),
+        src: remap(ctx, &sub.src[..mid], |v| heavy_id[root[v] as usize]),
+        dst: remap(ctx, &sub.dst[..mid], |v| heavy_id[root[v] as usize]),
+        attach: heavy_attach,
+    };
+    let light = Subproblem {
+        edges: sub.edges[mid..].to_vec(),
+        src: remap(ctx, &sub.src[mid..], |v| light_id[v]),
+        dst: remap(ctx, &sub.dst[mid..], |v| light_id[v]),
+        attach: light_attach,
+    };
+    (heavy, light)
+}
+
+/// Applies a local-vertex renumbering to an endpoint array in parallel.
+fn remap(ctx: &ExecCtx, endpoints: &[u32], f: impl Fn(usize) -> u32 + Sync) -> Vec<u32> {
+    let mut out = vec![0u32; endpoints.len()];
+    {
+        let view = UnsafeSlice::new(&mut out);
+        ctx.for_each_chunk(endpoints.len(), DEFAULT_GRAIN, |range| {
+            for i in range {
+                // Safety: each index is written by exactly one chunk.
+                unsafe { view.write(i, f(endpoints[i] as usize)) };
+            }
+        });
+    }
+    out
+}
+
+/// Sequential base case: the union–find oracle pass (paper Algorithm 2)
+/// over one leaf subproblem, lightest edge first. Parents of edges that
+/// stay cluster tops inside this leaf are owned by an enclosing heavier
+/// subproblem (via its `attach` table) or remain the global root.
+fn solve_leaf(sub: &Subproblem, ep: &UnsafeSlice<u32>, vp: &UnsafeSlice<u32>) {
+    let nv = sub.attach.len();
+    let mut dsu = SeqDsu::new(nv);
+    let mut rep = vec![INVALID; nv];
+    for i in (0..sub.edges.len()).rev() {
+        let gid = sub.edges[i];
+        let (u, v) = (sub.src[i], sub.dst[i]);
+        for endpoint in [u, v] {
+            let r = dsu.find(endpoint) as usize;
+            let top = rep[r];
+            if top != INVALID {
+                // Safety: `top` is this leaf's live cluster top; it stops
+                // being one right here, so no other write targets it.
+                unsafe { ep.write(top as usize, gid) };
+            } else {
+                // First absorption of a local singleton: write through the
+                // globally unique attach slot.
+                let slot = sub.attach[endpoint as usize];
+                if slot & EDGE_FLAG != 0 {
+                    // Safety: attach slots are globally unique.
+                    unsafe { ep.write((slot & !EDGE_FLAG) as usize, gid) };
+                } else {
+                    // Safety: attach slots are globally unique.
+                    unsafe { vp.write(slot as usize, gid) };
+                }
+            }
+        }
+        dsu.union(u, v);
+        let r = dsu.find(u) as usize;
+        rep[r] = gid;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::dendrogram_union_find;
+    use crate::edge::Edge;
+    use rand::prelude::*;
+
+    fn random_tree(rng: &mut StdRng, n: usize, weight_levels: u32) -> Vec<Edge> {
+        (1..n)
+            .map(|v| {
+                let w = rng.gen_range(0..weight_levels) as f32 / 4.0;
+                Edge::new(rng.gen_range(0..v) as u32, v as u32, w)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_union_find_across_sizes_and_ties() {
+        let ctx = ExecCtx::serial();
+        let mut rng = StdRng::seed_from_u64(2024);
+        // Straddles BASE_CUTOFF so the splitter actually runs.
+        for n in [1usize, 2, 3, 17, 400, 2049, 3000, 6000] {
+            for weight_levels in [1u32, 7, 1 << 20] {
+                let edges = random_tree(&mut rng, n, weight_levels);
+                let mst = SortedMst::from_edges(&ctx, n, &edges);
+                let (got, stats) = dendrogram_work_optimal(&ctx, &mst);
+                got.validate().unwrap();
+                assert_eq!(
+                    got,
+                    dendrogram_union_find(&mst),
+                    "n={n} levels={weight_levels}"
+                );
+                assert_eq!(stats.level_edge_counts[0], mst.n_edges());
+                assert!(stats.n_levels >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn serial_and_threaded_are_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let edges = random_tree(&mut rng, n, 1 << 16);
+        let serial = ExecCtx::serial();
+        let mst = SortedMst::from_edges(&serial, n, &edges);
+        let (d_serial, _) = dendrogram_work_optimal(&serial, &mst);
+        let (d_threaded, _) = dendrogram_work_optimal(&ExecCtx::threads(), &mst);
+        assert_eq!(d_serial, d_threaded);
+    }
+
+    #[test]
+    fn empty_and_star_inputs() {
+        let ctx = ExecCtx::serial();
+        let empty = SortedMst::from_edges(&ctx, 1, &[]);
+        let (d, stats) = dendrogram_work_optimal(&ctx, &empty);
+        assert_eq!(d.n_edges(), 0);
+        assert_eq!(d.vertex_parent, vec![INVALID]);
+        assert_eq!(stats.n_levels, 1);
+
+        let n = 4000; // star: one hub, maximally skewed components
+        let edges: Vec<Edge> = (1..n).map(|v| Edge::new(0, v as u32, v as f32)).collect();
+        let mst = SortedMst::from_edges(&ctx, n, &edges);
+        let (d, _) = dendrogram_work_optimal(&ctx, &mst);
+        assert_eq!(d, dendrogram_union_find(&mst));
+    }
+}

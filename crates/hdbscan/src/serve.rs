@@ -50,7 +50,7 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
-use pandora_core::{pandora, DendrogramWorkspace, Edge, SortedMst};
+use pandora_core::{DendrogramBackend, DendrogramWorkspace, Edge, SortedMst};
 use pandora_exec::ExecCtx;
 use pandora_mst::{emst_from_index, EmstIndex, EmstScratch, PandoraError, PointSet};
 
@@ -85,6 +85,13 @@ pub struct ClusterRequest {
     pub min_cluster_size: usize,
     /// Whether the root may be selected as a flat cluster.
     pub allow_single_cluster: bool,
+    /// Dendrogram backend override. `None` (the default) defers to the
+    /// `PANDORA_DENDROGRAM` environment variable, then to α-contraction
+    /// (precedence: request > env > default — see
+    /// [`DendrogramBackend::resolve`]). Every backend is bit-identical, so
+    /// this only changes *how* the dendrogram is computed, never the
+    /// result.
+    pub dendrogram: Option<DendrogramBackend>,
 }
 
 impl Default for ClusterRequest {
@@ -94,6 +101,7 @@ impl Default for ClusterRequest {
             min_pts: params.min_pts,
             min_cluster_size: params.min_cluster_size,
             allow_single_cluster: params.allow_single_cluster,
+            dendrogram: None,
         }
     }
 }
@@ -120,6 +128,13 @@ impl ClusterRequest {
     /// Sets whether the root may be selected as a flat cluster.
     pub fn allow_single_cluster(mut self, allow: bool) -> Self {
         self.allow_single_cluster = allow;
+        self
+    }
+
+    /// Pins the dendrogram-construction backend for this request,
+    /// overriding the `PANDORA_DENDROGRAM` environment variable.
+    pub fn dendrogram(mut self, backend: DendrogramBackend) -> Self {
+        self.dendrogram = Some(backend);
         self
     }
 
@@ -397,7 +412,8 @@ impl Drop for Session {
 
 /// The dendrogram + extraction back half of the pipeline, shared by
 /// [`Session::run`] and the legacy engine shim: sorts the MST, builds the
-/// PANDORA dendrogram through the reusable workspace, condenses and
+/// dendrogram with the resolved backend (request > `PANDORA_DENDROGRAM`
+/// env > α-contraction) through the reusable workspace, condenses and
 /// extracts flat clusters.
 pub(crate) fn finish_pipeline(
     ctx: &ExecCtx,
@@ -413,8 +429,8 @@ pub(crate) fn finish_pipeline(
     let sort_start = Instant::now();
     let mst = SortedMst::from_edges(ctx, n, edges);
     let input_sort_s = sort_start.elapsed().as_secs_f64();
-    let (dendrogram, mut pandora_stats) =
-        pandora::dendrogram_from_sorted_with(ctx, &mst, dendro_ws);
+    let backend = DendrogramBackend::resolve(request.dendrogram);
+    let (dendrogram, mut pandora_stats) = backend.build(ctx, &mst, dendro_ws);
     pandora_stats.timings.sort_s += input_sort_s;
     timings.dendrogram_s = t.elapsed().as_secs_f64();
 

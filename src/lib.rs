@@ -65,7 +65,8 @@ pub mod prelude {
     pub use pandora_core::{Dendrogram, Edge, SortedMst};
     pub use pandora_exec::ExecCtx;
     pub use pandora_hdbscan::{
-        ClusterRequest, DatasetIndex, Hdbscan, HdbscanEngine, HdbscanParams, HdbscanResult, Session,
+        ClusterRequest, DatasetIndex, DendrogramBackend, Hdbscan, HdbscanEngine, HdbscanParams,
+        HdbscanResult, Session,
     };
     pub use pandora_mst::{
         boruvka_mst, core_distances2, EmstIndex, EmstScratch, Euclidean, KdTree,

@@ -161,4 +161,38 @@ fn steady_state_queries_do_not_allocate() {
     // And the books balance: nothing stays leased between runs.
     let session = engine.session().expect("warm engine has a session");
     assert_eq!(session.scratch_outstanding(), 0);
+
+    // --- Warm dendrogram workspace, threaded path: once primed, a full
+    //     α-contraction run through `ExecCtx::threads()` allocates only the
+    //     returned dendrogram arrays, a few per-level bookkeeping vectors
+    //     and the pool's per-region dispatch latches — the same constant
+    //     budget as the warm engine, nothing proportional to n. The tree
+    //     is larger than the dispatch grain so the threaded lanes really
+    //     engage (under PANDORA_THREADS=1 the pool runs inline).
+    use pandora::core::{dendrogram_from_sorted_with, DendrogramWorkspace, Edge, SortedMst};
+    let tctx = ExecCtx::threads();
+    let nd = 6000usize;
+    let mut wstate = 0x9E3779B97F4A7C15u64;
+    let edges: Vec<Edge> = (1..nd)
+        .map(|v| {
+            wstate = wstate
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let parent = (wstate >> 33) as usize % v;
+            Edge::new(parent as u32, v as u32, ((wstate >> 16) & 0xFFFF) as f32)
+        })
+        .collect();
+    let mst = SortedMst::from_edges(&tctx, nd, &edges);
+    let mut dendro_ws = DendrogramWorkspace::new();
+    let _ = dendrogram_from_sorted_with(&tctx, &mst, &mut dendro_ws); // prime
+    let warm_dendro_allocs = min_allocs_over(3, || {
+        let (d, _) = dendrogram_from_sorted_with(&tctx, &mst, &mut dendro_ws);
+        assert_eq!(d.n_edges(), nd - 1);
+    });
+    assert!(
+        warm_dendro_allocs <= 160,
+        "a warm threaded dendrogram run made {warm_dendro_allocs} allocations \
+         (the workspace is not being reused through the threaded path)"
+    );
+    assert_eq!(dendro_ws.scratch().outstanding(), 0);
 }

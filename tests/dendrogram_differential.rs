@@ -1,0 +1,165 @@
+//! The dendrogram differential harness: every [`DendrogramBackend`] ×
+//! {serial, threaded} must produce **bit-identical** dendrograms (parents,
+//! heights, chain keys) and identical downstream HDBSCAN labels — on
+//! adversarial generated trees (chains, stars, balanced binary, tied
+//! weights, n ∈ {0, 1, 2}) and on pipeline-produced MSTs through
+//! [`Session::run`]. The ground truth is the sequential union–find oracle
+//! (paper Algorithm 2).
+//!
+//! Run under `PANDORA_THREADS ∈ {1, 4}` by the CI matrix; replay one case
+//! with `PROPTEST_CASE=<index>`.
+
+mod common;
+
+use std::sync::Arc;
+
+use common::{all_equal_weights_tree, mst_strategy};
+use proptest::prelude::*;
+
+use pandora::core::baseline::dendrogram_union_find;
+use pandora::core::expansion::{assign_chain_keys_into, sort_chain_keys};
+use pandora::core::levels::build_hierarchy;
+use pandora::core::{DendrogramBackend, DendrogramWorkspace, SortedMst};
+use pandora::data::synthetic::gaussian_blobs;
+use pandora::exec::ExecCtx;
+use pandora::hdbscan::{ClusterRequest, DatasetIndex};
+
+fn contexts() -> [(&'static str, ExecCtx); 2] {
+    [
+        ("serial", ExecCtx::serial()),
+        ("threads", ExecCtx::threads()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The core differential property: every backend, under every context,
+    /// equals the oracle bit-for-bit (hence also each other), validates
+    /// structurally, and agrees on the derived height.
+    #[test]
+    fn all_backends_and_contexts_match_the_oracle(case in mst_strategy()) {
+        let mst = SortedMst::from_edges(&ExecCtx::serial(), case.n_vertices, &case.edges);
+        let oracle = dendrogram_union_find(&mst);
+        let oracle_height = oracle.height();
+        for backend in DendrogramBackend::ALL {
+            for (ctx_name, ctx) in contexts() {
+                let mut ws = DendrogramWorkspace::new();
+                let (got, stats) = backend.build(&ctx, &mst, &mut ws);
+                prop_assert!(
+                    got.validate().is_ok(),
+                    "invalid dendrogram: backend={} ctx={ctx_name} case[{}]",
+                    backend.name(), case.params
+                );
+                prop_assert_eq!(
+                    &got, &oracle,
+                    "backend={} ctx={} case[{}]", backend.name(), ctx_name, &case.params
+                );
+                prop_assert_eq!(got.height(), oracle_height);
+                prop_assert!(stats.n_levels >= 1);
+                prop_assert_eq!(stats.level_edge_counts[0], mst.n_edges());
+            }
+        }
+    }
+
+    /// The α-contraction chain keys themselves (not just the stitched
+    /// parents) are bit-identical between serial and threaded contexts.
+    #[test]
+    fn chain_keys_bit_identical_across_contexts(case in mst_strategy()) {
+        let mst = SortedMst::from_edges(&ExecCtx::serial(), case.n_vertices, &case.edges);
+        let mut keys = Vec::new();
+        let mut reference: Option<Vec<u64>> = None;
+        for (ctx_name, ctx) in contexts() {
+            let hierarchy = build_hierarchy(&ctx, &mst);
+            assign_chain_keys_into(&ctx, &hierarchy, &mut keys);
+            sort_chain_keys(&ctx, &mut keys);
+            match &reference {
+                None => reference = Some(keys.clone()),
+                Some(expect) => prop_assert_eq!(
+                    &keys, expect,
+                    "chain keys diverge: ctx={} case[{}]", ctx_name, &case.params
+                ),
+            }
+        }
+    }
+}
+
+/// Tie-break regression (satellite): with every weight equal at n = 1000,
+/// the dendrogram is decided purely by the canonical sorted order — and
+/// every backend × context must still agree with the oracle, regardless of
+/// the order the edges arrive in.
+#[test]
+fn all_equal_weights_at_n_1000_are_deterministic() {
+    let case = all_equal_weights_tree(1000, 0xD15C0);
+    let serial = ExecCtx::serial();
+    let mst = SortedMst::from_edges(&serial, case.n_vertices, &case.edges);
+
+    // Input permutation cannot change the canonical form.
+    let mut scrambled = case.edges.clone();
+    scrambled.reverse();
+    scrambled.rotate_left(271);
+    let mst2 = SortedMst::from_edges(&ExecCtx::threads(), case.n_vertices, &scrambled);
+    assert_eq!(mst.src, mst2.src, "case[{}]", case.params);
+    assert_eq!(mst.dst, mst2.dst, "case[{}]", case.params);
+    assert_eq!(mst.weight, mst2.weight, "case[{}]", case.params);
+
+    let oracle = dendrogram_union_find(&mst);
+    for backend in DendrogramBackend::ALL {
+        for (ctx_name, ctx) in contexts() {
+            let mut ws = DendrogramWorkspace::new();
+            let (got, _) = backend.build(&ctx, &mst, &mut ws);
+            assert_eq!(
+                got,
+                oracle,
+                "backend={} ctx={ctx_name} case[{}]",
+                backend.name(),
+                case.params
+            );
+        }
+    }
+}
+
+/// Pipeline-produced MSTs: through `Session::run`, every backend (selected
+/// per request and via the default resolution) yields identical
+/// dendrograms, labels and probabilities under both contexts.
+#[test]
+fn session_results_identical_across_backends_and_contexts() {
+    let (points, _) = gaussian_blobs(600, 3, 4, 6.0, 1.0, 42);
+    let mut reference = None;
+    for (ctx_name, ctx) in contexts() {
+        let index = Arc::new(
+            DatasetIndex::freeze_with_ctx(ctx, points.clone(), 8).expect("freeze succeeds"),
+        );
+        let mut session = index.session();
+        for backend in DendrogramBackend::ALL {
+            let request = ClusterRequest::new().min_pts(4).dendrogram(backend);
+            let result = session.run(&request).expect("valid request");
+            assert_eq!(result.labels.len(), 600);
+            match &reference {
+                None => reference = Some(result),
+                Some(expect) => {
+                    let what = format!("backend={} ctx={ctx_name}", backend.name());
+                    assert_eq!(result.dendrogram, expect.dendrogram, "{what}: dendrogram");
+                    assert_eq!(result.labels, expect.labels, "{what}: labels");
+                    assert_eq!(
+                        result.probabilities, expect.probabilities,
+                        "{what}: probabilities"
+                    );
+                    assert_eq!(result.mst.src, expect.mst.src, "{what}: mst");
+                }
+            }
+        }
+        // Default resolution (no per-request override; honours
+        // PANDORA_DENDROGRAM, which the CI matrix sweeps) is one of the
+        // backends above, so it must match too.
+        let result = session
+            .run(&ClusterRequest::new().min_pts(4))
+            .expect("valid request");
+        let expect = reference.as_ref().expect("reference set");
+        assert_eq!(result.labels, expect.labels, "default backend: labels");
+        assert_eq!(
+            result.dendrogram, expect.dendrogram,
+            "default backend: dendrogram"
+        );
+    }
+}
