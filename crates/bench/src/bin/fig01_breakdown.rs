@@ -10,8 +10,9 @@
 //! the host-measured times are printed for reference.
 
 use pandora_bench::harness::{
-    dendro_serial_vs_threaded, emst_serial_vs_threaded, engine_vs_cold, fmt_s, print_table,
-    project_at, run_pipeline, serve_throughput, write_bench_ci_json,
+    dendro_serial_vs_threaded, emst_serial_vs_threaded, engine_vs_cold, fmt_s,
+    nnchain_serial_vs_threaded, print_table, project_at, run_pipeline, serve_throughput,
+    write_bench_ci_json,
 };
 use pandora_bench::suite::bench_scale;
 use pandora_data::by_name;
@@ -140,6 +141,11 @@ fn main() {
             spec.generate(20_000, 42)
         };
         let dendro = dendro_serial_vs_threaded(&dendro_points, 2, 5);
+        // NN-chain canary: Ward-linkage merges raced serial vs threaded at
+        // the same ≥ 20k floor (the centroid substrate's candidate-NN
+        // scans are the parallel section; bit-identical outputs asserted
+        // inside the harness).
+        let nnchain = nnchain_serial_vs_threaded(&dendro_points, 3);
         write_bench_ci_json(
             &json_path,
             n,
@@ -150,6 +156,7 @@ fn main() {
             Some(&engine),
             Some(&serve),
             Some(&dendro),
+            Some(&nnchain),
         )
         .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
         let speedup = serial.total() / threaded.total().max(1e-12);
@@ -199,6 +206,14 @@ fn main() {
             dendro.speedup(),
             dendro.wo_serial_s * 1e3,
             dendro.wo_threaded_s * 1e3,
+        );
+        println!(
+            "nnchain canary (n = {}) — Ward NN-chain {:.1} ms serial vs {:.1} ms threaded \
+             ({:.2}x)",
+            nnchain.n,
+            nnchain.serial_s * 1e3,
+            nnchain.threaded_s * 1e3,
+            nnchain.speedup(),
         );
         // PANDORA_BENCH_MIN_SPEEDUP raises the bar above "not slower"
         // (default 1.0): a silently-serialized path measures ~1.0x ± noise,
@@ -278,6 +293,29 @@ fn main() {
                 dendro.serial.total() * 1e3,
                 dendro.speedup(),
                 dendro.lanes,
+            );
+            std::process::exit(1);
+        }
+        // NN-chain bar: the threaded Ward NN-chain must never be slower
+        // than the serial one at ≥ 20k points
+        // (PANDORA_BENCH_MIN_NNCHAIN_SPEEDUP defaults to that knife edge;
+        // best-of-3 per side through a warm scratch pool keeps the
+        // comparison out of scheduler noise — a regression that serializes
+        // the candidate-NN scans pays broadcast overhead for nothing and
+        // measures well below 1.0).
+        let min_nnchain_speedup = std::env::var("PANDORA_BENCH_MIN_NNCHAIN_SPEEDUP")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(1.0);
+        if enforce && nnchain.speedup() < min_nnchain_speedup {
+            eprintln!(
+                "FAIL: threaded NN-chain ({:.1} ms) vs serial ({:.1} ms) is only \
+                 {:.2}x on {} lanes (required ≥ {min_nnchain_speedup:.2}x) — NN-chain \
+                 parallelism is not engaging",
+                nnchain.threaded_s * 1e3,
+                nnchain.serial_s * 1e3,
+                nnchain.speedup(),
+                nnchain.lanes,
             );
             std::process::exit(1);
         }

@@ -9,9 +9,11 @@ use pandora_core::{
 };
 use pandora_exec::device::DeviceModel;
 use pandora_exec::trace::Trace;
-use pandora_exec::ExecCtx;
+use pandora_exec::{ExecCtx, ScratchPool};
 use pandora_hdbscan::{ClusterRequest, DatasetIndex, Hdbscan, HdbscanParams};
-use pandora_mst::{emst, emst_into, EmstParams, EmstTimings, EmstWorkspace, PointSet};
+use pandora_mst::{
+    emst, emst_into, nnchain_merges, EmstParams, EmstTimings, EmstWorkspace, Linkage, PointSet,
+};
 
 /// Everything the figure binaries need from one dataset run: real wall-clock
 /// numbers on this host plus kernel traces for device projection.
@@ -435,10 +437,79 @@ pub fn dendro_serial_vs_threaded(points: &PointSet, min_pts: usize, reps: usize)
     }
 }
 
+/// Measured NN-chain canary: Ward-linkage merge construction raced on a
+/// serial vs a threaded context over the same points (best of `reps` each;
+/// merge lists asserted bit-identical before timings are trusted).
+///
+/// Ward exercises the matrix-free centroid substrate — the one whose O(n)
+/// memory footprint makes NN-chain serving viable at ≥ 20k points, and
+/// whose candidate-NN scans are the engine's parallel section — so this is
+/// the CI "NN-chain parallelism actually engaged" canary, mirroring
+/// [`dendro_serial_vs_threaded`].
+#[derive(Debug, Clone)]
+pub struct NnchainCanary {
+    /// Point count of the measured run.
+    pub n: usize,
+    /// NN-chain total (init + chain) on the serial context.
+    pub serial_s: f64,
+    /// NN-chain total (init + chain) on the threaded context.
+    pub threaded_s: f64,
+    /// Threaded-context lane count.
+    pub lanes: usize,
+}
+
+impl NnchainCanary {
+    /// NN-chain serial/threaded speedup.
+    pub fn speedup(&self) -> f64 {
+        self.serial_s / self.threaded_s.max(1e-12)
+    }
+}
+
+/// Measures [`NnchainCanary`]: Ward-linkage NN-chain over Euclidean
+/// distances (the serving tier's Ward configuration), best of `reps` per
+/// context through a warm [`ScratchPool`], outputs asserted bit-identical
+/// across contexts before the timings are returned.
+pub fn nnchain_serial_vs_threaded(points: &PointSet, reps: usize) -> NnchainCanary {
+    let best_of = |ctx: &ExecCtx| -> (Vec<Edge>, f64) {
+        let pool = ScratchPool::new();
+        let _ = nnchain_merges(ctx, points, &[], Linkage::Ward, false, &pool); // warm
+        let mut best: Option<(Vec<Edge>, f64)> = None;
+        for _ in 0..reps.max(1) {
+            let run = nnchain_merges(ctx, points, &[], Linkage::Ward, false, &pool);
+            let spent = run.init_s + run.chain_s;
+            if best.as_ref().is_none_or(|&(_, b)| spent < b) {
+                best = Some((run.merges, spent));
+            }
+        }
+        assert_eq!(pool.outstanding(), 0, "NN-chain leaked pool leases");
+        best.expect("at least one rep")
+    };
+    let (m_serial, serial_s) = best_of(&ExecCtx::serial());
+    let threaded_ctx = ExecCtx::threads();
+    let lanes = threaded_ctx.lanes();
+    let (m_threaded, threaded_s) = best_of(&threaded_ctx);
+    assert_eq!(m_serial.len(), m_threaded.len());
+    for (a, b) in m_serial.iter().zip(&m_threaded) {
+        assert_eq!(
+            (a.u, a.v, a.w.to_bits()),
+            (b.u, b.v, b.w.to_bits()),
+            "NN-chain serial/threaded diverged"
+        );
+    }
+
+    NnchainCanary {
+        n: points.len(),
+        serial_s,
+        threaded_s,
+        lanes,
+    }
+}
+
 /// Writes the `BENCH_ci.json` canary payload: per-phase milliseconds for
 /// the serial and threaded EMST runs, the thread count, and (when
-/// measured) the engine-sweep-vs-cold-runs amortization and the
-/// concurrent-serving throughput (`serve_rps_t1` / `serve_rps_t4`), as one
+/// measured) the engine-sweep-vs-cold-runs amortization, the
+/// concurrent-serving throughput (`serve_rps_t1` / `serve_rps_t4`), the
+/// dendrogram canary, and the NN-chain canary (`nnchain_*`), as one
 /// stable hand-rolled JSON object (no serde in the offline environment).
 #[allow(clippy::too_many_arguments)] // one writer for the whole canary file
 pub fn write_bench_ci_json(
@@ -451,6 +522,7 @@ pub fn write_bench_ci_json(
     engine: Option<&EngineCanary>,
     serve: Option<&ServeCanary>,
     dendro: Option<&DendroCanary>,
+    nnchain: Option<&NnchainCanary>,
 ) -> std::io::Result<()> {
     let phase = |t: &EmstTimings| {
         format!(
@@ -490,10 +562,20 @@ pub fn write_bench_ci_json(
             d.wo_threaded_s * 1e3
         )
     });
+    let nnchain_json = nnchain.map_or(String::new(), |c| {
+        format!(
+            ",\n  \"nnchain_n\": {},\n  \"nnchain_serial_ms\": {:.3},\n  \
+             \"nnchain_threaded_ms\": {:.3},\n  \"nnchain_speedup\": {:.3}",
+            c.n,
+            c.serial_s * 1e3,
+            c.threaded_s * 1e3,
+            c.speedup()
+        )
+    });
     let json = format!(
         "{{\n  \"n\": {n},\n  \"min_pts\": {min_pts},\n  \"threads\": {lanes},\n  \
          \"serial\": {},\n  \"threaded\": {},\n  \"speedup\": {:.3}{engine_json}{serve_json}\
-         {dendro_json}\n}}\n",
+         {dendro_json}{nnchain_json}\n}}\n",
         phase(serial),
         phase(threaded),
         serial.total() / threaded.total().max(1e-12)
@@ -619,6 +701,18 @@ mod tests {
         assert_eq!(canary.t_many, 2);
         assert_eq!(canary.requests, 4);
         assert!(canary.rps_t1 > 0.0 && canary.rps_t_many > 0.0);
+    }
+
+    #[test]
+    fn nnchain_canary_verifies_before_timing() {
+        // Small n: the point is the machinery (warm pool, bit-identity
+        // asserted across contexts inside), not the speedup number.
+        let points = uniform(600, 2, 7);
+        let canary = nnchain_serial_vs_threaded(&points, 1);
+        assert_eq!(canary.n, 600);
+        assert!(canary.serial_s > 0.0 && canary.threaded_s > 0.0);
+        assert!(canary.speedup() > 0.0);
+        assert!(canary.lanes >= 1);
     }
 
     #[test]

@@ -13,18 +13,24 @@
 //! `tests/dendrogram_differential.rs` enforces this, which is what makes
 //! racing them (fig12/fig13) and swapping them per request safe.
 //!
+//! A third selection, [`DendrogramBackend::Auto`], commits per input: MSTs
+//! at or below [`AUTO_CUTOFF_EDGES`] edges fit in a single work-optimal
+//! sequential base case (no hierarchy to build), larger ones amortize the
+//! α-contraction machinery better.
+//!
 //! Selection precedence is **request > environment > default**: an explicit
 //! `ClusterRequest::dendrogram` wins; otherwise the [`DENDROGRAM_ENV`]
-//! variable (`PANDORA_DENDROGRAM=alpha|work-optimal`) applies; otherwise
-//! α-contraction runs. An unparseable environment value is ignored rather
-//! than escalated — the serving tier never panics on configuration.
+//! variable (`PANDORA_DENDROGRAM=alpha|work-optimal|auto`) applies;
+//! otherwise α-contraction runs. An unparseable environment value is
+//! ignored rather than escalated — the serving tier never panics on
+//! configuration.
 
 use pandora_exec::ExecCtx;
 
 use crate::dendrogram::Dendrogram;
 use crate::edge::SortedMst;
 use crate::pandora::{dendrogram_from_sorted_with, DendrogramWorkspace, PandoraStats};
-use crate::work_optimal::dendrogram_work_optimal;
+use crate::work_optimal::{dendrogram_work_optimal_with, BASE_CUTOFF};
 
 /// Environment variable overriding the default dendrogram backend.
 pub const DENDROGRAM_ENV: &str = "PANDORA_DENDROGRAM";
@@ -83,11 +89,9 @@ impl DendrogramAlgo for WorkOptimalAlgo {
         &self,
         ctx: &ExecCtx,
         mst: &SortedMst,
-        _ws: &mut DendrogramWorkspace,
+        ws: &mut DendrogramWorkspace,
     ) -> (Dendrogram, PandoraStats) {
-        // This backend's buffers are subproblem-shaped (sizes vary per
-        // level), so it allocates per call instead of leasing from `ws`.
-        dendrogram_work_optimal(ctx, mst)
+        dendrogram_work_optimal_with(ctx, mst, ws)
     }
 }
 
@@ -99,15 +103,30 @@ pub enum DendrogramBackend {
     AlphaContraction,
     /// Dhulipala et al. rank divide-and-conquer.
     WorkOptimal,
+    /// Size-based selection: commits to a concrete backend per MST via
+    /// [`Self::concrete_for`] — the work-optimal backend at or below its
+    /// sequential base-case cutoff ([`AUTO_CUTOFF_EDGES`], where its single
+    /// union–find pass wins outright), α-contraction above it.
+    Auto,
 }
 
+/// Edge count at which [`DendrogramBackend::Auto`] switches from the
+/// work-optimal backend to α-contraction (the work-optimal sequential
+/// base-case size, [`crate::work_optimal::BASE_CUTOFF`]).
+pub const AUTO_CUTOFF_EDGES: usize = BASE_CUTOFF;
+
 impl DendrogramBackend {
-    /// Every backend, in default-first order (for differential sweeps).
+    /// Every **concrete** backend, in default-first order (for differential
+    /// sweeps; `Auto` always resolves to one of these, so sweeping them
+    /// covers it).
     pub const ALL: [Self; 2] = [Self::AlphaContraction, Self::WorkOptimal];
 
-    /// The canonical spelling ([`DendrogramAlgo::name`]).
+    /// The canonical spelling ([`DendrogramAlgo::name`], or `"auto"`).
     pub fn name(self) -> &'static str {
-        self.algo().name()
+        match self {
+            Self::Auto => "auto",
+            _ => self.algo().name(),
+        }
     }
 
     /// Parses a backend name (case-insensitive; accepts the canonical
@@ -120,7 +139,25 @@ impl DendrogramBackend {
             "work-optimal" | "work_optimal" | "workoptimal" | "rank" | "dhulipala" => {
                 Some(Self::WorkOptimal)
             }
+            "auto" | "adaptive" => Some(Self::Auto),
             _ => None,
+        }
+    }
+
+    /// The concrete backend this selection commits to for an MST with
+    /// `n_edges` edges. Concrete backends return themselves; `Auto` picks
+    /// work-optimal at or below [`AUTO_CUTOFF_EDGES`] (one sequential
+    /// base case, no hierarchy to build) and α-contraction above it.
+    pub fn concrete_for(self, n_edges: usize) -> Self {
+        match self {
+            Self::Auto => {
+                if n_edges <= AUTO_CUTOFF_EDGES {
+                    Self::WorkOptimal
+                } else {
+                    Self::AlphaContraction
+                }
+            }
+            concrete => concrete,
         }
     }
 
@@ -138,22 +175,30 @@ impl DendrogramBackend {
     }
 
     /// The backend's implementation object.
+    ///
+    /// `Auto` carries no implementation of its own — resolve it with
+    /// [`Self::concrete_for`] first (as [`Self::build`] does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on an unresolved [`Self::Auto`].
     pub fn algo(self) -> &'static dyn DendrogramAlgo {
         match self {
             Self::AlphaContraction => &AlphaContractionAlgo,
             Self::WorkOptimal => &WorkOptimalAlgo,
+            Self::Auto => panic!("resolve Auto with concrete_for(n_edges) before algo()"),
         }
     }
 
-    /// Builds the dendrogram with this backend
-    /// (shorthand for `self.algo().build(..)`).
+    /// Builds the dendrogram with this backend (resolving `Auto` against
+    /// the input size first).
     pub fn build(
         self,
         ctx: &ExecCtx,
         mst: &SortedMst,
         ws: &mut DendrogramWorkspace,
     ) -> (Dendrogram, PandoraStats) {
-        self.algo().build(ctx, mst, ws)
+        self.concrete_for(mst.n_edges()).algo().build(ctx, mst, ws)
     }
 }
 
@@ -174,8 +219,43 @@ mod tests {
             DendrogramBackend::parse("Work_Optimal"),
             Some(DendrogramBackend::WorkOptimal)
         );
+        assert_eq!(
+            DendrogramBackend::parse("auto"),
+            Some(DendrogramBackend::Auto)
+        );
+        assert_eq!(
+            DendrogramBackend::parse(" Adaptive "),
+            Some(DendrogramBackend::Auto)
+        );
         assert_eq!(DendrogramBackend::parse("gpu"), None);
         assert_eq!(DendrogramBackend::parse(""), None);
+    }
+
+    #[test]
+    fn auto_crossover_is_pinned_at_the_base_cutoff() {
+        use DendrogramBackend::*;
+        assert_eq!(AUTO_CUTOFF_EDGES, 2048);
+        assert_eq!(Auto.concrete_for(0), WorkOptimal);
+        assert_eq!(Auto.concrete_for(AUTO_CUTOFF_EDGES), WorkOptimal);
+        assert_eq!(Auto.concrete_for(AUTO_CUTOFF_EDGES + 1), AlphaContraction);
+        // Concrete selections never move.
+        for b in DendrogramBackend::ALL {
+            assert_eq!(b.concrete_for(0), b);
+            assert_eq!(b.concrete_for(1 << 20), b);
+        }
+        assert_eq!(Auto.name(), "auto");
+    }
+
+    #[test]
+    fn auto_builds_match_the_backend_it_resolves_to() {
+        use crate::edge::Edge;
+        let ctx = ExecCtx::serial();
+        let edges: Vec<Edge> = (1..64).map(|v| Edge::new(0, v, v as f32)).collect();
+        let mst = SortedMst::from_edges(&ctx, 64, &edges);
+        let mut ws = DendrogramWorkspace::new();
+        let (auto, _) = DendrogramBackend::Auto.build(&ctx, &mst, &mut ws);
+        let (concrete, _) = DendrogramBackend::WorkOptimal.build(&ctx, &mst, &mut ws);
+        assert_eq!(auto, concrete);
     }
 
     #[test]

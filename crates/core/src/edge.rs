@@ -73,6 +73,15 @@ pub struct SortedMst {
 impl SortedMst {
     /// Sorts `edges` into canonical order.
     ///
+    /// The input need not come from an MST solver: any spanning tree with
+    /// per-edge heights works, which is how the agglomerative linkage
+    /// engine (`pandora-mst`'s NN-chain) feeds both dendrogram backends —
+    /// each of its `n - 1` merges is emitted as one edge between
+    /// representative original points at the merge height, and a merge
+    /// sequence over `n` points always spans them. The rank/parent
+    /// machinery downstream only assumes a weighted tree, so no adapter
+    /// beyond this constructor is needed.
+    ///
     /// # Panics
     ///
     /// Panics if the edge count is not `n_vertices - 1` (for

@@ -57,11 +57,11 @@ pub mod single_level;
 pub mod validate;
 pub mod work_optimal;
 
-pub use algo::{DendrogramAlgo, DendrogramBackend, DENDROGRAM_ENV};
+pub use algo::{DendrogramAlgo, DendrogramBackend, AUTO_CUTOFF_EDGES, DENDROGRAM_ENV};
 pub use dendrogram::Dendrogram;
 pub use edge::{Edge, SortedMst, INVALID};
 pub use pandora::{
     dendrogram_from_sorted_with, dendrogram_with_stats, DendrogramWorkspace, PandoraStats,
     PhaseTimings,
 };
-pub use work_optimal::dendrogram_work_optimal;
+pub use work_optimal::{dendrogram_work_optimal, dendrogram_work_optimal_with};

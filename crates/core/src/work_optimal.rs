@@ -15,7 +15,7 @@
 //!    anything, so `L` can be solved as an independent subproblem over the
 //!    vertices it touches.
 //! 2. For `H`, contract every connected component of `L` to a supervertex
-//!    (a lock-free [`AtomicDsu`] union over `L`'s edges). When an `H` edge
+//!    (a lock-free `AtomicDsu` union over `L`'s edges). When an `H` edge
 //!    later absorbs that supervertex for the first time, the child pointer
 //!    it must write is the component's **top edge** — its heaviest `L` edge,
 //!    which under the canonical order is simply the minimum global rank in
@@ -47,19 +47,24 @@ use std::sync::atomic::Ordering;
 use std::time::Instant;
 
 use pandora_exec::atomic::as_atomic_u32;
-use pandora_exec::dsu::{AtomicDsu, SeqDsu};
-use pandora_exec::{ExecCtx, UnsafeSlice, DEFAULT_GRAIN};
+use pandora_exec::dsu::SeqDsu;
+use pandora_exec::{ExecCtx, ScratchPool, UnsafeSlice, DEFAULT_GRAIN};
 
 use crate::dendrogram::Dendrogram;
 use crate::edge::{SortedMst, INVALID};
-use crate::pandora::{PandoraStats, PhaseTimings};
+use crate::pandora::{DendrogramWorkspace, PandoraStats, PhaseTimings};
 
 /// Top bit of an `attach` entry: set ⇒ the entry is an `edge_parent` slot
 /// (a contracted component's top edge), clear ⇒ a `vertex_parent` slot.
 const EDGE_FLAG: u32 = 1 << 31;
 
 /// Subproblems at or below this many edges run the sequential base case.
-const BASE_CUTOFF: usize = 2048;
+///
+/// Public because it doubles as the [`crate::algo::DendrogramBackend::Auto`]
+/// crossover: an MST that fits in one base case is solved fastest by this
+/// backend's sequential pass, while anything larger amortizes the
+/// α-contraction hierarchy better.
+pub const BASE_CUTOFF: usize = 2048;
 
 /// One recursion node: a contiguous rank range of the global edge order,
 /// with endpoints renumbered into a dense local vertex space.
@@ -74,18 +79,45 @@ struct Subproblem {
     attach: Vec<u32>,
 }
 
+impl Subproblem {
+    /// Returns every buffer to the pool.
+    fn release(self, pool: &ScratchPool) {
+        pool.put_u32(self.edges);
+        pool.put_u32(self.src);
+        pool.put_u32(self.dst);
+        pool.put_u32(self.attach);
+    }
+}
+
 /// Builds the dendrogram of a canonically sorted MST with the work-optimal
 /// rank divide-and-conquer backend.
 ///
 /// Output is bit-identical to [`crate::pandora::dendrogram_from_sorted`]
 /// and to the union–find oracle, for any execution context.
 pub fn dendrogram_work_optimal(ctx: &ExecCtx, mst: &SortedMst) -> (Dendrogram, PandoraStats) {
+    let mut ws = DendrogramWorkspace::new();
+    dendrogram_work_optimal_with(ctx, mst, &mut ws)
+}
+
+/// [`dendrogram_work_optimal`] reusing a [`DendrogramWorkspace`].
+///
+/// Every per-split-level array — the edge-rank halves, renumbered endpoint
+/// arrays, attach tables, component roots/tops and the contraction
+/// union–find — is leased from the workspace's [`ScratchPool`], so warm
+/// repeat builds only allocate the returned [`Dendrogram`]. The same
+/// workspace serves both dendrogram backends interchangeably.
+pub fn dendrogram_work_optimal_with(
+    ctx: &ExecCtx,
+    mst: &SortedMst,
+    ws: &mut DendrogramWorkspace,
+) -> (Dendrogram, PandoraStats) {
     let n_edges = mst.n_edges();
     let n_vertices = mst.n_vertices();
     assert!(
         n_vertices < EDGE_FLAG as usize,
         "work-optimal backend packs ids into 31 bits"
     );
+    let pool = ws.scratch();
 
     let mut edge_parent = vec![INVALID; n_edges];
     let mut vertex_parent = vec![INVALID; n_vertices];
@@ -98,19 +130,31 @@ pub fn dendrogram_work_optimal(ctx: &ExecCtx, mst: &SortedMst) -> (Dendrogram, P
     let t_split = Instant::now();
     ctx.set_phase("contraction");
     let mut leaves: Vec<Subproblem> = Vec::new();
-    let mut frontier = vec![Subproblem {
-        edges: (0..n_edges as u32).collect(),
-        src: mst.src.clone(),
-        dst: mst.dst.clone(),
-        attach: (0..n_vertices as u32).collect(),
-    }];
+    let root_sub = {
+        let mut edges = pool.take_u32();
+        edges.extend(0..n_edges as u32);
+        let mut src = pool.take_u32();
+        src.extend_from_slice(&mst.src);
+        let mut dst = pool.take_u32();
+        dst.extend_from_slice(&mst.dst);
+        let mut attach = pool.take_u32();
+        attach.extend(0..n_vertices as u32);
+        Subproblem {
+            edges,
+            src,
+            dst,
+            attach,
+        }
+    };
+    let mut frontier = vec![root_sub];
     while !frontier.is_empty() {
         let mut next = Vec::with_capacity(frontier.len() * 2);
         for sub in frontier {
             if sub.edges.len() <= BASE_CUTOFF {
                 leaves.push(sub);
             } else {
-                let (heavy, light) = split(ctx, &sub);
+                let (heavy, light) = split(ctx, &sub, pool);
+                sub.release(pool);
                 next.push(heavy);
                 next.push(light);
             }
@@ -125,12 +169,17 @@ pub fn dendrogram_work_optimal(ctx: &ExecCtx, mst: &SortedMst) -> (Dendrogram, P
     // Leaf phase: independent sequential base cases across pool lanes. All
     // writes go to globally unique slots (component tops and attach entries
     // are unique per leaf and across leaves), so the shared views are safe.
+    // The pool hands each lane its own `rep` scratch (`ScratchPool` is
+    // concurrency-safe by construction).
     let t_leaves = Instant::now();
     ctx.set_phase("expansion");
     {
         let ep = UnsafeSlice::new(&mut edge_parent);
         let vp = UnsafeSlice::new(&mut vertex_parent);
-        ctx.for_each(leaves.len(), 1, |i| solve_leaf(&leaves[i], &ep, &vp));
+        ctx.for_each(leaves.len(), 1, |i| solve_leaf(&leaves[i], &ep, &vp, pool));
+    }
+    for leaf in leaves {
+        leaf.release(pool);
     }
     let leaves_s = t_leaves.elapsed().as_secs_f64();
 
@@ -154,20 +203,22 @@ pub fn dendrogram_work_optimal(ctx: &ExecCtx, mst: &SortedMst) -> (Dendrogram, P
 }
 
 /// Splits a subproblem at its median rank into the heavier-half and
-/// lighter-half children (in that order).
-fn split(ctx: &ExecCtx, sub: &Subproblem) -> (Subproblem, Subproblem) {
+/// lighter-half children (in that order). All child buffers (and the
+/// split's own transient arrays) are leased from `pool`.
+fn split(ctx: &ExecCtx, sub: &Subproblem, pool: &ScratchPool) -> (Subproblem, Subproblem) {
     let m = sub.edges.len();
     let nv = sub.attach.len();
     let mid = m / 2;
 
     // Connected components of the lighter half, union-by-min → the root of
     // every component is its minimum local vertex id (scheduling-free).
-    let dsu = AtomicDsu::new(nv);
+    let dsu = pool.take_dsu(nv);
     ctx.for_each(m - mid, DEFAULT_GRAIN, |i| {
         dsu.union(sub.src[mid + i], sub.dst[mid + i]);
     });
     dsu.flatten();
-    let mut root = vec![0u32; nv];
+    let mut root = pool.take_u32();
+    root.resize(nv, 0);
     {
         let out = UnsafeSlice::new(&mut root);
         ctx.for_each_chunk(nv, DEFAULT_GRAIN, |range| {
@@ -177,10 +228,12 @@ fn split(ctx: &ExecCtx, sub: &Subproblem) -> (Subproblem, Subproblem) {
             }
         });
     }
+    pool.put_dsu(dsu);
 
     // Top edge (heaviest = minimum global rank) of each light component.
     // INVALID marks a component with no light edges (a singleton).
-    let mut comp_top = vec![INVALID; nv];
+    let mut comp_top = pool.take_u32();
+    comp_top.resize(nv, INVALID);
     {
         let top = as_atomic_u32(&mut comp_top);
         ctx.for_each(m - mid, DEFAULT_GRAIN, |i| {
@@ -194,10 +247,12 @@ fn split(ctx: &ExecCtx, sub: &Subproblem) -> (Subproblem, Subproblem) {
     // (absorbing it means absorbing the component's top edge — or, for a
     // singleton, whatever the parent's attach slot was). Light child: the
     // vertices incident to a light edge, keeping their parent attach slots.
-    let mut heavy_id = vec![INVALID; nv];
-    let mut light_id = vec![INVALID; nv];
-    let mut heavy_attach = Vec::new();
-    let mut light_attach = Vec::new();
+    let mut heavy_id = pool.take_u32();
+    heavy_id.resize(nv, INVALID);
+    let mut light_id = pool.take_u32();
+    light_id.resize(nv, INVALID);
+    let mut heavy_attach = pool.take_u32();
+    let mut light_attach = pool.take_u32();
     for v in 0..nv {
         let r = root[v] as usize;
         if r == v {
@@ -214,24 +269,40 @@ fn split(ctx: &ExecCtx, sub: &Subproblem) -> (Subproblem, Subproblem) {
         }
     }
 
+    let mut heavy_edges = pool.take_u32();
+    heavy_edges.extend_from_slice(&sub.edges[..mid]);
+    let mut light_edges = pool.take_u32();
+    light_edges.extend_from_slice(&sub.edges[mid..]);
     let heavy = Subproblem {
-        edges: sub.edges[..mid].to_vec(),
-        src: remap(ctx, &sub.src[..mid], |v| heavy_id[root[v] as usize]),
-        dst: remap(ctx, &sub.dst[..mid], |v| heavy_id[root[v] as usize]),
+        edges: heavy_edges,
+        src: remap(ctx, &sub.src[..mid], pool, |v| heavy_id[root[v] as usize]),
+        dst: remap(ctx, &sub.dst[..mid], pool, |v| heavy_id[root[v] as usize]),
         attach: heavy_attach,
     };
     let light = Subproblem {
-        edges: sub.edges[mid..].to_vec(),
-        src: remap(ctx, &sub.src[mid..], |v| light_id[v]),
-        dst: remap(ctx, &sub.dst[mid..], |v| light_id[v]),
+        edges: light_edges,
+        src: remap(ctx, &sub.src[mid..], pool, |v| light_id[v]),
+        dst: remap(ctx, &sub.dst[mid..], pool, |v| light_id[v]),
         attach: light_attach,
     };
+    pool.put_u32(root);
+    pool.put_u32(comp_top);
+    pool.put_u32(heavy_id);
+    pool.put_u32(light_id);
     (heavy, light)
 }
 
-/// Applies a local-vertex renumbering to an endpoint array in parallel.
-fn remap(ctx: &ExecCtx, endpoints: &[u32], f: impl Fn(usize) -> u32 + Sync) -> Vec<u32> {
-    let mut out = vec![0u32; endpoints.len()];
+/// Applies a local-vertex renumbering to an endpoint array in parallel,
+/// writing into a pool-leased buffer (returned to the pool with the
+/// subproblem that owns it).
+fn remap(
+    ctx: &ExecCtx,
+    endpoints: &[u32],
+    pool: &ScratchPool,
+    f: impl Fn(usize) -> u32 + Sync,
+) -> Vec<u32> {
+    let mut out = pool.take_u32();
+    out.resize(endpoints.len(), 0);
     {
         let view = UnsafeSlice::new(&mut out);
         ctx.for_each_chunk(endpoints.len(), DEFAULT_GRAIN, |range| {
@@ -248,10 +319,11 @@ fn remap(ctx: &ExecCtx, endpoints: &[u32], f: impl Fn(usize) -> u32 + Sync) -> V
 /// over one leaf subproblem, lightest edge first. Parents of edges that
 /// stay cluster tops inside this leaf are owned by an enclosing heavier
 /// subproblem (via its `attach` table) or remain the global root.
-fn solve_leaf(sub: &Subproblem, ep: &UnsafeSlice<u32>, vp: &UnsafeSlice<u32>) {
+fn solve_leaf(sub: &Subproblem, ep: &UnsafeSlice<u32>, vp: &UnsafeSlice<u32>, pool: &ScratchPool) {
     let nv = sub.attach.len();
     let mut dsu = SeqDsu::new(nv);
-    let mut rep = vec![INVALID; nv];
+    let mut rep = pool.take_u32();
+    rep.resize(nv, INVALID);
     for i in (0..sub.edges.len()).rev() {
         let gid = sub.edges[i];
         let (u, v) = (sub.src[i], sub.dst[i]);
@@ -279,6 +351,7 @@ fn solve_leaf(sub: &Subproblem, ep: &UnsafeSlice<u32>, vp: &UnsafeSlice<u32>) {
         let r = dsu.find(u) as usize;
         rep[r] = gid;
     }
+    pool.put_u32(rep);
 }
 
 #[cfg(test)]
@@ -329,6 +402,27 @@ mod tests {
         let (d_serial, _) = dendrogram_work_optimal(&serial, &mst);
         let (d_threaded, _) = dendrogram_work_optimal(&ExecCtx::threads(), &mst);
         assert_eq!(d_serial, d_threaded);
+    }
+
+    #[test]
+    fn workspace_reuse_is_balanced_and_bit_identical() {
+        let ctx = ExecCtx::serial();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut ws = DendrogramWorkspace::new();
+        // Shrinking then regrowing inputs through one workspace; the large
+        // sizes force real splits so the split-level leases are exercised.
+        for n in [6000usize, 301, 6000] {
+            let edges = random_tree(&mut rng, n, 1 << 16);
+            let mst = SortedMst::from_edges(&ctx, n, &edges);
+            let (fresh, _) = dendrogram_work_optimal(&ctx, &mst);
+            let (warm, _) = dendrogram_work_optimal_with(&ctx, &mst, &mut ws);
+            assert_eq!(fresh, warm, "n={n}");
+            assert_eq!(ws.scratch().outstanding(), 0, "leaked leases at n={n}");
+        }
+        assert!(
+            ws.scratch().reuse_hits() > 0,
+            "warm runs should recycle split-level buffers"
+        );
     }
 
     #[test]

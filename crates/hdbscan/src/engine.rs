@@ -32,6 +32,11 @@
 //! `tests/engine_equivalence.rs`). What changes is the cost: a sweep pays
 //! one kd-tree build and one k-NN pass instead of one per member, and
 //! repeat runs allocate only their outputs.
+//!
+//! Engine requests leave the linkage and metric unset, so they follow the
+//! same resolution as any other session request (`PANDORA_LINKAGE` env,
+//! then single linkage on the EMST fast path — see
+//! [`crate::serve::ClusterRequest`]).
 
 use std::sync::Arc;
 

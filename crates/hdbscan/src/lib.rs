@@ -32,6 +32,7 @@ pub use dbscan::{dbscan_star, epsilon_profile};
 pub use engine::HdbscanEngine;
 pub use outlier::glosh_scores;
 pub use pandora_core::DendrogramBackend;
+pub use pandora_mst::{Linkage, MetricKind};
 pub use pipeline::{Hdbscan, HdbscanParams, HdbscanResult, StageTimings};
 pub use serve::{ClusterRequest, DatasetIndex, Session};
 pub use stability::{cluster_stabilities, extract_labels, select_clusters};

@@ -7,6 +7,13 @@
 //!
 //! Every stage is timed separately, matching the decompositions in the
 //! paper's Figures 1, 12 and 15.
+//!
+//! This one-shot driver is pinned to the pipeline above: single linkage on
+//! the Borůvka EMST fast path. The serving API
+//! ([`crate::serve::ClusterRequest::linkage`]) additionally dispatches
+//! complete / average / Ward linkage through the NN-chain engine; stage 2
+//! then produces the merge sequence (itself a spanning tree) instead of
+//! the EMST, and stages 3–4 run unchanged.
 
 use pandora_core::{Dendrogram, PandoraStats, SortedMst};
 use pandora_exec::ExecCtx;

@@ -52,7 +52,10 @@ use parking_lot::Mutex;
 
 use pandora_core::{DendrogramBackend, DendrogramWorkspace, Edge, SortedMst};
 use pandora_exec::ExecCtx;
-use pandora_mst::{emst_from_index, EmstIndex, EmstScratch, PandoraError, PointSet};
+use pandora_mst::{
+    emst_from_index_with, nnchain_from_index, EmstIndex, EmstScratch, Linkage, MetricKind,
+    PandoraError, PointSet,
+};
 
 use crate::condensed::condense;
 use crate::pipeline::{HdbscanParams, HdbscanResult, StageTimings};
@@ -92,6 +95,19 @@ pub struct ClusterRequest {
     /// this only changes *how* the dendrogram is computed, never the
     /// result.
     pub dendrogram: Option<DendrogramBackend>,
+    /// Linkage criterion override. `None` (the default) defers to the
+    /// `PANDORA_LINKAGE` environment variable, then to single linkage
+    /// (precedence: request > env > default — see [`Linkage::resolve`]).
+    /// Single linkage keeps the Borůvka EMST fast path; the other criteria
+    /// run the NN-chain engine over the same frozen substrate.
+    pub linkage: Option<Linkage>,
+    /// Distance-metric override. `None` (the default) picks the natural
+    /// metric for the resolved linkage: mutual reachability for single /
+    /// complete / average (the HDBSCAN\* convention), plain Euclidean for
+    /// Ward (whose variance objective is only defined there). Explicitly
+    /// requesting [`MetricKind::MutualReachability`] together with Ward
+    /// and `min_pts >= 2` is rejected at run time.
+    pub metric: Option<MetricKind>,
 }
 
 impl Default for ClusterRequest {
@@ -102,6 +118,8 @@ impl Default for ClusterRequest {
             min_cluster_size: params.min_cluster_size,
             allow_single_cluster: params.allow_single_cluster,
             dendrogram: None,
+            linkage: None,
+            metric: None,
         }
     }
 }
@@ -136,6 +154,65 @@ impl ClusterRequest {
     pub fn dendrogram(mut self, backend: DendrogramBackend) -> Self {
         self.dendrogram = Some(backend);
         self
+    }
+
+    /// Pins the linkage criterion for this request, overriding the
+    /// `PANDORA_LINKAGE` environment variable.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pandora_hdbscan::{ClusterRequest, DatasetIndex};
+    /// use pandora_mst::{Linkage, PointSet};
+    ///
+    /// let points = PointSet::try_new((0..64).map(|i| i as f32).collect(), 2)?;
+    /// let index = Arc::new(DatasetIndex::freeze(points, 4)?);
+    /// let mut session = index.session();
+    ///
+    /// // Ward linkage over the same frozen index; single (the default)
+    /// // would keep the Borůvka EMST fast path instead.
+    /// let result = session.run(&ClusterRequest::new().linkage(Linkage::Ward))?;
+    /// assert_eq!(result.labels.len(), 32);
+    /// # Ok::<(), pandora_mst::PandoraError>(())
+    /// ```
+    pub fn linkage(mut self, linkage: Linkage) -> Self {
+        self.linkage = Some(linkage);
+        self
+    }
+
+    /// Pins the distance metric for this request instead of the resolved
+    /// linkage's natural default (mutual reachability for single /
+    /// complete / average, Euclidean for Ward).
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pandora_hdbscan::{ClusterRequest, DatasetIndex};
+    /// use pandora_mst::{MetricKind, PandoraError, PointSet};
+    ///
+    /// let points = PointSet::try_new((0..64).map(|i| i as f32).collect(), 2)?;
+    /// let index = Arc::new(DatasetIndex::freeze(points, 4)?);
+    /// let mut session = index.session();
+    ///
+    /// // Plain single-linkage over raw Euclidean distances (no mutual-
+    /// // reachability smoothing, whatever min_pts says).
+    /// let request = ClusterRequest::new()
+    ///     .min_pts(4)
+    ///     .metric(MetricKind::Euclidean);
+    /// assert!(session.run(&request).is_ok());
+    /// # Ok::<(), PandoraError>(())
+    /// ```
+    pub fn metric(mut self, metric: MetricKind) -> Self {
+        self.metric = Some(metric);
+        self
+    }
+
+    /// The metric this request runs under once `linkage` has been
+    /// resolved: the explicit override if set, otherwise the linkage's
+    /// natural default.
+    pub fn effective_metric(&self, linkage: Linkage) -> MetricKind {
+        self.metric.unwrap_or(match linkage {
+            Linkage::Ward => MetricKind::Euclidean,
+            _ => MetricKind::MutualReachability,
+        })
     }
 
     /// The equivalent driver parameters (for the legacy one-shot API).
@@ -339,17 +416,21 @@ impl Session {
 
     /// Answers one clustering request, reusing every warm stage buffer.
     ///
-    /// The result is **bit-identical** to
-    /// [`crate::Hdbscan::run`] with the request's parameters — the frozen
-    /// rows, the pooled buffers and the endgame cache are all strictly
-    /// conservative optimizations. `timings.tree_build_s` is always 0: the
-    /// substrate was paid once, at [`DatasetIndex::freeze`].
+    /// For single linkage (the default), the result is **bit-identical**
+    /// to [`crate::Hdbscan::run`] with the request's parameters — the
+    /// frozen rows, the pooled buffers and the endgame cache are all
+    /// strictly conservative optimizations. `timings.tree_build_s` is
+    /// always 0: the substrate was paid once, at [`DatasetIndex::freeze`].
+    /// Other linkage criteria run the NN-chain engine over the same
+    /// substrate (see [`ClusterRequest::linkage`]).
     ///
     /// # Errors
     ///
     /// [`PandoraError::BadParams`] when `min_pts` is 0, exceeds the point
-    /// count, or exceeds the index's freeze ceiling; or when
-    /// `min_cluster_size` is 0. A rejected request leaves the session
+    /// count, or exceeds the index's freeze ceiling; when
+    /// `min_cluster_size` is 0; or when the request pairs Ward linkage
+    /// with an explicit mutual-reachability metric at `min_pts >= 2` (an
+    /// undefined combination). A rejected request leaves the session
     /// fully reusable.
     ///
     /// ```
@@ -377,17 +458,46 @@ impl Session {
                 reason: "must be at least 1",
             });
         }
+        let linkage = Linkage::resolve(request.linkage);
+        let metric = request.effective_metric(linkage);
+        if linkage == Linkage::Ward && !metric.effectively_euclidean(request.min_pts) {
+            // An explicit mutual-reachability override (the linkage default
+            // would have picked Euclidean): Ward's variance objective has
+            // no mutual-reachability analogue, so the combination is a
+            // request error, not a silent reinterpretation.
+            return Err(PandoraError::BadParams {
+                param: "metric",
+                value: request.min_pts,
+                reason: "Ward linkage is undefined over mutual reachability; \
+                         request the Euclidean metric (or min_pts = 1)",
+            });
+        }
         let ctx = self.ctx.clone();
         let mut timings = StageTimings::default();
 
-        // EMST stage against the frozen substrate (phases emst_core /
-        // emst_boruvka; the build was paid by the freeze).
-        let emst = emst_from_index(
-            &ctx,
-            &self.index.emst,
-            request.min_pts,
-            &mut self.state.emst,
-        )?;
+        // Spanning-structure stage against the frozen substrate. Single
+        // linkage keeps the Borůvka EMST fast path (phases emst_core /
+        // emst_boruvka; the build was paid by the freeze); the other
+        // criteria run the NN-chain engine, whose merge sequence is itself
+        // a spanning tree the downstream stages consume unchanged.
+        let emst = if linkage.uses_emst_fast_path() {
+            emst_from_index_with(
+                &ctx,
+                &self.index.emst,
+                request.min_pts,
+                metric,
+                &mut self.state.emst,
+            )?
+        } else {
+            nnchain_from_index(
+                &ctx,
+                &self.index.emst,
+                request.min_pts,
+                linkage,
+                metric,
+                &mut self.state.emst,
+            )?
+        };
         timings.tree_build_s = emst.timings.tree_build_s;
         timings.core_s = emst.timings.core_s;
         timings.mst_s = emst.timings.boruvka_s;
@@ -590,5 +700,82 @@ mod tests {
         assert_eq!(params.min_cluster_size, 9);
         assert!(params.allow_single_cluster);
         assert_eq!(ClusterRequest::default(), ClusterRequest::new());
+        assert_eq!(ClusterRequest::new().linkage, None);
+        assert_eq!(
+            ClusterRequest::new().linkage(Linkage::Ward).linkage,
+            Some(Linkage::Ward)
+        );
+        assert_eq!(
+            ClusterRequest::new().metric(MetricKind::Euclidean).metric,
+            Some(MetricKind::Euclidean)
+        );
+    }
+
+    #[test]
+    fn effective_metric_defaults_follow_the_linkage() {
+        let request = ClusterRequest::new();
+        assert_eq!(
+            request.effective_metric(Linkage::Single),
+            MetricKind::MutualReachability
+        );
+        assert_eq!(
+            request.effective_metric(Linkage::Ward),
+            MetricKind::Euclidean
+        );
+        // An explicit override beats the linkage default.
+        let explicit = ClusterRequest::new().metric(MetricKind::MutualReachability);
+        assert_eq!(
+            explicit.effective_metric(Linkage::Ward),
+            MetricKind::MutualReachability
+        );
+    }
+
+    #[test]
+    fn every_linkage_serves_and_single_stays_on_the_fast_path() {
+        let (points, _) = gaussian_blobs(240, 3, 3, 70.0, 0.8, 23);
+        let index =
+            Arc::new(DatasetIndex::freeze_with_ctx(ExecCtx::serial(), points, 8).expect("freeze"));
+        let mut session = index.session();
+        let baseline = session
+            .run(&ClusterRequest::new().min_pts(4))
+            .expect("default request");
+        for linkage in Linkage::ALL {
+            let served = session
+                .run(&ClusterRequest::new().min_pts(4).linkage(linkage))
+                .expect("every linkage serves");
+            assert_eq!(served.labels.len(), 240, "{linkage}");
+            served.dendrogram.validate().expect("valid dendrogram");
+            assert_eq!(session.scratch_outstanding(), 0, "{linkage}");
+            if linkage == Linkage::Single {
+                // An explicit Single request is the default path, bit for bit.
+                assert_identical(&served, &baseline, "explicit single");
+            }
+        }
+    }
+
+    #[test]
+    fn ward_over_explicit_mutual_reachability_is_rejected() {
+        let (points, _) = gaussian_blobs(60, 2, 2, 40.0, 0.6, 7);
+        let index =
+            Arc::new(DatasetIndex::freeze_with_ctx(ExecCtx::serial(), points, 4).expect("freeze"));
+        let mut session = index.session();
+        let bad = ClusterRequest::new()
+            .min_pts(3)
+            .linkage(Linkage::Ward)
+            .metric(MetricKind::MutualReachability);
+        assert!(matches!(
+            session.run(&bad),
+            Err(PandoraError::BadParams {
+                param: "metric",
+                ..
+            })
+        ));
+        // At min_pts = 1 mutual reachability degenerates to Euclidean, so
+        // the same spelling is allowed; Ward alone picks Euclidean itself.
+        assert!(session.run(&bad.min_pts(1)).is_ok());
+        assert!(session
+            .run(&ClusterRequest::new().min_pts(3).linkage(Linkage::Ward))
+            .is_ok());
+        assert_eq!(session.scratch_outstanding(), 0);
     }
 }

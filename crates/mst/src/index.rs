@@ -37,7 +37,7 @@ use crate::emst::{Emst, EmstTimings};
 use crate::error::PandoraError;
 use crate::kdtree::{KdTree, DEFAULT_LEAF_SIZE};
 use crate::knn::{core2_from_rows, knn_rows_into, KnnRows};
-use crate::metric::{Euclidean, MutualReachability};
+use crate::metric::{Euclidean, MetricKind, MutualReachability};
 use crate::point::PointSet;
 use crate::workspace::ROW_SLACK;
 
@@ -315,11 +315,16 @@ pub(crate) fn run_request(
     rows: Option<KnnRows<'_>>,
     core2: &[f32],
     min_pts: usize,
+    metric: MetricKind,
     node_core2: &mut Vec<f32>,
     endgame: &mut EndgameCache,
     pool: &ScratchPool,
 ) -> Vec<Edge> {
-    if min_pts >= 2 && points.len() > 1 {
+    // Per-request metric selection: an explicitly Euclidean request (or a
+    // mutual-reachability one at `min_pts ≤ 1`, where every core distance
+    // is zero) takes the plain-Euclidean arm regardless of `min_pts`.
+    let euclidean = metric.effectively_euclidean(min_pts);
+    if !euclidean && points.len() > 1 {
         // Per-subtree core minima for mutual-reachability pruning — a
         // property of this request, computed into caller scratch so the
         // (possibly shared) tree stays untouched.
@@ -329,8 +334,10 @@ pub(crate) fn run_request(
     }
     ctx.set_phase("emst_boruvka");
     // The endgame cache's metric rank is the `minPts` the bounds were
-    // proved under (1 = plain Euclidean, the base of the monotone family).
-    if min_pts <= 1 {
+    // proved under (1 = plain Euclidean, the base of the monotone family —
+    // which is why the Euclidean arm always registers rank 1, even when a
+    // request pairs the Euclidean metric with a larger `min_pts`).
+    if euclidean {
         boruvka_mst_with(
             ctx,
             points,
@@ -338,7 +345,7 @@ pub(crate) fn run_request(
             &Euclidean,
             BoruvkaExtras {
                 rows,
-                cache: Some((endgame, min_pts.max(1))),
+                cache: Some((endgame, 1)),
                 ..Default::default()
             },
             pool,
@@ -380,6 +387,26 @@ pub fn emst_from_index(
     min_pts: usize,
     scratch: &mut EmstScratch,
 ) -> Result<Emst, PandoraError> {
+    emst_from_index_with(ctx, index, min_pts, MetricKind::MutualReachability, scratch)
+}
+
+/// [`emst_from_index`] with an explicit per-request base metric.
+///
+/// [`MetricKind::MutualReachability`] is the HDBSCAN\* default;
+/// [`MetricKind::Euclidean`] builds the plain Euclidean MST while still
+/// reporting the core distances for `min_pts` (they simply do not enter
+/// the metric). Bit-identical to [`emst_from_index`] under the default.
+///
+/// # Errors
+///
+/// As [`emst_from_index`].
+pub fn emst_from_index_with(
+    ctx: &ExecCtx,
+    index: &EmstIndex,
+    min_pts: usize,
+    metric: MetricKind,
+    scratch: &mut EmstScratch,
+) -> Result<Emst, PandoraError> {
     ctx.set_phase("emst_core");
     let t = Instant::now();
     let mut core2 = Vec::new();
@@ -395,6 +422,7 @@ pub fn emst_from_index(
         index.rows(),
         &core2,
         min_pts,
+        metric,
         &mut scratch.node_core2,
         &mut scratch.endgame,
         &scratch.pool,

@@ -8,6 +8,69 @@
 
 use crate::point::PointSet;
 
+/// Which base dissimilarity a clustering request runs under — the
+/// **per-request metric selection** the serving tier threads down to the
+/// compute substrate (Borůvka EMST or the NN-chain engine), instead of the
+/// metric being baked into call sites.
+///
+/// Both kinds are served from the same frozen spatial substrate: mutual
+/// reachability is plain Euclidean plus a per-point core-distance floor, so
+/// the kd-tree and k-NN rows never change shape with the metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MetricKind {
+    /// HDBSCAN\*'s `d_mreach(a,b) = max(core_k(a), core_k(b), d(a,b))`
+    /// (the default). Degenerates to Euclidean at `minPts ≤ 1`, where every
+    /// core distance is zero.
+    #[default]
+    MutualReachability,
+    /// Plain Euclidean distance, regardless of `minPts` (core distances are
+    /// still computed for the result, they just do not enter the metric).
+    Euclidean,
+}
+
+impl MetricKind {
+    /// Every metric kind, in default-first order.
+    pub const ALL: [Self; 2] = [Self::MutualReachability, Self::Euclidean];
+
+    /// The canonical spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::MutualReachability => "mutual-reachability",
+            Self::Euclidean => "euclidean",
+        }
+    }
+
+    /// Parses a metric name (case-insensitive; accepts the canonical
+    /// spellings plus common aliases). Returns `None` on anything else.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "mutual-reachability" | "mutual_reachability" | "mreach" | "mutual" => {
+                Some(Self::MutualReachability)
+            }
+            "euclidean" | "euclid" | "l2" => Some(Self::Euclidean),
+            _ => None,
+        }
+    }
+
+    /// Whether a request under this metric at `min_pts` is *effectively*
+    /// Euclidean: either the metric is Euclidean outright, or it is mutual
+    /// reachability with every core distance identically zero
+    /// (`min_pts ≤ 1`). The dispatch layer uses this to pick the Euclidean
+    /// Borůvka arm and to validate Ward requests.
+    pub fn effectively_euclidean(self, min_pts: usize) -> bool {
+        match self {
+            Self::Euclidean => true,
+            Self::MutualReachability => min_pts <= 1,
+        }
+    }
+}
+
+impl core::fmt::Display for MetricKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A metric usable by the Borůvka EMST and k-NN code paths.
 ///
 /// All values are squared distances.
@@ -160,6 +223,23 @@ impl Metric for MutualReachability<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn metric_kind_parse_and_effective_euclidean() {
+        for k in MetricKind::ALL {
+            assert_eq!(MetricKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(
+            MetricKind::parse(" MREACH "),
+            Some(MetricKind::MutualReachability)
+        );
+        assert_eq!(MetricKind::parse("L2"), Some(MetricKind::Euclidean));
+        assert_eq!(MetricKind::parse("cosine"), None);
+        assert!(MetricKind::Euclidean.effectively_euclidean(8));
+        assert!(MetricKind::MutualReachability.effectively_euclidean(1));
+        assert!(!MetricKind::MutualReachability.effectively_euclidean(2));
+        assert_eq!(MetricKind::default(), MetricKind::MutualReachability);
+    }
 
     #[test]
     fn point_box_distance() {

@@ -34,6 +34,7 @@ use crate::boruvka::EndgameCache;
 use crate::emst::{Emst, EmstTimings};
 use crate::kdtree::{KdTree, DEFAULT_LEAF_SIZE};
 use crate::knn::{core2_from_rows, knn_rows_into, KnnRows};
+use crate::metric::MetricKind;
 use crate::point::PointSet;
 
 /// Extra neighbours captured past the largest requested `minPts` when
@@ -265,6 +266,24 @@ impl EmstWorkspace {
 /// most `n`; the workspace must not have been warmed on a different
 /// dataset.
 pub fn emst_into(ctx: &ExecCtx, points: &PointSet, min_pts: usize, ws: &mut EmstWorkspace) -> Emst {
+    emst_into_with(ctx, points, min_pts, MetricKind::MutualReachability, ws)
+}
+
+/// [`emst_into`] with an explicit per-request base metric
+/// ([`MetricKind::Euclidean`] builds the plain Euclidean MST; core
+/// distances are still computed for the result). Bit-identical to
+/// [`emst_into`] under the default mutual-reachability metric.
+///
+/// # Panics
+///
+/// As [`emst_into`].
+pub fn emst_into_with(
+    ctx: &ExecCtx,
+    points: &PointSet,
+    min_pts: usize,
+    metric: MetricKind,
+    ws: &mut EmstWorkspace,
+) -> Emst {
     let n = points.len();
     let mut timings = EmstTimings {
         tree_build_s: ws.ensure_tree(ctx, points),
@@ -301,6 +320,7 @@ pub fn emst_into(ctx: &ExecCtx, points: &PointSet, min_pts: usize, ws: &mut Emst
         rows,
         &core2,
         min_pts,
+        metric,
         &mut ws.node_core2,
         &mut ws.endgame,
         &ws.scratch,

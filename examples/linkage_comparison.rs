@@ -1,0 +1,80 @@
+//! Per-linkage serving comparison — one frozen [`DatasetIndex`], four
+//! [`Linkage`] requests against it.
+//!
+//! `Single` rides the Borůvka EMST fast path; `Complete` / `Average` /
+//! `Ward` dispatch through the NN-chain engine (`Complete` and `Average`
+//! over an O(n²) working matrix — ~n²/2 f32, 800 MB at n = 100k, so keep
+//! `PANDORA_SCALE` modest — `Ward` over O(n) centroid sums). The metric
+//! column shows each linkage's default: mutual reachability everywhere
+//! except Ward, whose centroids only exist in coordinate space.
+//!
+//! ```bash
+//! cargo run --release --example linkage_comparison       # 20k points
+//! PANDORA_SCALE=5000 cargo run --release --example linkage_comparison
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pandora::data::synthetic::gaussian_blobs;
+use pandora::hdbscan::{ClusterRequest, DatasetIndex};
+use pandora::mst::Linkage;
+
+fn main() {
+    let n: usize = std::env::var("PANDORA_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    let min_pts = 4usize;
+    let (points, _) = gaussian_blobs(n, 3, 6, 200.0, 2.0, 42);
+    println!("linkage comparison over n = {n} points (dim 3, minPts {min_pts})");
+
+    // One substrate, many requests: the kd-tree, k-NN rows and point
+    // storage are frozen once and shared by every linkage below.
+    let t = Instant::now();
+    let index = Arc::new(DatasetIndex::freeze(points, min_pts).expect("finite synthetic points"));
+    let freeze_s = t.elapsed().as_secs_f64();
+    let mut session = index.session();
+    println!("  index frozen in {:.1} ms\n", freeze_s * 1e3);
+
+    println!("  linkage   metric              time      clusters  noise  root height");
+    for linkage in Linkage::ALL {
+        let request = ClusterRequest::new().min_pts(min_pts).linkage(linkage);
+        let metric = request.effective_metric(linkage);
+        let t = Instant::now();
+        let result = session.run(&request).expect("valid request");
+        let spent = t.elapsed().as_secs_f64();
+        // Edge weights are non-increasing in the index: entry 0 is the root
+        // merge height.
+        let root_h = result
+            .dendrogram
+            .edge_weight
+            .first()
+            .copied()
+            .unwrap_or(0.0);
+        println!(
+            "  {:<8}  {:<18}  {:>8}  {:>8}  {:>5}  {root_h:>11.3}",
+            linkage.name(),
+            metric.name(),
+            format!("{:.1}ms", spent * 1e3),
+            result.n_clusters(),
+            result.n_noise(),
+        );
+    }
+
+    // The fast path is an identity, not an approximation: an explicit
+    // single-linkage request and the default request are one answer.
+    let explicit = session
+        .run(
+            &ClusterRequest::new()
+                .min_pts(min_pts)
+                .linkage(Linkage::Single),
+        )
+        .expect("single");
+    let default = session
+        .run(&ClusterRequest::new().min_pts(min_pts))
+        .expect("default");
+    assert_eq!(explicit.labels, default.labels);
+    assert_eq!(explicit.dendrogram, default.dendrogram);
+    println!("\n  (explicit single ≡ default request, bit for bit)");
+}

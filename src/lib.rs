@@ -69,7 +69,7 @@ pub mod prelude {
         HdbscanResult, Session,
     };
     pub use pandora_mst::{
-        boruvka_mst, core_distances2, EmstIndex, EmstScratch, Euclidean, KdTree,
-        MutualReachability, PandoraError, PointSet,
+        boruvka_mst, core_distances2, EmstIndex, EmstScratch, Euclidean, KdTree, Linkage,
+        MetricKind, MutualReachability, PandoraError, PointSet,
     };
 }

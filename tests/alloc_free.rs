@@ -195,4 +195,26 @@ fn steady_state_queries_do_not_allocate() {
          (the workspace is not being reused through the threaded path)"
     );
     assert_eq!(dendro_ws.scratch().outstanding(), 0);
+
+    // --- Warm work-optimal backend through the SAME workspace: every
+    //     per-split-level array (edge-rank halves, remapped endpoints,
+    //     attach tables, component roots/tops, the contraction DSU, leaf
+    //     `rep` scratch) is leased from the pool, so a warm run allocates
+    //     only the returned dendrogram arrays, the frontier bookkeeping
+    //     Vec<Subproblem>s and one small SeqDsu per leaf. At nd = 6000 the
+    //     splitter runs two real levels; the pre-pooling implementation
+    //     cloned four n-sized arrays per split and allocated ~10 more
+    //     inside it — hundreds of allocations, far past this budget.
+    use pandora::core::dendrogram_work_optimal_with;
+    let _ = dendrogram_work_optimal_with(&tctx, &mst, &mut dendro_ws); // prime
+    let warm_wo_allocs = min_allocs_over(3, || {
+        let (d, _) = dendrogram_work_optimal_with(&tctx, &mst, &mut dendro_ws);
+        assert_eq!(d.n_edges(), nd - 1);
+    });
+    assert!(
+        warm_wo_allocs <= 48,
+        "a warm work-optimal run made {warm_wo_allocs} allocations \
+         (split-level buffers are not being pooled)"
+    );
+    assert_eq!(dendro_ws.scratch().outstanding(), 0);
 }

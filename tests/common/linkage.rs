@@ -1,0 +1,257 @@
+//! Shared adversarial point-set generator and naive agglomerative oracle
+//! for the linkage differential suite (`linkage_differential.rs`).
+//!
+//! The oracle is the textbook O(n²·n) greedy: at every step it scans all
+//! live cluster pairs, recomputes their linkage distance **directly from
+//! the original points** (no Lance–Williams incrementalism — independence
+//! from the engine under test is the point), and merges the global
+//! minimum. For the reducible linkages the NN-chain engine serves, the
+//! greedy tree is unique on tie-free inputs, so the two must agree.
+//!
+//! Height comparison contract (mirrors the engine's working spaces):
+//!
+//! * single / complete — min/max **selection** over f32 squared base
+//!   distances is exact in any order, so oracle heights are bitwise equal
+//!   to the engine's (`h` below is the f32 result widened to f64);
+//! * average / Ward — the oracle accumulates in f64 while the engine folds
+//!   f32, so heights match within a relative tolerance only.
+
+use proptest::prelude::*;
+use rand::prelude::*;
+
+use pandora::mst::{Linkage, PointSet};
+
+/// One generated point set plus the parameters that produced it.
+#[derive(Clone, Debug)]
+pub struct LinkageCase {
+    pub points: PointSet,
+    /// Human-readable generating parameters for failure messages.
+    pub params: String,
+}
+
+/// Point-set shapes adversarial for agglomerative merging. Every shape
+/// carries full-entropy continuous jitter so base distances are tie-free
+/// by construction (the greedy tree is then unique — see module docs).
+const SHAPES: [&str; 5] = [
+    "uniform",     // no structure: generic positions
+    "blobs",       // clustered: long runs of intra-cluster merges
+    "line-jitter", // near-collinear: chained merges, skewed trees
+    "grid-jitter", // near-regular: many nearly-equal candidate pairs
+    "tight-pairs", // two-point micro-clusters merging first
+];
+
+/// A strategy over adversarial point sets (2 ≤ n ≤ `max_n`, dim ∈ 1..=3).
+///
+/// Implements the vendored-proptest [`Strategy`] trait directly so cases
+/// are a pure function of the RNG stream (`PROPTEST_CASE=<index>` replay).
+pub struct PointStrategy {
+    pub max_n: usize,
+}
+
+/// Adversarial point sets up to 96 points (the oracle is O(n³); this keeps
+/// a 96-case proptest run in seconds).
+pub fn point_strategy() -> PointStrategy {
+    PointStrategy { max_n: 96 }
+}
+
+impl Strategy for PointStrategy {
+    type Value = LinkageCase;
+
+    fn generate(&self, rng: &mut StdRng) -> LinkageCase {
+        let shape = SHAPES[rng.gen_range(0..SHAPES.len())];
+        let dim = rng.gen_range(1..=3usize);
+        let n = rng.gen_range(2..=self.max_n);
+        let mut coords = Vec::with_capacity(n * dim);
+        let jitter = |rng: &mut StdRng, scale: f32| rng.gen_range(-scale..scale);
+        match shape {
+            "blobs" => {
+                let k = rng.gen_range(1..=4usize);
+                let centers: Vec<f32> = (0..k * dim).map(|_| rng.gen_range(-50.0..50.0)).collect();
+                for _ in 0..n {
+                    let c = rng.gen_range(0..k);
+                    for d in 0..dim {
+                        coords.push(centers[c * dim + d] + jitter(rng, 1.0));
+                    }
+                }
+            }
+            "line-jitter" => {
+                for i in 0..n {
+                    coords.push(i as f32 + jitter(rng, 0.01));
+                    for _ in 1..dim {
+                        coords.push(jitter(rng, 0.01));
+                    }
+                }
+            }
+            "grid-jitter" => {
+                let side = (n as f32).powf(1.0 / dim as f32).ceil() as usize;
+                for i in 0..n {
+                    let mut v = i;
+                    for _ in 0..dim {
+                        coords.push((v % side) as f32 + jitter(rng, 0.002));
+                        v /= side;
+                    }
+                }
+            }
+            "tight-pairs" => {
+                for i in 0..n {
+                    let anchor = (i / 2) as f32 * 10.0;
+                    for d in 0..dim {
+                        let off = if d == 0 { anchor } else { 0.0 };
+                        coords.push(off + jitter(rng, 0.05));
+                    }
+                }
+            }
+            _ => {
+                for _ in 0..n * dim {
+                    coords.push(rng.gen_range(-10.0..10.0f32));
+                }
+            }
+        }
+        LinkageCase {
+            points: PointSet::new(coords, dim),
+            params: format!("shape={shape} n={n} dim={dim}"),
+        }
+    }
+}
+
+/// One oracle merge: canonical endpoints (witness points for single
+/// linkage, cluster representatives otherwise, smaller id first) and the
+/// finalized height. For single/complete, `h` is an exact f32 value
+/// widened to f64 (bitwise-comparable to the engine); for average/Ward it
+/// is an independent f64 recomputation (tolerance-comparable).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OracleMerge {
+    pub u: u32,
+    pub v: u32,
+    pub h: f64,
+}
+
+/// Squared core distance of every point by brute force: the `min_pts`-th
+/// smallest squared distance counting the point itself (the HDBSCAN\*
+/// convention the kd-tree rows implement).
+pub fn brute_core2(points: &PointSet, min_pts: usize) -> Vec<f32> {
+    let n = points.len();
+    (0..n)
+        .map(|i| {
+            let mut d: Vec<f32> = (0..n).map(|j| points.dist2(i, j)).collect();
+            d.sort_by(f32::total_cmp);
+            d[min_pts - 1]
+        })
+        .collect()
+}
+
+/// The naive global-minimum agglomerative oracle (see module docs).
+///
+/// `mreach` floors every base distance at the points' squared core
+/// distances, exactly as the engine's matrix fill does.
+pub fn naive_agglomerative(
+    points: &PointSet,
+    core2: &[f32],
+    linkage: Linkage,
+    mreach: bool,
+) -> Vec<OracleMerge> {
+    let n = points.len();
+    // Squared base working distances, floored like the engine's fill.
+    let mut base = vec![0f32; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut d = points.dist2(i, j);
+            if mreach {
+                d = d.max(core2[i]).max(core2[j]);
+            }
+            base[i * n + j] = d;
+            base[j * n + i] = d;
+        }
+    }
+
+    let dim = points.dim();
+    let mut members: Vec<Vec<u32>> = (0..n).map(|i| vec![i as u32]).collect();
+    let mut alive = vec![true; n];
+    let mut rep: Vec<u32> = (0..n as u32).collect();
+    // f64 coordinate sums for Ward's closed form.
+    let mut csum: Vec<f64> = points.coords().iter().map(|&c| c as f64).collect();
+
+    // Linkage distance of clusters (a, b) recomputed from scratch:
+    // (ordering key, finalized height, recorded endpoints).
+    let cluster_dist = |a: usize,
+                        b: usize,
+                        members: &[Vec<u32>],
+                        rep: &[u32],
+                        csum: &[f64]|
+     -> (f64, f64, (u32, u32)) {
+        let reps = (rep[a].min(rep[b]), rep[a].max(rep[b]));
+        match linkage {
+            Linkage::Single | Linkage::Complete => {
+                let mut sel = f32::NAN;
+                let mut wit = (u32::MAX, u32::MAX);
+                for &p in &members[a] {
+                    for &q in &members[b] {
+                        let d = base[p as usize * n + q as usize];
+                        let better = if sel.is_nan() {
+                            true
+                        } else if linkage == Linkage::Single {
+                            d < sel
+                        } else {
+                            d > sel
+                        };
+                        if better {
+                            sel = d;
+                            wit = (p.min(q), p.max(q));
+                        }
+                    }
+                }
+                let ends = if linkage == Linkage::Single {
+                    wit
+                } else {
+                    reps
+                };
+                (sel as f64, sel.sqrt() as f64, ends)
+            }
+            Linkage::Average => {
+                let mut sum = 0.0f64;
+                for &p in &members[a] {
+                    for &q in &members[b] {
+                        sum += (base[p as usize * n + q as usize].sqrt()) as f64;
+                    }
+                }
+                let mean = sum / (members[a].len() as f64 * members[b].len() as f64);
+                (mean, mean, reps)
+            }
+            Linkage::Ward => {
+                let (sa, sb) = (members[a].len() as f64, members[b].len() as f64);
+                let mut d2 = 0.0f64;
+                for k in 0..dim {
+                    let diff = csum[a * dim + k] / sa - csum[b * dim + k] / sb;
+                    d2 += diff * diff;
+                }
+                let key = (2.0 * sa * sb / (sa + sb)) * d2;
+                (key, key.sqrt(), reps)
+            }
+        }
+    };
+
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    for _ in 1..n {
+        let mut best: Option<(f64, usize, usize)> = None;
+        for a in (0..n).filter(|&a| alive[a]) {
+            for b in ((a + 1)..n).filter(|&b| alive[b]) {
+                let (key, _, _) = cluster_dist(a, b, &members, &rep, &csum);
+                if best.is_none_or(|(bk, ..)| key < bk) {
+                    best = Some((key, a, b));
+                }
+            }
+        }
+        let (_, a, b) = best.expect("two live clusters remain");
+        let (_, h, (u, v)) = cluster_dist(a, b, &members, &rep, &csum);
+        merges.push(OracleMerge { u, v, h });
+
+        let absorbed = std::mem::take(&mut members[b]);
+        members[a].extend(absorbed);
+        alive[b] = false;
+        rep[a] = rep[a].min(rep[b]);
+        for k in 0..dim {
+            csum[a * dim + k] += csum[b * dim + k];
+        }
+    }
+    merges
+}

@@ -9,6 +9,8 @@
 
 #![allow(dead_code)] // each test binary uses a different subset
 
+pub mod linkage;
+
 use proptest::prelude::*;
 use rand::prelude::*;
 

@@ -1,0 +1,67 @@
+//! `PANDORA_LINKAGE` environment plumbing, isolated in its own test
+//! binary: env vars are process-global, so the mutation lives in a single
+//! `#[test]` in a binary nothing else shares (the same pattern keeps the
+//! other suites env-clean, and the CI linkage axis can still export the
+//! variable externally without racing these assertions).
+
+use std::sync::Arc;
+
+use pandora::exec::ExecCtx;
+use pandora::hdbscan::{ClusterRequest, DatasetIndex};
+use pandora::mst::{Linkage, LINKAGE_ENV};
+
+#[test]
+fn env_resolution_and_request_precedence() {
+    // All scenarios in one test: parallel test threads must never observe
+    // each other's env mutations.
+    std::env::remove_var(LINKAGE_ENV);
+    assert_eq!(Linkage::resolve(None), Linkage::Single, "default");
+
+    std::env::set_var(LINKAGE_ENV, "ward");
+    assert_eq!(Linkage::resolve(None), Linkage::Ward, "env applies");
+    assert_eq!(
+        Linkage::resolve(Some(Linkage::Complete)),
+        Linkage::Complete,
+        "request beats env"
+    );
+
+    std::env::set_var(LINKAGE_ENV, "not-a-linkage");
+    assert_eq!(
+        Linkage::resolve(None),
+        Linkage::Single,
+        "unparseable env is ignored, never escalated"
+    );
+
+    // End to end: a default request under PANDORA_LINKAGE=ward serves the
+    // same result as an explicit Ward request with the env unset.
+    let coords: Vec<f32> = (0..160)
+        .map(|i| (i as f32) * 0.37 + (i % 7) as f32)
+        .collect();
+    let points = pandora::mst::PointSet::new(coords, 2);
+    let index =
+        Arc::new(DatasetIndex::freeze_with_ctx(ExecCtx::serial(), points, 4).expect("freeze"));
+    let mut session = index.session();
+
+    std::env::remove_var(LINKAGE_ENV);
+    let explicit = session
+        .run(&ClusterRequest::new().min_pts(3).linkage(Linkage::Ward))
+        .expect("explicit ward");
+
+    std::env::set_var(LINKAGE_ENV, "ward");
+    let via_env = session
+        .run(&ClusterRequest::new().min_pts(3))
+        .expect("env ward");
+    assert_eq!(explicit.dendrogram, via_env.dendrogram);
+    assert_eq!(explicit.labels, via_env.labels);
+
+    // And the request still overrides the env end to end.
+    let single_override = session
+        .run(&ClusterRequest::new().min_pts(3).linkage(Linkage::Single))
+        .expect("request override");
+    std::env::remove_var(LINKAGE_ENV);
+    let single_default = session
+        .run(&ClusterRequest::new().min_pts(3))
+        .expect("default single");
+    assert_eq!(single_override.dendrogram, single_default.dendrogram);
+    assert_eq!(single_override.labels, single_default.labels);
+}
