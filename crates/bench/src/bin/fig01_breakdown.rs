@@ -10,7 +10,7 @@
 //! the host-measured times are printed for reference.
 
 use pandora_bench::harness::{
-    dendro_serial_vs_threaded, emst_serial_vs_threaded, engine_vs_cold, fmt_s,
+    daemon_rps, dendro_serial_vs_threaded, emst_serial_vs_threaded, engine_vs_cold, fmt_s,
     nnchain_serial_vs_threaded, print_table, project_at, run_pipeline, serve_throughput,
     write_bench_ci_json,
 };
@@ -146,6 +146,12 @@ fn main() {
         // scans are the parallel section; bit-identical outputs asserted
         // inside the harness).
         let nnchain = nnchain_serial_vs_threaded(&dendro_points, 3);
+        // Daemon canary: the serve mix again, but end to end through the
+        // `pandorad` socket path (TCP, JSON parse, queue, worker lanes),
+        // at 1 vs 4 worker lanes with 4 concurrent clients. Every wire
+        // reply is asserted byte-identical to the in-process result
+        // inside the harness.
+        let daemon = daemon_rps(&points, &sweep, 4, 6, 2);
         write_bench_ci_json(
             &json_path,
             n,
@@ -157,6 +163,7 @@ fn main() {
             Some(&serve),
             Some(&dendro),
             Some(&nnchain),
+            Some(&daemon),
         )
         .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
         let speedup = serial.total() / threaded.total().max(1e-12);
@@ -316,6 +323,35 @@ fn main() {
                 nnchain.serial_s * 1e3,
                 nnchain.speedup(),
                 nnchain.lanes,
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "daemon canary — {} requests through the socket path: \
+             {:.1} req/s at 1 worker lane, {:.1} req/s at {} lanes ({:.2}x)",
+            daemon.requests,
+            daemon.rps_w1,
+            daemon.rps_w_many,
+            daemon.w_many,
+            daemon.rps_w_many / daemon.rps_w1.max(1e-12)
+        );
+        // Daemon bar: 4 worker lanes through the full socket path must
+        // beat 1 lane by a real margin (CI uses 1.5; request-level
+        // parallelism on a multi-core runner measures ~Tx, so the bar is
+        // far above noise while any regression that serializes the lanes —
+        // a lock across Session::run, a single-threaded queue drain —
+        // lands well below it).
+        let min_daemon_ratio = std::env::var("PANDORA_BENCH_MIN_DAEMON_RATIO")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(1.0);
+        let daemon_ratio = daemon.rps_w_many / daemon.rps_w1.max(1e-12);
+        if enforce && daemon_ratio < min_daemon_ratio {
+            eprintln!(
+                "FAIL: {}-lane daemon ({:.1} req/s) vs 1-lane ({:.1} req/s) is only \
+                 {daemon_ratio:.2}x through the socket path (required ≥ \
+                 {min_daemon_ratio:.2}x) — daemon worker lanes are not engaging",
+                daemon.w_many, daemon.rps_w_many, daemon.rps_w1,
             );
             std::process::exit(1);
         }

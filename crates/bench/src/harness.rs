@@ -312,6 +312,137 @@ pub fn serve_throughput(
     }
 }
 
+/// Measured daemon canary: end-to-end requests/second through the
+/// `pandorad` socket path (TCP accept → parse → queue → worker lane →
+/// session → canonical JSON), at 1 worker lane and at `w_many`.
+#[derive(Debug, Clone)]
+pub struct DaemonCanary {
+    /// Requests/second with a single worker lane.
+    pub rps_w1: f64,
+    /// Requests/second with `w_many` worker lanes over the same index.
+    pub rps_w_many: f64,
+    /// The "many" lane count measured.
+    pub w_many: usize,
+    /// Total requests answered per measurement.
+    pub requests: usize,
+}
+
+/// Measures [`DaemonCanary`]: freezes one index, starts a real `Daemon` on
+/// an ephemeral port with 1 and then `w_many` worker lanes, and drives the
+/// same `w_many` concurrent TCP clients against both (call–response, every
+/// client a distinct request stream so nothing coalesces). Every wire
+/// reply is asserted byte-identical to the canonical encoding of the
+/// in-process `Session::run` result, so the canary measures *correct*
+/// serving only. Best of `reps` per lane count.
+pub fn daemon_rps(
+    points: &PointSet,
+    min_pts_mix: &[usize],
+    w_many: usize,
+    requests_per_client: usize,
+    reps: usize,
+) -> DaemonCanary {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    use pandora_hdbscan::daemon::{proto, Daemon, DaemonConfig};
+
+    let ceiling = min_pts_mix.iter().copied().max().unwrap_or(2);
+    let index = Arc::new(
+        DatasetIndex::freeze_with_ctx(ExecCtx::serial(), points.clone(), ceiling)
+            .expect("bench dataset freezes"),
+    );
+    // Per-client request streams: the same minPts mix under a per-client
+    // min_cluster_size, so concurrent clients never send identical
+    // requests (coalescing would collapse the offered load and the canary
+    // would measure the coalescer, not the lanes).
+    let clients = w_many.max(1);
+    let payloads: Vec<Vec<String>> = (0..clients)
+        .map(|c| {
+            let mut session = index.session_with_ctx(ExecCtx::serial());
+            min_pts_mix
+                .iter()
+                .map(|&m| {
+                    let request = ClusterRequest::new().min_pts(m).min_cluster_size(3 + c);
+                    let result = session
+                        .run(&request)
+                        .expect("bench requests are within the frozen ceiling");
+                    proto::cluster_result(&result).to_string()
+                })
+                .collect()
+        })
+        .collect();
+
+    let measure = |workers: usize| -> f64 {
+        let daemon = Daemon::bind(
+            "127.0.0.1:0",
+            DaemonConfig::new().workers(workers).queue_depth(256),
+        )
+        .expect("ephemeral bind");
+        daemon
+            .registry()
+            .register("bench", Arc::clone(&index), false)
+            .expect("fresh registry");
+        let addr = daemon.local_addr();
+        let payloads = &payloads;
+        let t = Instant::now();
+        std::thread::scope(|scope| {
+            for (c, client_payloads) in payloads.iter().enumerate() {
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    let mut writer = stream;
+                    let mut line = String::new();
+                    for i in 0..requests_per_client {
+                        let which = (c + i) % min_pts_mix.len();
+                        let id = (c * 100_000 + i) as i64;
+                        writeln!(
+                            writer,
+                            r#"{{"id":{id},"method":"cluster","params":{{"dataset":"bench","min_pts":{},"min_cluster_size":{}}}}}"#,
+                            min_pts_mix[which],
+                            3 + c
+                        )
+                        .expect("send");
+                        line.clear();
+                        reader.read_line(&mut line).expect("recv");
+                        // The canonical writer emits exactly
+                        // {"id":ID,"result":PAYLOAD} — concatenating avoids
+                        // re-parsing the payload (an f32→f64 round trip
+                        // would not be byte-comparable).
+                        let expected =
+                            format!(r#"{{"id":{id},"result":{}}}"#, client_payloads[which]);
+                        assert_eq!(
+                            line.trim_end(),
+                            expected,
+                            "client {c} request {i}: daemon diverged from Session::run"
+                        );
+                    }
+                });
+            }
+        });
+        let wall = t.elapsed().as_secs_f64();
+        daemon.shutdown();
+        daemon.join();
+        wall
+    };
+
+    let total_requests = clients * requests_per_client;
+    let best = |workers: usize| -> f64 {
+        let mut wall = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            wall = wall.min(measure(workers));
+        }
+        wall
+    };
+    let wall_w1 = best(1);
+    let wall_w_many = best(w_many);
+    DaemonCanary {
+        rps_w1: total_requests as f64 / wall_w1.max(1e-12),
+        rps_w_many: total_requests as f64 / wall_w_many.max(1e-12),
+        w_many,
+        requests: total_requests,
+    }
+}
+
 /// Runs the EMST stage under a serial and a threaded context (best of
 /// `reps` runs each) and returns `(serial, threaded, threaded_lanes)`.
 ///
@@ -523,6 +654,7 @@ pub fn write_bench_ci_json(
     serve: Option<&ServeCanary>,
     dendro: Option<&DendroCanary>,
     nnchain: Option<&NnchainCanary>,
+    daemon: Option<&DaemonCanary>,
 ) -> std::io::Result<()> {
     let phase = |t: &EmstTimings| {
         format!(
@@ -572,10 +704,17 @@ pub fn write_bench_ci_json(
             c.speedup()
         )
     });
+    let daemon_json = daemon.map_or(String::new(), |d| {
+        format!(
+            ",\n  \"daemon_rps_w1\": {:.3},\n  \"daemon_rps_w{}\": {:.3},\n  \
+             \"daemon_requests\": {}",
+            d.rps_w1, d.w_many, d.rps_w_many, d.requests
+        )
+    });
     let json = format!(
         "{{\n  \"n\": {n},\n  \"min_pts\": {min_pts},\n  \"threads\": {lanes},\n  \
          \"serial\": {},\n  \"threaded\": {},\n  \"speedup\": {:.3}{engine_json}{serve_json}\
-         {dendro_json}{nnchain_json}\n}}\n",
+         {dendro_json}{nnchain_json}{daemon_json}\n}}\n",
         phase(serial),
         phase(threaded),
         serial.total() / threaded.total().max(1e-12)

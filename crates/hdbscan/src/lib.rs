@@ -19,6 +19,7 @@
 //! ```
 
 pub mod condensed;
+pub mod daemon;
 pub mod dbscan;
 pub mod engine;
 pub mod outlier;

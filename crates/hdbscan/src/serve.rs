@@ -78,7 +78,7 @@ use crate::stability::{cluster_stabilities, extract_labels, select_clusters};
 ///     .allow_single_cluster(true);
 /// assert_eq!(request.min_pts, 8);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[must_use = "a request does nothing until passed to Session::run"]
 pub struct ClusterRequest {
     /// HDBSCAN\* `minPts` (neighbours including self defining the core

@@ -1,0 +1,383 @@
+//! The `pandorad` wire contract, driven over real sockets: responses are
+//! **bit-identical** to in-process `Session::run`, malformed input gets a
+//! typed error (never a disconnect), duplicate in-flight requests provably
+//! coalesce (engine-run counter), and a full queue sheds with a typed
+//! `overloaded` error instead of queueing unboundedly.
+//!
+//! CI runs this file in the `PANDORA_THREADS ∈ {1,4}` matrix, so the
+//! daemon's default worker-lane sizing is exercised at both extremes
+//! (tests that need a specific lane count pin it via `DaemonConfig`).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pandora::data::synthetic::gaussian_blobs;
+use pandora::exec::ExecCtx;
+use pandora::hdbscan::daemon::{json::Json, proto, Daemon, DaemonConfig};
+use pandora::hdbscan::{ClusterRequest, DatasetIndex};
+use pandora::mst::PointSet;
+
+/// One newline-delimited JSON-RPC connection.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(daemon: &Daemon) -> Self {
+        let stream = TcpStream::connect(daemon.local_addr()).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Self {
+            reader,
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send");
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("recv");
+        assert!(n > 0, "server disconnected instead of responding");
+        line.trim_end().to_string()
+    }
+
+    fn call(&mut self, line: &str) -> String {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn blobs(n: usize, seed: u64) -> PointSet {
+    let (points, _) = gaussian_blobs(n, 2, 3, 60.0, 0.8, seed);
+    points
+}
+
+fn freeze(points: PointSet, max_min_pts: usize) -> Arc<DatasetIndex> {
+    Arc::new(DatasetIndex::freeze_with_ctx(ExecCtx::serial(), points, max_min_pts).expect("freeze"))
+}
+
+/// The exact response line the daemon must produce for `request`, computed
+/// in-process through the same `Session::run` + canonical encoder.
+fn expected_cluster_line(index: &Arc<DatasetIndex>, id: i64, request: &ClusterRequest) -> String {
+    let mut session = index.session_with_ctx(ExecCtx::serial());
+    let result = session.run(request).expect("valid request");
+    proto::response_ok(&Json::Int(id), proto::cluster_result(&result))
+}
+
+fn error_code(line: &str) -> String {
+    let parsed = Json::parse(line).expect("response is valid JSON");
+    parsed
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("no error code in: {line}"))
+        .to_string()
+}
+
+#[test]
+fn concurrent_mixed_method_clients_get_bit_identical_payloads() {
+    let daemon = Daemon::bind("127.0.0.1:0", DaemonConfig::new().workers(3)).expect("bind");
+    let index = freeze(blobs(600, 7), 16);
+    daemon
+        .registry()
+        .register("blobs", Arc::clone(&index), false)
+        .expect("register");
+
+    std::thread::scope(|scope| {
+        for thread in 0..4i64 {
+            let daemon = &daemon;
+            let index = &index;
+            scope.spawn(move || {
+                let mut client = Client::connect(daemon);
+                for i in 0..4i64 {
+                    // Distinct params per (thread, i) so genuinely different
+                    // requests are in flight at once.
+                    let min_pts = 2 + ((thread + i) % 4) as usize * 3;
+                    let mcs = 5 + thread as usize;
+                    let id = thread * 100 + i;
+                    let request = ClusterRequest::new().min_pts(min_pts).min_cluster_size(mcs);
+                    let reply = client.call(&format!(
+                        r#"{{"id":{id},"method":"cluster","params":{{"dataset":"blobs","min_pts":{min_pts},"min_cluster_size":{mcs}}}}}"#
+                    ));
+                    assert_eq!(
+                        reply,
+                        expected_cluster_line(index, id, &request),
+                        "thread {thread} request {i}: wire payload diverged from Session::run"
+                    );
+                    // Interleave a stats call: must answer inline on the
+                    // same connection without disturbing the stream.
+                    let stats = client.call(&format!(r#"{{"id":"s{id}","method":"stats"}}"#));
+                    assert!(stats.contains(r#""uptime_ms""#), "{stats}");
+                }
+            });
+        }
+    });
+
+    daemon.shutdown();
+    daemon.join();
+}
+
+#[test]
+fn wire_load_and_sweep_match_in_process_results() {
+    let daemon = Daemon::bind("127.0.0.1:0", DaemonConfig::new().workers(2)).expect("bind");
+    let points = blobs(240, 13);
+    // Serialize the coordinates through float Display (shortest
+    // round-trip): the daemon must recover bit-identical f32s.
+    let coords: Vec<String> = points.coords().iter().map(|v| format!("{v}")).collect();
+    let mut client = Client::connect(&daemon);
+    let reply = client.call(&format!(
+        r#"{{"id":1,"method":"load","params":{{"name":"wire","dim":2,"points":[{}],"max_min_pts":12}}}}"#,
+        coords.join(",")
+    ));
+    assert!(reply.contains(r#""n":240"#), "{reply}");
+
+    let index = freeze(points, 12);
+    let min_pts = [2usize, 4, 9];
+    let base = ClusterRequest::new().min_cluster_size(6);
+    let results: Vec<_> = {
+        let mut session = index.session_with_ctx(ExecCtx::serial());
+        min_pts
+            .iter()
+            .map(|&m| session.run(&base.min_pts(m)).expect("valid"))
+            .collect()
+    };
+    let expected = proto::response_ok(&Json::Int(2), proto::sweep_result(&min_pts, &results));
+    let reply = client.call(
+        r#"{"id":2,"method":"sweep","params":{"dataset":"wire","min_pts":[2,4,9],"min_cluster_size":6}}"#,
+    );
+    assert_eq!(reply, expected, "sweep payload diverged from Session::run");
+
+    // Duplicate load without replace is a typed error; with replace it wins.
+    let dup = client
+        .call(r#"{"id":3,"method":"load","params":{"name":"wire","dim":1,"points":[1,2,3]}}"#);
+    assert_eq!(error_code(&dup), "dataset_exists");
+    let swap = client.call(
+        r#"{"id":4,"method":"load","params":{"name":"wire","dim":1,"points":[1,2,3],"replace":true}}"#,
+    );
+    assert!(swap.contains(r#""n":3"#), "{swap}");
+
+    daemon.shutdown();
+    daemon.join();
+}
+
+#[test]
+fn malformed_input_gets_typed_errors_not_disconnects() {
+    let daemon = Daemon::bind("127.0.0.1:0", DaemonConfig::new().workers(1)).expect("bind");
+    daemon
+        .registry()
+        .register("d", freeze(blobs(80, 3), 8), false)
+        .expect("register");
+    let mut client = Client::connect(&daemon);
+
+    let cases = [
+        ("{not json", "parse_error"),
+        (r#"{"id":1,"method":"divide"}"#, "unknown_method"),
+        (r#"{"id":2}"#, "bad_request"),
+        (r#"{"id":3,"method":"cluster"}"#, "bad_request"),
+        (
+            r#"{"id":4,"method":"cluster","params":{"dataset":"d","min_pts":"four"}}"#,
+            "bad_request",
+        ),
+        (
+            r#"{"id":5,"method":"cluster","params":{"dataset":"d","linkage":"median"}}"#,
+            "bad_params",
+        ),
+        (
+            r#"{"id":6,"method":"cluster","params":{"dataset":"nope"}}"#,
+            "unknown_dataset",
+        ),
+        (
+            // Valid shape, invalid value: rejected by the engine, not a panic.
+            r#"{"id":7,"method":"cluster","params":{"dataset":"d","min_pts":0}}"#,
+            "bad_params",
+        ),
+        (
+            // Ward × mutual-reachability is the engine's BadParams rejection
+            // (Ward's own default metric is Euclidean, so force the clash).
+            r#"{"id":8,"method":"cluster","params":{"dataset":"d","min_pts":4,"linkage":"ward","metric":"mutual-reachability"}}"#,
+            "bad_params",
+        ),
+    ];
+    for (line, code) in cases {
+        let reply = client.call(line);
+        assert_eq!(error_code(&reply), code, "{line} → {reply}");
+    }
+
+    // The same connection still serves valid work after every error.
+    let ok = client.call(r#"{"id":9,"method":"cluster","params":{"dataset":"d","min_pts":3}}"#);
+    assert!(ok.contains(r#""result""#), "{ok}");
+
+    daemon.shutdown();
+    daemon.join();
+}
+
+/// The blocker request every scheduling test uses to keep the single
+/// worker lane busy: a 15-member sweep (~hundreds of ms) instead of one
+/// ~20 ms cluster run, so admissions sent "while the lane is busy" have a
+/// wide, reliable window.
+const BLOCKER: &str = r#"{"id":"blocker","method":"sweep","params":{"dataset":"d","min_pts":[2,3,4,5,6,7,8,9,10,11,12,13,14,15,16]}}"#;
+const BLOCKER_RUNS: u64 = 15;
+
+/// Waits (on the in-process counter — precise, no sampling race) until the
+/// engine has started more runs than `engine_runs_before`.
+fn wait_for_engine_start(daemon: &Daemon, engine_runs_before: u64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while daemon.counters().engine_runs == engine_runs_before {
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for the blocker to reach the engine"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn duplicate_inflight_requests_coalesce_into_one_engine_run() {
+    const DUPES: usize = 5;
+    // One worker lane: the blocker occupies it, so everything sent while
+    // it runs is admitted (and coalesced) before the next job starts.
+    let daemon = Daemon::bind(
+        "127.0.0.1:0",
+        DaemonConfig::new().workers(1).queue_depth(16),
+    )
+    .expect("bind");
+    daemon
+        .registry()
+        .register("d", freeze(blobs(2000, 17), 16), false)
+        .expect("register");
+
+    let mut dupes: Vec<Client> = (0..DUPES).map(|_| Client::connect(&daemon)).collect();
+    let before = daemon.counters();
+
+    // Occupy the single lane, then confirm it is actually running.
+    let mut blocker = Client::connect(&daemon);
+    blocker.send(BLOCKER);
+    wait_for_engine_start(&daemon, before.engine_runs);
+
+    // Five byte-identical requests from five connections: one leader gets
+    // queued, four attach to its in-flight computation.
+    for (i, client) in dupes.iter_mut().enumerate() {
+        client.send(&format!(
+            r#"{{"id":{i},"method":"cluster","params":{{"dataset":"d","min_pts":4,"min_cluster_size":7}}}}"#
+        ));
+    }
+    let replies: Vec<String> = dupes.iter_mut().map(Client::recv).collect();
+    let expected: Vec<String> = (0..DUPES)
+        .map(|i| {
+            let mut line = replies[0].clone();
+            // Same payload, each under its own id.
+            line.replace_range(
+                ..line.find(',').expect("id field"),
+                format!(r#"{{"id":{i}"#).as_str(),
+            );
+            line
+        })
+        .collect();
+    assert_eq!(replies, expected, "coalesced payloads must be identical");
+    assert!(replies[0].contains(r#""n_clusters""#), "{}", replies[0]);
+    assert!(blocker.recv().contains("result"));
+
+    let after = daemon.counters();
+    assert_eq!(
+        after.engine_runs - before.engine_runs,
+        BLOCKER_RUNS + 1,
+        "exactly the blocker sweep + one coalesced leader may hit the engine"
+    );
+    assert_eq!(
+        after.coalesced - before.coalesced,
+        (DUPES - 1) as u64,
+        "every duplicate but the leader must be answered from the shared run"
+    );
+
+    daemon.shutdown();
+    daemon.join();
+}
+
+#[test]
+fn full_queue_sheds_with_typed_overloaded_error() {
+    let daemon =
+        Daemon::bind("127.0.0.1:0", DaemonConfig::new().workers(1).queue_depth(2)).expect("bind");
+    daemon
+        .registry()
+        .register("d", freeze(blobs(2000, 23), 16), false)
+        .expect("register");
+
+    let before = daemon.counters();
+    let mut blocker = Client::connect(&daemon);
+    blocker.send(BLOCKER);
+    wait_for_engine_start(&daemon, before.engine_runs);
+
+    // One connection, three *distinct* requests (no coalescing): the
+    // reader admits them in order, so the first two take the queue slots
+    // and the third is shed immediately with a typed error.
+    let mut client = Client::connect(&daemon);
+    for (i, mcs) in [3usize, 4, 5].iter().enumerate() {
+        client.send(&format!(
+            r#"{{"id":{i},"method":"cluster","params":{{"dataset":"d","min_pts":2,"min_cluster_size":{mcs}}}}}"#
+        ));
+    }
+    // The shed reply arrives first — admission control answers before the
+    // queued work is even scheduled.
+    let shed = client.recv();
+    assert!(shed.contains(r#""id":2"#), "{shed}");
+    assert_eq!(error_code(&shed), "overloaded");
+    assert!(daemon.counters().shed >= 1);
+
+    // The queued requests still complete normally after the blocker.
+    for _ in 0..2 {
+        let reply = client.recv();
+        assert!(reply.contains(r#""n_clusters""#), "{reply}");
+    }
+    assert!(blocker.recv().contains("result"));
+
+    daemon.shutdown();
+    daemon.join();
+}
+
+#[test]
+fn wire_shutdown_drains_and_stops_the_daemon() {
+    let daemon = Daemon::bind("127.0.0.1:0", DaemonConfig::new().workers(2)).expect("bind");
+    daemon
+        .registry()
+        .register("d", freeze(blobs(120, 29), 8), false)
+        .expect("register");
+
+    let mut client = Client::connect(&daemon);
+    // Queue real work, then shut down on another connection: the queued
+    // request must still be answered (drain, don't drop). Wait until the
+    // engine has picked it up so the shutdown can't win the admission race.
+    let before = daemon.counters();
+    client.send(r#"{"id":1,"method":"cluster","params":{"dataset":"d","min_pts":3}}"#);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while daemon.counters().engine_runs == before.engine_runs {
+        assert!(
+            Instant::now() < deadline,
+            "request never reached the engine"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let mut admin = Client::connect(&daemon);
+    let reply = admin.call(r#"{"id":"bye","method":"shutdown"}"#);
+    assert!(reply.contains(r#""stopping":true"#), "{reply}");
+    let queued = client.recv();
+    assert!(queued.contains(r#""n_clusters""#), "{queued}");
+
+    let addr = daemon.local_addr();
+    daemon.join();
+    // After join the listener is gone: a fresh connect must fail (or be
+    // refused on first use).
+    let dead = TcpStream::connect(addr)
+        .and_then(|mut s| {
+            s.write_all(b"{\"id\":1,\"method\":\"stats\"}\n")?;
+            let mut line = String::new();
+            BufReader::new(s).read_line(&mut line)
+        })
+        .unwrap_or(0);
+    assert_eq!(dead, 0, "daemon still answering after join()");
+}

@@ -248,8 +248,14 @@ impl BenchmarkGroup<'_> {
 }
 
 /// Nearest-rank percentile of an ascending-sorted sample set.
-fn percentile(sorted: &[Duration], q: f64) -> Duration {
-    debug_assert!(!sorted.is_empty() && sorted.is_sorted());
+///
+/// Public so serving code (the `pandorad` stats endpoint) reports p50/p95
+/// with the same estimator the bench tables use. Empty input yields zero.
+pub fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    debug_assert!(sorted.is_sorted());
     let rank = (q * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
