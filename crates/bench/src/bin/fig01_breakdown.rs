@@ -10,9 +10,9 @@
 //! the host-measured times are printed for reference.
 
 use pandora_bench::harness::{
-    daemon_rps, dendro_serial_vs_threaded, emst_serial_vs_threaded, engine_vs_cold, fmt_s,
-    nnchain_serial_vs_threaded, print_table, project_at, run_pipeline, serve_throughput,
-    write_bench_ci_json,
+    daemon_rps, dendro_serial_vs_threaded, emst_cold_vs_warm, emst_serial_vs_threaded,
+    engine_vs_cold, fmt_s, nnchain_serial_vs_threaded, print_table, project_at, run_pipeline,
+    serve_throughput, write_bench_ci_json,
 };
 use pandora_bench::suite::bench_scale;
 use pandora_data::by_name;
@@ -152,6 +152,11 @@ fn main() {
         // reply is asserted byte-identical to the in-process result
         // inside the harness.
         let daemon = daemon_rps(&points, &sweep, 4, 6, 2);
+        // Cold-run canary: the first-request EMST cost (nothing reused —
+        // the round floor the merge-surviving witnesses attack) against a
+        // fully warm frozen-index request, bit-identical edges asserted
+        // inside the harness.
+        let cold = emst_cold_vs_warm(&points, 2, 3);
         write_bench_ci_json(
             &json_path,
             n,
@@ -164,6 +169,7 @@ fn main() {
             Some(&dendro),
             Some(&nnchain),
             Some(&daemon),
+            Some(&cold),
         )
         .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
         let speedup = serial.total() / threaded.total().max(1e-12);
@@ -354,6 +360,49 @@ fn main() {
                 daemon.w_many, daemon.rps_w_many, daemon.rps_w1,
             );
             std::process::exit(1);
+        }
+        println!(
+            "cold-run canary — cold one-shot EMST {:.1} ms vs warm index run {:.1} ms \
+             ({:.1}x round floor)",
+            cold.cold_s * 1e3,
+            cold.warm_s * 1e3,
+            cold.ratio()
+        );
+        // Cold-run bars (absolute + ratio), only enforced when set: the
+        // witness rebuild's win is an absolute cold-path budget in
+        // milliseconds at the CI scale (PANDORA_BENCH_MAX_COLD_EMST_MS) and
+        // a bound on how much of the round floor the cold path may still
+        // pay over a warm request (PANDORA_BENCH_MAX_COLD_WARM_RATIO).
+        // Budgets are host- and scale-specific, so there is no meaningful
+        // default — CI pins both for its container.
+        let max_cold_ms = std::env::var("PANDORA_BENCH_MAX_COLD_EMST_MS")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok());
+        if let Some(max_ms) = max_cold_ms {
+            if enforce && cold.cold_s * 1e3 > max_ms {
+                eprintln!(
+                    "FAIL: cold one-shot EMST took {:.1} ms at n = {n} (budget \
+                     {max_ms:.1} ms) — the cold-path round floor regressed",
+                    cold.cold_s * 1e3,
+                );
+                std::process::exit(1);
+            }
+        }
+        let max_cold_warm_ratio = std::env::var("PANDORA_BENCH_MAX_COLD_WARM_RATIO")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok());
+        if let Some(max_ratio) = max_cold_warm_ratio {
+            if enforce && cold.ratio() > max_ratio {
+                eprintln!(
+                    "FAIL: cold EMST ({:.1} ms) pays {:.1}x over a warm index run \
+                     ({:.1} ms), budget {max_ratio:.1}x — the cold path stopped \
+                     benefiting from the witness machinery",
+                    cold.cold_s * 1e3,
+                    cold.ratio(),
+                    cold.warm_s * 1e3,
+                );
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -12,7 +12,8 @@ use pandora_exec::trace::Trace;
 use pandora_exec::{ExecCtx, ScratchPool};
 use pandora_hdbscan::{ClusterRequest, DatasetIndex, Hdbscan, HdbscanParams};
 use pandora_mst::{
-    emst, emst_into, nnchain_merges, EmstParams, EmstTimings, EmstWorkspace, Linkage, PointSet,
+    emst, emst_from_index, emst_into, nnchain_merges, EmstIndex, EmstParams, EmstScratch,
+    EmstTimings, EmstWorkspace, Linkage, PointSet,
 };
 
 /// Everything the figure binaries need from one dataset run: real wall-clock
@@ -471,6 +472,68 @@ pub fn emst_serial_vs_threaded(
     (serial, threaded, lanes)
 }
 
+/// Measured cold-vs-warm EMST canary: wall seconds of a cold one-shot
+/// [`emst()`](fn@emst) run (tree build + k-NN + Borůvka, nothing reused) against a
+/// warm frozen-index run (substrate paid, scratch pooled, endgame cache
+/// primed) over the same points and `min_pts`.
+#[derive(Debug, Clone)]
+pub struct ColdWarmCanary {
+    /// Cold one-shot EMST wall seconds (best of reps).
+    pub cold_s: f64,
+    /// Warm frozen-index EMST wall seconds (best of reps, after priming).
+    pub warm_s: f64,
+}
+
+impl ColdWarmCanary {
+    /// `cold_s / warm_s` — how much of the round floor the cold path still
+    /// pays relative to a fully warm request.
+    pub fn ratio(&self) -> f64 {
+        self.cold_s / self.warm_s.max(1e-12)
+    }
+}
+
+/// Measures [`ColdWarmCanary`] on the threaded context: cold = best-of-reps
+/// full [`emst()`](fn@emst) (the first-request cost the merge-surviving witnesses
+/// attack), warm = best-of-reps [`emst_from_index`] through one primed
+/// [`EmstScratch`] (the steady-state serving cost). Edge sets are asserted
+/// identical before the timings are trusted.
+pub fn emst_cold_vs_warm(points: &PointSet, min_pts: usize, reps: usize) -> ColdWarmCanary {
+    let ctx = ExecCtx::threads();
+    let mut cold_s = f64::INFINITY;
+    let mut cold_edges: Vec<Edge> = Vec::new();
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let run = emst(&ctx, points, &EmstParams::with_min_pts(min_pts));
+        let spent = t.elapsed().as_secs_f64();
+        if spent < cold_s {
+            cold_s = spent;
+        }
+        cold_edges = run.edges;
+    }
+    let index = EmstIndex::freeze(&ctx, points.clone(), min_pts.max(1))
+        .expect("bench dataset freezes cleanly");
+    let mut scratch = EmstScratch::new();
+    let _ = emst_from_index(&ctx, &index, min_pts, &mut scratch).expect("priming run"); // warm
+    let mut warm_s = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let run = emst_from_index(&ctx, &index, min_pts, &mut scratch).expect("warm run");
+        let spent = t.elapsed().as_secs_f64();
+        if spent < warm_s {
+            warm_s = spent;
+        }
+        assert_eq!(run.edges.len(), cold_edges.len());
+        for (a, b) in run.edges.iter().zip(&cold_edges) {
+            assert_eq!(
+                (a.u, a.v, a.w.to_bits()),
+                (b.u, b.v, b.w.to_bits()),
+                "warm index run diverged from the cold path"
+            );
+        }
+    }
+    ColdWarmCanary { cold_s, warm_s }
+}
+
 /// Measured dendrogram-stage canary: per-phase α-contraction wall times
 /// under a serial and a threaded context over the same sorted MST, plus
 /// the work-optimal backend raced on both contexts (best of `reps` each;
@@ -655,6 +718,7 @@ pub fn write_bench_ci_json(
     dendro: Option<&DendroCanary>,
     nnchain: Option<&NnchainCanary>,
     daemon: Option<&DaemonCanary>,
+    cold: Option<&ColdWarmCanary>,
 ) -> std::io::Result<()> {
     let phase = |t: &EmstTimings| {
         format!(
@@ -711,10 +775,19 @@ pub fn write_bench_ci_json(
             d.rps_w1, d.w_many, d.rps_w_many, d.requests
         )
     });
+    let cold_json = cold.map_or(String::new(), |c| {
+        format!(
+            ",\n  \"emst_cold_ms\": {:.3},\n  \"emst_warm_ms\": {:.3},\n  \
+             \"emst_cold_warm_ratio\": {:.3}",
+            c.cold_s * 1e3,
+            c.warm_s * 1e3,
+            c.ratio()
+        )
+    });
     let json = format!(
         "{{\n  \"n\": {n},\n  \"min_pts\": {min_pts},\n  \"threads\": {lanes},\n  \
          \"serial\": {},\n  \"threaded\": {},\n  \"speedup\": {:.3}{engine_json}{serve_json}\
-         {dendro_json}{nnchain_json}{daemon_json}\n}}\n",
+         {dendro_json}{nnchain_json}{daemon_json}{cold_json}\n}}\n",
         phase(serial),
         phase(threaded),
         serial.total() / threaded.total().max(1e-12)

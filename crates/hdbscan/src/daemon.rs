@@ -241,12 +241,23 @@ impl DatasetRegistry {
             entries
                 .iter()
                 .map(|(name, index)| {
+                    // Borůvka cache effectiveness: queries answered by a
+                    // merge-surviving witness vs. full tree re-searches, and
+                    // how many cold lanes warmed from the shared endgame
+                    // snapshot (docs/SERVING.md, "stats").
+                    let boruvka = index.emst().stats();
                     Json::obj(vec![
                         ("name", Json::Str(name.clone())),
                         ("n", Json::Int(index.len() as i64)),
                         ("dim", Json::Int(index.emst().points().dim() as i64)),
                         ("max_min_pts", Json::Int(index.max_min_pts() as i64)),
                         ("pooled_sessions", Json::Int(index.pooled_sessions() as i64)),
+                        ("witness_hits", Json::Int(boruvka.witness_hits() as i64)),
+                        ("researches", Json::Int(boruvka.researches() as i64)),
+                        (
+                            "snapshot_adopts",
+                            Json::Int(boruvka.snapshot_adopts() as i64),
+                        ),
                     ])
                 })
                 .collect(),

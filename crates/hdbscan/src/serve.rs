@@ -233,13 +233,11 @@ struct SessionState {
     dendro: DendrogramWorkspace,
 }
 
-/// Most scratch sets an index retains for recycling. Each set holds
-/// O(n)-sized round buffers, so an unbounded pool would turn one burst of
-/// K concurrent sessions into a permanent K×O(n) memory high-water mark;
-/// beyond this many parked sets, dropped sessions free their scratch
-/// instead. Steady-state concurrency above the cap still works — the
-/// excess sessions just start cold.
-const MAX_POOLED_SESSIONS: usize = 16;
+/// Fewest scratch sets an index will agree to retain for recycling. The
+/// actual cap scales with the execution context's worker lanes (see
+/// [`DatasetIndex::pooled_cap`]) but never drops below this floor, so
+/// small thread pools still absorb modest session bursts warm.
+const MIN_POOLED_SESSIONS: usize = 16;
 
 /// The immutable, `Arc`-shareable tier of the serving API: one dataset,
 /// frozen once, read by every concurrent request (see the module docs).
@@ -248,6 +246,8 @@ pub struct DatasetIndex {
     ctx: ExecCtx,
     /// Scratch sets of finished sessions, recycled into new ones.
     pool: Mutex<Vec<SessionState>>,
+    /// Most scratch sets the pool retains (see [`DatasetIndex::pooled_cap`]).
+    pool_cap: usize,
 }
 
 /// Compile-time proof the index can be shared across serving threads and
@@ -312,10 +312,16 @@ impl DatasetIndex {
         max_min_pts: usize,
     ) -> Result<Self, PandoraError> {
         let emst = EmstIndex::freeze(&ctx, points, max_min_pts)?;
+        // Scale the parked-scratch cap with the serving concurrency the
+        // context implies (`PANDORA_THREADS` worker lanes): a daemon running
+        // W lanes churns up to 2·W sessions through overlapping check-ins,
+        // while a small pool has no use for dozens of parked O(n) sets.
+        let pool_cap = (2 * ctx.lanes()).max(MIN_POOLED_SESSIONS);
         Ok(Self {
             emst,
             ctx,
             pool: Mutex::new(Vec::new()),
+            pool_cap,
         })
     }
 
@@ -355,6 +361,15 @@ impl DatasetIndex {
         self.pool.lock().len()
     }
 
+    /// Most scratch sets the session pool retains: twice the execution
+    /// context's worker lanes, floored at 16. Beyond
+    /// the cap, dropped sessions free their scratch instead of parking it,
+    /// bounding the index's burst-memory high-water mark while still
+    /// serving every steady-state lane a warm set.
+    pub fn pooled_cap(&self) -> usize {
+        self.pool_cap
+    }
+
     /// Draws a session on the index's own execution context. Cheap: the
     /// scratch set is recycled from a finished session when one is pooled.
     #[must_use = "a session serves nothing until run() is called"]
@@ -376,13 +391,13 @@ impl DatasetIndex {
     }
 
     /// Returns a finished session's scratch to the pool — unless the pool
-    /// already holds [`MAX_POOLED_SESSIONS`] sets, in which case the
+    /// already holds [`DatasetIndex::pooled_cap`] sets, in which case the
     /// scratch is simply dropped. The cap bounds the index's memory
     /// high-water mark: a burst of K concurrent sessions must not leave K
     /// dataset-sized scratch sets resident for the index's lifetime.
     fn check_in(&self, state: SessionState) {
         let mut pool = self.pool.lock();
-        if pool.len() < MAX_POOLED_SESSIONS {
+        if pool.len() < self.pool_cap {
             pool.push(state);
         }
     }
@@ -631,14 +646,34 @@ mod tests {
         let (points, _) = gaussian_blobs(80, 2, 2, 40.0, 0.6, 9);
         let index =
             Arc::new(DatasetIndex::freeze_with_ctx(ExecCtx::serial(), points, 4).expect("freeze"));
-        let burst: Vec<Session> = (0..MAX_POOLED_SESSIONS + 8)
+        // A serial context has one lane, so the cap sits at the floor.
+        assert_eq!(index.pooled_cap(), MIN_POOLED_SESSIONS);
+        let burst: Vec<Session> = (0..index.pooled_cap() + 8)
             .map(|_| index.session())
             .collect();
         drop(burst);
-        assert_eq!(index.pooled_sessions(), MAX_POOLED_SESSIONS);
+        assert_eq!(index.pooled_sessions(), index.pooled_cap());
         // The pool still serves warm sessions normally.
         let mut session = index.session();
         assert!(session.run(&ClusterRequest::new()).is_ok());
+    }
+
+    #[test]
+    fn session_pool_cap_scales_with_worker_lanes() {
+        // A wide execution context implies matching request concurrency, so
+        // the parked-scratch cap follows the lane count instead of pinning
+        // every deployment to the 16-entry floor.
+        let (points, _) = gaussian_blobs(60, 2, 2, 40.0, 0.6, 9);
+        let pool = Arc::new(pandora_exec::pool::ThreadPool::new(12));
+        let ctx = ExecCtx::on_pool(pool);
+        assert_eq!(ctx.lanes(), 12);
+        let index = Arc::new(DatasetIndex::freeze_with_ctx(ctx, points, 4).expect("freeze"));
+        assert_eq!(index.pooled_cap(), 24);
+        let burst: Vec<Session> = (0..index.pooled_cap() + 4)
+            .map(|_| index.session())
+            .collect();
+        drop(burst);
+        assert_eq!(index.pooled_sessions(), index.pooled_cap());
     }
 
     #[test]

@@ -28,9 +28,19 @@
 //!   foreign sets only shrink, so the bound stays valid). An interior
 //!   point whose bound lies strictly above its component's current best
 //!   edge can neither win nor tie and skips its traversal entirely; later
-//!   rounds therefore query mostly the points near component boundaries.
+//!   rounds therefore query mostly the points near component boundaries;
+//! * **merge-surviving witnesses** (cuSLINK's 2-hop discipline): a point
+//!   whose previous winner came from an *exact, canonically tie-broken*
+//!   search keeps it as long as it stays foreign — when the point's lower
+//!   bound equals the witness distance the witness still *is* the exact
+//!   nearest-foreign answer, so the whole re-search (row scan and
+//!   traversal) is skipped. Each row screen additionally banks the best
+//!   member of a *second* foreign component, so when a merge absorbs the
+//!   primary witness the secondary usually survives to warm-start (and
+//!   bound) the fallback search instead of a cold traversal.
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use pandora_exec::atomic::{as_atomic_u64, f32_to_ordered_u32, ordered_u32_to_f32};
 use pandora_exec::trace::KernelKind;
@@ -48,6 +58,59 @@ use crate::point::PointSet;
 #[inline(always)]
 fn pack_candidate(d2: f32, p: u32) -> u64 {
     ((f32_to_ordered_u32(d2) as u64) << 32) | p as u64
+}
+
+/// Cumulative effectiveness counters for the witness machinery, shared by
+/// every Borůvka run over one dataset (the owner — an
+/// [`crate::index::EmstIndex`] or workspace — hands a reference to each run
+/// via [`BoruvkaExtras::stats`]).
+///
+/// All counters are monotone and relaxed: lanes accumulate locally and
+/// flush once per chunk, so the atomics see O(chunks) traffic, not O(n).
+#[derive(Debug, Default)]
+pub struct BoruvkaStats {
+    witness_hits: AtomicU64,
+    researches: AtomicU64,
+    snapshot_adopts: AtomicU64,
+}
+
+impl BoruvkaStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queries answered outright by a merge-surviving witness — no row
+    /// scan, no tree traversal.
+    pub fn witness_hits(&self) -> u64 {
+        self.witness_hits.load(Ordering::Relaxed)
+    }
+
+    /// Full nearest-foreign tree searches (the work the witnesses exist to
+    /// avoid).
+    pub fn researches(&self) -> u64 {
+        self.researches.load(Ordering::Relaxed)
+    }
+
+    /// Cold runs that warmed their endgame cache from a snapshot another
+    /// session published to the shared [`EndgameStore`].
+    pub fn snapshot_adopts(&self) -> u64 {
+        self.snapshot_adopts.load(Ordering::Relaxed)
+    }
+
+    fn add_chunk(&self, hits: u64, searches: u64) {
+        if hits > 0 {
+            self.witness_hits.fetch_add(hits, Ordering::Relaxed);
+        }
+        if searches > 0 {
+            self.researches.fetch_add(searches, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one shared-snapshot adoption (called by the index layer).
+    pub fn note_adopt(&self) {
+        self.snapshot_adopts.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// A round enters the "endgame" once this few components remain — the
@@ -77,7 +140,7 @@ const ENDGAME_SNAPSHOT_MAX: usize = 64;
 /// multi-`minPts` sweep (ascending) pays the endgame search volume once,
 /// not once per member. Purely an optimization: skips are strictly
 /// conservative, so results stay bit-identical.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct EndgameSnapshot {
     /// `minPts` rank the bounds were proved under.
     min_pts: usize,
@@ -86,6 +149,88 @@ struct EndgameSnapshot {
     /// Per-point nearest-foreign squared-distance lower bounds, valid for
     /// (`min_pts`, `comp`).
     lower: Vec<f32>,
+}
+
+/// One run's worth of published endgame snapshots: an immutable value the
+/// [`EndgameStore`] hands out behind an `Arc`, so adopting it is a pointer
+/// clone and never blocks the publisher.
+#[derive(Debug)]
+pub struct SnapshotSet {
+    /// `minPts` rank the snapshots were proved under (all snapshots of one
+    /// run share it). A set transfers bounds to any run of rank ≥ this.
+    rank: usize,
+    snaps: Vec<EndgameSnapshot>,
+}
+
+/// Concurrency-safe cross-session snapshot store, owned by the frozen
+/// per-dataset index (so it is structurally bound to one `instance_id` /
+/// point set — sessions can only ever adopt snapshots proved on the points
+/// they are serving).
+///
+/// Publishing is double-buffered in effect: a publisher builds a fresh
+/// [`SnapshotSet`] off-lock, then swaps the shared `Arc` under a mutex that
+/// is held only for the pointer exchange; readers clone the `Arc` and apply
+/// the (immutable) set with no further synchronization. The store keeps the
+/// single best set rather than accumulating: lower-rank bounds transfer to
+/// strictly more runs (mutual-reachability distances grow with `minPts`),
+/// so a set is only replaced when a run of *lower* rank publishes. That
+/// policy also bounds publish traffic — steady-state request streams at one
+/// rank publish exactly once.
+#[derive(Debug, Default)]
+pub struct EndgameStore {
+    published: Mutex<Option<Arc<SnapshotSet>>>,
+    publishes: AtomicU64,
+}
+
+impl EndgameStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether any session has published a snapshot set yet.
+    pub fn is_published(&self) -> bool {
+        self.load().is_some()
+    }
+
+    /// How many snapshot sets have been published (replacements included).
+    pub fn publishes(&self) -> u64 {
+        self.publishes.load(Ordering::Relaxed)
+    }
+
+    fn load(&self) -> Option<Arc<SnapshotSet>> {
+        // A poisoned lock only means a publisher panicked mid-swap; the
+        // stored Arc is always a complete set, so recover and read it.
+        let slot = self.published.lock().unwrap_or_else(|p| p.into_inner());
+        slot.clone()
+    }
+
+    /// Publishes `snaps` (proved under `rank`) if they beat the stored set:
+    /// the store is empty, or the candidate's rank is strictly lower (its
+    /// bounds transfer to strictly more future runs).
+    fn offer(&self, rank: usize, snaps: &[EndgameSnapshot]) {
+        if snaps.is_empty() {
+            return;
+        }
+        {
+            let slot = self.published.lock().unwrap_or_else(|p| p.into_inner());
+            if slot.as_ref().is_some_and(|set| set.rank <= rank) {
+                return;
+            }
+        }
+        // Build the set off-lock (the copy is O(n·snaps)); re-check under
+        // the lock in case a better set landed meanwhile.
+        let set = Arc::new(SnapshotSet {
+            rank,
+            snaps: snaps.to_vec(),
+        });
+        let mut slot = self.published.lock().unwrap_or_else(|p| p.into_inner());
+        if slot.as_ref().is_some_and(|held| held.rank <= rank) {
+            return;
+        }
+        *slot = Some(set);
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// See the type-level docs above. A run captures one snapshot per endgame
@@ -104,6 +249,10 @@ pub struct EndgameCache {
     /// Captured by the current run; promoted to `active` at run end.
     staging: Vec<EndgameSnapshot>,
     staging_len: usize,
+    /// Snapshot set adopted from a shared [`EndgameStore`] — another
+    /// session's published endgame, applied alongside this cache's own
+    /// snapshots under the same containment check.
+    adopted: Option<Arc<SnapshotSet>>,
     /// Scratch for the containment check (snapshot root → current root).
     map: Vec<u32>,
 }
@@ -118,11 +267,48 @@ impl EndgameCache {
     pub fn clear(&mut self) {
         self.active_len = 0;
         self.staging_len = 0;
+        self.adopted = None;
     }
 
-    /// Whether a previous run's snapshots are available to apply.
+    /// Whether previous-run snapshots (own or adopted) are available.
     pub fn is_warm(&self) -> bool {
-        self.active_len > 0
+        self.active_len > 0 || self.adopted.is_some()
+    }
+
+    /// Warms a cold cache from the shared store: adopts the published
+    /// snapshot set (an `Arc` clone) when this cache has produced nothing
+    /// of its own yet. Returns whether an adoption happened. A cache that
+    /// already ran keeps its own snapshots — they were proved on the exact
+    /// request stream this session serves.
+    pub fn adopt_from(&mut self, store: &EndgameStore) -> bool {
+        if self.active_len > 0 || self.adopted.is_some() {
+            return false;
+        }
+        match store.load() {
+            Some(set) => {
+                self.adopted = Some(set);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Offers this cache's last-run snapshots to the shared store, which
+    /// publishes them only when they beat the held set (empty store, or a
+    /// strictly lower metric rank — those bounds transfer to strictly more
+    /// future runs). No-op for a cache that has not completed a run since
+    /// the last publish point.
+    pub fn publish_to(&self, store: &EndgameStore) {
+        if self.active_len > 0 {
+            store.offer(
+                self.active[..self.active_len]
+                    .iter()
+                    .map(|s| s.min_pts)
+                    .max()
+                    .unwrap_or(usize::MAX),
+                &self.active[..self.active_len],
+            );
+        }
     }
 
     /// Captures the entering state of a round: `lower` entries are valid
@@ -156,38 +342,59 @@ impl EndgameCache {
     /// in its current component. Returns whether any snapshot was
     /// considered.
     fn apply(&mut self, min_pts: usize, comp: &[u32], lower: &mut [f32]) -> bool {
-        const UNSEEN: u32 = u32::MAX;
-        const CONFLICT: u32 = u32::MAX - 1;
-        let n = comp.len();
         let mut any = false;
         for snap in &self.active[..self.active_len] {
-            if snap.min_pts > min_pts || snap.comp.len() != n {
-                continue;
-            }
-            any = true;
-            // Pass 1: map every snapshot component to the single current
-            // component holding it, or CONFLICT if its members split
-            // across several (those points keep their own bounds).
-            self.map.resize(n, UNSEEN);
-            self.map.fill(UNSEEN);
-            for (&snap_root, &cur) in snap.comp.iter().zip(comp) {
-                let slot = &mut self.map[snap_root as usize];
-                match *slot {
-                    UNSEEN => *slot = cur,
-                    CONFLICT => {}
-                    held if held != cur => *slot = CONFLICT,
-                    _ => {}
-                }
-            }
-            // Pass 2: transfer bounds for the contained components.
-            for ((dst, &src), &snap_root) in lower.iter_mut().zip(&snap.lower).zip(&snap.comp) {
-                if self.map[snap_root as usize] != CONFLICT && src > *dst {
-                    *dst = src;
-                }
+            any |= apply_snapshot(&mut self.map, snap, min_pts, comp, lower);
+        }
+        // Adopted cross-session snapshots transfer under the identical
+        // proof: same point set (the store lives on the frozen index), rank
+        // monotonicity and component containment checked per snapshot.
+        if let Some(set) = &self.adopted {
+            for snap in &set.snaps {
+                any |= apply_snapshot(&mut self.map, snap, min_pts, comp, lower);
             }
         }
         any
     }
+}
+
+/// Transfers one snapshot's bounds into `lower` when it provably applies:
+/// metric rank no higher than the run's, same point count, and — per
+/// snapshot component — all members still sharing one current component.
+fn apply_snapshot(
+    map: &mut Vec<u32>,
+    snap: &EndgameSnapshot,
+    min_pts: usize,
+    comp: &[u32],
+    lower: &mut [f32],
+) -> bool {
+    const UNSEEN: u32 = u32::MAX;
+    const CONFLICT: u32 = u32::MAX - 1;
+    let n = comp.len();
+    if snap.min_pts > min_pts || snap.comp.len() != n {
+        return false;
+    }
+    // Pass 1: map every snapshot component to the single current component
+    // holding it, or CONFLICT if its members split across several (those
+    // points keep their own bounds).
+    map.resize(n, UNSEEN);
+    map.fill(UNSEEN);
+    for (&snap_root, &cur) in snap.comp.iter().zip(comp) {
+        let slot = &mut map[snap_root as usize];
+        match *slot {
+            UNSEEN => *slot = cur,
+            CONFLICT => {}
+            held if held != cur => *slot = CONFLICT,
+            _ => {}
+        }
+    }
+    // Pass 2: transfer bounds for the contained components.
+    for ((dst, &src), &snap_root) in lower.iter_mut().zip(&snap.lower).zip(&snap.comp) {
+        if map[snap_root as usize] != CONFLICT && src > *dst {
+            *dst = src;
+        }
+    }
+    true
 }
 
 /// Optional configuration of a [`boruvka_mst_with`] run, bundled so the
@@ -212,6 +419,73 @@ pub struct BoruvkaExtras<'a> {
     /// Cross-run endgame cache plus the metric's `minPts` rank (1 for
     /// plain Euclidean); see [`EndgameCache`].
     pub cache: Option<(&'a mut EndgameCache, usize)>,
+    /// Effectiveness counters to accumulate into (witness hits and tree
+    /// re-searches); `None` = don't count.
+    pub stats: Option<&'a BoruvkaStats>,
+}
+
+/// Scans `q`'s sorted k-NN row for its two witnesses: `best`, the exact
+/// cheapest foreign member under canonical tie-breaking (smaller metric
+/// distance, then smaller index), and `second`, the cheapest member in a
+/// component *different from `best`'s* — the 2-hop witness that usually
+/// survives the merge that consumes `best`.
+///
+/// Either slot is `(∞, u32::MAX)` when no qualifying member exists. The
+/// scan early-exits once both are pinned: a later member's Euclidean
+/// distance already exceeds both held distances, so (the metric dominating
+/// its Euclidean part) it can neither win nor tie either slot.
+///
+/// Invariants (property-tested in `tests/mst_properties.rs`):
+/// * `best` equals the brute-force minimum over the row's foreign members;
+/// * a found `second` is foreign, in a different component than `best`,
+///   at an exact metric distance `≥ best`'s — so it never proposes an edge
+///   shorter than the true nearest-foreign distance;
+/// * `second` is found whenever the row holds a foreign member outside
+///   `best`'s component.
+pub fn row_witness_scan<M: Metric>(
+    rows: &KnnRows<'_>,
+    metric: &M,
+    q: u32,
+    root: usize,
+    comp: &[u32],
+) -> ((f32, u32), (f32, u32)) {
+    let base = q as usize * rows.k;
+    let mut best = (f32::INFINITY, u32::MAX);
+    let mut best_comp = usize::MAX;
+    let mut second = (f32::INFINITY, u32::MAX);
+    for j in 0..rows.k {
+        let p = rows.idx[base + j];
+        if p == u32::MAX {
+            break;
+        }
+        let e2 = rows.d2[base + j];
+        if e2 > best.0 && second.1 != u32::MAX {
+            // Ascending rows: every later member's metric distance is ≥ its
+            // Euclidean part, which already exceeds both held witnesses.
+            break;
+        }
+        let pc = comp[p as usize] as usize;
+        if pc == root {
+            continue;
+        }
+        let d2 = metric.refine_euclid2(e2, q, p);
+        if d2 < best.0 || (d2 == best.0 && p < best.1) {
+            // The displaced best seeds the second slot when it lives in a
+            // different component than the new winner; when it shares the
+            // new winner's component it was never a valid second, and any
+            // member dropped earlier for sharing the *old* best's
+            // component shares the new winner's too (the old best moves
+            // down instead) — so no valid candidate is ever lost.
+            if best.1 != u32::MAX && best_comp != pc {
+                second = best;
+            }
+            best = (d2, p);
+            best_comp = pc;
+        } else if pc != best_comp && (d2 < second.0 || (d2 == second.0 && p < second.1)) {
+            second = (d2, p);
+        }
+    }
+    (best, second)
 }
 
 /// Computes the MST of `points` under `metric` using parallel Borůvka.
@@ -314,6 +588,7 @@ pub fn boruvka_mst_with<M: Metric>(
         rows,
         node_core2,
         mut cache,
+        stats,
     } = extras;
     let n = points.len();
     if let Some(seeds) = seeds {
@@ -347,6 +622,21 @@ pub fn boruvka_mst_with<M: Metric>(
         Some(seeds) => best_of.extend_from_slice(seeds),
         None => best_of.resize(n, (f32::INFINITY, u32::MAX)),
     }
+    // 2-hop witness per point: the best known foreign candidate in a
+    // component *different* from the primary witness's, refreshed by every
+    // row screen. When a merge kills the primary this one usually survives
+    // to be promoted in its place (exact distance, so a valid warm seed).
+    let mut alt_of = scratch.take_pairs();
+    alt_of.resize(n, (f32::INFINITY, u32::MAX));
+    // Witness provenance, 1 = canonical: `best_of[q]` was written by an
+    // exact canonically-tie-broken search (tree traversal or certifying
+    // row screen) *together with* `lower[q] = best_of[q].0`. Only such a
+    // witness may answer a query outright — caller seeds and promoted
+    // 2-hop witnesses are exact distances but not necessarily the
+    // smallest-index winner under duplicate weights, so they only ever
+    // serve as upper-bound seeds.
+    let mut canon = scratch.take_u32();
+    canon.resize(n, 0);
     // Per-point monotone **lower** bound on the nearest-foreign squared
     // distance (a candidate is an upper bound, so the two are distinct
     // arrays). Foreign sets only shrink as components merge, so any
@@ -385,10 +675,18 @@ pub fn boruvka_mst_with<M: Metric>(
         // bounds are tight *before* any traversal starts. Without this the
         // first points visited each round see an infinite bound and search
         // even when deep in a component's interior; with it the filter
-        // below engages immediately. O(n) scan, no tree work.
+        // below engages immediately. This pass also runs the 2-hop witness
+        // succession: when a merge consumed the primary witness but the
+        // secondary is still foreign, the secondary is promoted to primary
+        // (marked non-canonical — it is an exact distance but not a proven
+        // canonical winner) and proposed in its place, so the component
+        // bound stays tight without any re-search. O(n) scan, no tree work.
         {
             let cand_view = as_atomic_u64(&mut candidate);
-            let (best_ref, comp_ref) = (&best_of, &comp);
+            let best_view = UnsafeSlice::new(best_of.as_mut_slice());
+            let alt_view = UnsafeSlice::new(alt_of.as_mut_slice());
+            let canon_view = UnsafeSlice::new(canon.as_mut_slice());
+            let comp_ref = &comp;
             let perm = tree.perm();
             ctx.for_each_chunk(n, DEFAULT_GRAIN, |range| {
                 let mut run_root = usize::MAX;
@@ -403,9 +701,31 @@ pub fn boruvka_mst_with<M: Metric>(
                         run_root = root;
                         run_best = u64::MAX;
                     }
-                    let (d2, p) = best_ref[q as usize];
+                    // SAFETY: perm is a permutation, so slots q of the
+                    // per-point arrays are owned by exactly this task.
+                    let (d2, p) = unsafe { best_view.read(q as usize) };
                     if p != u32::MAX && comp_ref[p as usize] as usize != root {
                         run_best = run_best.min(pack_candidate(d2, q));
+                        continue;
+                    }
+                    let alt = unsafe { alt_view.read(q as usize) };
+                    if alt.1 == u32::MAX {
+                        continue;
+                    }
+                    if comp_ref[alt.1 as usize] as usize != root {
+                        // Primary died, secondary survived: promote it.
+                        // SAFETY: as above.
+                        unsafe {
+                            best_view.write(q as usize, alt);
+                            canon_view.write(q as usize, 0);
+                            alt_view.write(q as usize, (f32::INFINITY, u32::MAX));
+                        }
+                        run_best = run_best.min(pack_candidate(alt.0, q));
+                    } else {
+                        // Both hops died in one round; clear the slot so
+                        // later rounds skip the component lookup.
+                        // SAFETY: as above.
+                        unsafe { alt_view.write(q as usize, (f32::INFINITY, u32::MAX)) };
                     }
                 }
                 if run_best != u64::MAX {
@@ -422,6 +742,8 @@ pub fn boruvka_mst_with<M: Metric>(
         {
             let cand_view = as_atomic_u64(&mut candidate);
             let best_view = UnsafeSlice::new(best_of.as_mut_slice());
+            let alt_view = UnsafeSlice::new(alt_of.as_mut_slice());
+            let canon_view = UnsafeSlice::new(canon.as_mut_slice());
             let lower_view = UnsafeSlice::new(lower.as_mut_slice());
             let comp_ref = &comp;
             let purity_ref = &purity;
@@ -434,6 +756,10 @@ pub fn boruvka_mst_with<M: Metric>(
                 let mut run_root = usize::MAX;
                 let mut run_best = u64::MAX;
                 let mut run_bound = f32::INFINITY;
+                // Chunk-local effectiveness counters, flushed once at the
+                // end so the shared atomics see O(chunks) traffic.
+                let mut hits = 0u64;
+                let mut searches = 0u64;
                 for i in range {
                     let q = perm[i];
                     let root = comp_ref[q as usize] as usize;
@@ -450,7 +776,7 @@ pub fn boruvka_mst_with<M: Metric>(
                             ordered_u32_to_f32((packed >> 32) as u32)
                         };
                     }
-                    // SAFETY: perm is a permutation, so slots q of both
+                    // SAFETY: perm is a permutation, so slots q of the
                     // per-point arrays are read and written by exactly this
                     // task.
                     // Boundary-point filter: `lower[q]` lower-bounds q's
@@ -459,7 +785,24 @@ pub fn boruvka_mst_with<M: Metric>(
                     // strictly above the bound can neither win nor tie the
                     // component minimum — skip its traversal entirely.
                     // (Ties must still propose: smaller index wins.)
-                    if unsafe { lower_view.read(q as usize) } > run_bound {
+                    let low = unsafe { lower_view.read(q as usize) };
+                    if low > run_bound {
+                        continue;
+                    }
+                    // Merge-surviving witness: if the primary witness came
+                    // from an exact canonical search (`canon`), is still
+                    // foreign, and `lower` has caught up to its distance,
+                    // then it *is* still the exact canonical answer — the
+                    // foreign set only shrinks, so nothing closer appeared
+                    // and no equal-distance smaller-index point turned
+                    // foreign. Propose it and skip the query entirely.
+                    let prev = unsafe { best_view.read(q as usize) };
+                    let prev_alive =
+                        prev.1 != u32::MAX && comp_ref[prev.1 as usize] as usize != root;
+                    if prev_alive && low >= prev.0 && unsafe { canon_view.read(q as usize) } != 0 {
+                        run_best = run_best.min(pack_candidate(prev.0, q));
+                        run_bound = run_bound.min(prev.0);
+                        hits += 1;
                         continue;
                     }
                     // Row screen: when sorted k-NN rows are attached, try to
@@ -469,40 +812,28 @@ pub fn boruvka_mst_with<M: Metric>(
                     // the k-th distance, and the metric dominates the
                     // Euclidean part), so the traversal is skipped entirely;
                     // otherwise the k-th distance joins the boundary filter
-                    // as a monotone lower bound.
+                    // as a monotone lower bound. The same scan refreshes the
+                    // 2-hop witness with the best member of a second foreign
+                    // component.
                     let mut row_seed: Option<(f32, u32)> = None;
                     if let Some(rows) = &rows_opt {
                         let base = q as usize * rows.k;
                         let full = rows.idx[base + rows.k - 1] != u32::MAX;
-                        let mut best = (f32::INFINITY, u32::MAX);
-                        for j in 0..rows.k {
-                            let p = rows.idx[base + j];
-                            if p == u32::MAX {
-                                break;
-                            }
-                            let e2 = rows.d2[base + j];
-                            if e2 > best.0 {
-                                // Ascending rows: every later member's metric
-                                // distance is ≥ its Euclidean part > best —
-                                // it can neither win nor tie.
-                                break;
-                            }
-                            if comp_ref[p as usize] as usize != root {
-                                let d2 = metric.refine_euclid2(e2, q, p);
-                                if d2 < best.0 || (d2 == best.0 && p < best.1) {
-                                    best = (d2, p);
-                                }
-                            }
+                        let (best, second) = row_witness_scan(rows, metric, q, root, comp_ref);
+                        if second.1 != u32::MAX {
+                            // SAFETY: perm is a permutation; slots q of the
+                            // per-point arrays are owned by this task.
+                            unsafe { alt_view.write(q as usize, second) };
                         }
                         let kth = rows.d2[base + rows.k - 1];
                         if best.1 != u32::MAX && (!full || best.0 < kth) {
                             // Exact winner from the row — same handling as a
-                            // Found traversal result.
-                            // SAFETY: perm is a permutation; slots q of both
-                            // per-point arrays are owned by this task.
+                            // Found traversal result, canonical witness.
+                            // SAFETY: as above.
                             unsafe {
                                 best_view.write(q as usize, best);
                                 lower_view.write(q as usize, best.0);
+                                canon_view.write(q as usize, 1);
                             }
                             run_best = run_best.min(pack_candidate(best.0, q));
                             run_bound = run_bound.min(best.0);
@@ -514,11 +845,10 @@ pub fn boruvka_mst_with<M: Metric>(
                             // least that far away, this round and every
                             // later one.
                             // SAFETY: as above.
-                            let old = unsafe { lower_view.read(q as usize) };
-                            if kth > old {
+                            if kth > low {
                                 unsafe { lower_view.write(q as usize, kth) };
                             }
-                            if old.max(kth) > run_bound {
+                            if low.max(kth) > run_bound {
                                 continue;
                             }
                             if best.1 != u32::MAX {
@@ -532,12 +862,18 @@ pub fn boruvka_mst_with<M: Metric>(
                             continue;
                         }
                     }
-                    let prev = unsafe { best_view.read(q as usize) };
                     // Warm start: the previous round's winner is a valid
-                    // candidate iff its component is still foreign.
-                    let mut seed = (prev.1 != u32::MAX
-                        && comp_ref[prev.1 as usize] != comp_ref[q as usize])
-                        .then_some(prev);
+                    // candidate iff its component is still foreign; when it
+                    // died this round, the freshly-scanned 2-hop witness
+                    // stands in (the pre-pass already promoted last round's
+                    // survivor into `prev` itself).
+                    let mut seed = prev_alive.then_some(prev);
+                    if seed.is_none() {
+                        let alt = unsafe { alt_view.read(q as usize) };
+                        if alt.1 != u32::MAX && comp_ref[alt.1 as usize] as usize != root {
+                            seed = Some(alt);
+                        }
+                    }
                     if let Some(rs) = row_seed {
                         // The row's best foreign member is an exact candidate
                         // too; keep whichever prunes harder.
@@ -556,6 +892,7 @@ pub fn boruvka_mst_with<M: Metric>(
                     if run_bound.is_finite() && seed.is_none_or(|(d2, _)| run_bound < d2) {
                         seed = Some((run_bound, u32::MAX));
                     }
+                    searches += 1;
                     let found = tree.nearest_foreign_bounded(
                         points, metric, q, comp_ref, purity_ref, node_core2, seed,
                     );
@@ -563,11 +900,13 @@ pub fn boruvka_mst_with<M: Metric>(
                         ForeignSearch::Found(d2, p) => {
                             // The search returned q's exact nearest-foreign
                             // distance, which is both the next candidate and
-                            // the tightest possible lower bound.
+                            // the tightest possible lower bound — and a
+                            // canonical witness for later rounds.
                             // SAFETY: as above, slots q are owned here.
                             unsafe {
                                 best_view.write(q as usize, (d2, p));
                                 lower_view.write(q as usize, d2);
+                                canon_view.write(q as usize, 1);
                             }
                             run_best = run_best.min(pack_candidate(d2, q));
                             run_bound = run_bound.min(d2);
@@ -589,6 +928,9 @@ pub fn boruvka_mst_with<M: Metric>(
                 }
                 if run_best != u64::MAX {
                     cand_view[run_root].fetch_min(run_best, Ordering::Relaxed);
+                }
+                if let Some(stats) = stats {
+                    stats.add_chunk(hits, searches);
                 }
             });
         }
@@ -670,6 +1012,8 @@ pub fn boruvka_mst_with<M: Metric>(
     scratch.put_u32(roots);
     scratch.put_u64(candidate);
     scratch.put_pairs(best_of);
+    scratch.put_pairs(alt_of);
+    scratch.put_u32(canon);
     scratch.put_f32(lower);
     debug_assert_eq!(edges.len(), n - 1);
     edges

@@ -19,13 +19,14 @@
 use std::time::Instant;
 
 use pandora_core::Edge;
-use pandora_exec::{ExecCtx, UnsafeSlice, DEFAULT_GRAIN};
+use pandora_exec::{ExecCtx, ScratchPool};
 
-use crate::boruvka::{boruvka_mst, boruvka_mst_seeded};
+use crate::boruvka::{boruvka_mst, boruvka_mst_seeded, boruvka_mst_with, BoruvkaExtras};
 use crate::kdtree::{KdTree, DEFAULT_LEAF_SIZE};
-use crate::knn::core_distances2_and_knn;
+use crate::knn::{core2_from_rows, knn_rows_into, KnnRows};
 use crate::metric::{Euclidean, MutualReachability};
 use crate::point::PointSet;
+use crate::workspace::ROW_SLACK;
 
 /// Parameters of an EMST run.
 #[derive(Debug, Clone, Copy)]
@@ -105,6 +106,15 @@ pub fn emst(ctx: &ExecCtx, points: &PointSet, params: &EmstParams) -> Emst {
         ..Default::default()
     };
 
+    if n <= 1 {
+        // Degenerate sets: nothing to connect, every core distance is 0.
+        return Emst {
+            edges: Vec::new(),
+            core2: vec![0.0; n],
+            timings,
+        };
+    }
+
     if params.min_pts <= 1 {
         // Plain single linkage: zero core distances, Euclidean metric.
         ctx.set_phase("emst_boruvka");
@@ -120,43 +130,46 @@ pub fn emst(ctx: &ExecCtx, points: &PointSet, params: &EmstParams) -> Emst {
 
     ctx.set_phase("emst_core");
     let t = Instant::now();
-    let (core2, nn) = core_distances2_and_knn(ctx, points, &tree, params.min_pts);
+    // Sorted k-NN rows, `ROW_SLACK` wider than the core-distance prefix —
+    // the same substrate the frozen-index path captures at freeze time.
+    // Feeding the rows (rather than collapsed per-point seeds) into
+    // Borůvka arms the row screen and the merge-surviving 2-hop witnesses
+    // on the cold one-shot path too: round one mostly resolves straight
+    // from the rows, later rounds from surviving witnesses.
+    let k = (params.min_pts - 1 + ROW_SLACK).min(n - 1);
+    let (mut row_d2, mut row_idx) = (Vec::new(), Vec::new());
+    knn_rows_into(ctx, points, &tree, k, &mut row_d2, &mut row_idx);
+    // Core distances by prefix: the (minPts − 2)-th entry of a sorted row
+    // is the exact distance to the (minPts − 1)-th nearest neighbour.
+    let mut core2 = vec![0.0f32; n];
+    core2_from_rows(ctx, &row_d2, k, params.min_pts, &mut core2);
     // Per-request subtree core minima for mutual-reachability pruning; the
     // tree itself stays immutable (and thus shareable across requests).
     let mut node_core2 = Vec::new();
     tree.min_core2_into(&core2, &mut node_core2);
-    // First-round Borůvka seeds from the k-NN pass: for a heap member p of
-    // q, the Euclidean part is ≤ core2[q], so the mutual-reachability
-    // distance collapses to max(core2[q], core2[p]) — pick the cheapest
-    // member (ties to the smaller index, matching Borůvka's tie-break).
-    let k = params.min_pts - 1;
-    let mut seeds = vec![(f32::INFINITY, u32::MAX); n];
-    {
-        let seed_view = UnsafeSlice::new(&mut seeds);
-        let (core2_ref, nn_ref) = (&core2, &nn);
-        ctx.for_each_chunk(n, DEFAULT_GRAIN, |range| {
-            for q in range {
-                let mut best = (f32::INFINITY, u32::MAX);
-                for &p in &nn_ref[q * k..(q + 1) * k] {
-                    if p == u32::MAX {
-                        break;
-                    }
-                    let d2 = core2_ref[q].max(core2_ref[p as usize]);
-                    if d2 < best.0 || (d2 == best.0 && p < best.1) {
-                        best = (d2, p);
-                    }
-                }
-                // SAFETY: disjoint writes.
-                unsafe { seed_view.write(q, best) };
-            }
-        });
-    }
     timings.core_s = t.elapsed().as_secs_f64();
 
     ctx.set_phase("emst_boruvka");
     let t = Instant::now();
     let metric = MutualReachability { core2: &core2 };
-    let edges = boruvka_mst_seeded(ctx, points, &tree, &metric, Some(seeds), &node_core2);
+    let rows = KnnRows {
+        k,
+        d2: &row_d2,
+        idx: &row_idx,
+    };
+    let pool = ScratchPool::new();
+    let edges = boruvka_mst_with(
+        ctx,
+        points,
+        &tree,
+        &metric,
+        BoruvkaExtras {
+            rows: Some(rows),
+            node_core2: &node_core2,
+            ..Default::default()
+        },
+        &pool,
+    );
     timings.boruvka_s = t.elapsed().as_secs_f64();
 
     Emst {

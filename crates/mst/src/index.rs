@@ -32,7 +32,7 @@ use std::time::Instant;
 use pandora_core::Edge;
 use pandora_exec::{ExecCtx, ScratchPool};
 
-use crate::boruvka::{boruvka_mst_with, BoruvkaExtras, EndgameCache};
+use crate::boruvka::{boruvka_mst_with, BoruvkaExtras, BoruvkaStats, EndgameCache, EndgameStore};
 use crate::emst::{Emst, EmstTimings};
 use crate::error::PandoraError;
 use crate::kdtree::{KdTree, DEFAULT_LEAF_SIZE};
@@ -61,6 +61,16 @@ pub struct EmstIndex {
     row_idx: Vec<u32>,
     build_s: f64,
     rows_s: f64,
+    /// Shared endgame-snapshot store: the best endgame bounds any request
+    /// against this index has produced, published for every other scratch
+    /// set to adopt. Living on the index makes the `instance_id` binding
+    /// structural — a snapshot can never outlive or migrate off the freeze
+    /// it was proved against.
+    endgame_store: EndgameStore,
+    /// Aggregate Borůvka effectiveness counters across every request
+    /// served from this index (witness hits, re-searches, snapshot
+    /// adoptions).
+    stats: BoruvkaStats,
 }
 
 /// Compile-time proof the index is shareable across serving threads.
@@ -136,6 +146,8 @@ impl EmstIndex {
             row_idx,
             build_s,
             rows_s,
+            endgame_store: EndgameStore::new(),
+            stats: BoruvkaStats::new(),
         })
     }
 
@@ -185,6 +197,22 @@ impl EmstIndex {
     /// bounds between datasets.
     pub fn instance_id(&self) -> u64 {
         self.id
+    }
+
+    /// The shared endgame-snapshot store for this freeze. Requests served
+    /// through [`emst_from_index`] adopt from and publish to it
+    /// automatically; it is exposed so serving layers can reason about (and
+    /// test) warm-up behaviour.
+    pub fn endgame_store(&self) -> &EndgameStore {
+        &self.endgame_store
+    }
+
+    /// Aggregate Borůvka effectiveness counters for every request served
+    /// from this index: merge-surviving witness hits, fallback
+    /// `nearest_foreign_bounded` re-searches, and shared-snapshot
+    /// adoptions.
+    pub fn stats(&self) -> &BoruvkaStats {
+        &self.stats
     }
 
     /// Seconds the freeze spent building the kd-tree.
@@ -319,6 +347,7 @@ pub(crate) fn run_request(
     node_core2: &mut Vec<f32>,
     endgame: &mut EndgameCache,
     pool: &ScratchPool,
+    stats: Option<&BoruvkaStats>,
 ) -> Vec<Edge> {
     // Per-request metric selection: an explicitly Euclidean request (or a
     // mutual-reachability one at `min_pts ≤ 1`, where every core distance
@@ -346,6 +375,7 @@ pub(crate) fn run_request(
             BoruvkaExtras {
                 rows,
                 cache: Some((endgame, 1)),
+                stats,
                 ..Default::default()
             },
             pool,
@@ -361,6 +391,7 @@ pub(crate) fn run_request(
                 rows,
                 node_core2: node_core2.as_slice(),
                 cache: Some((endgame, min_pts.max(1))),
+                stats,
                 ..Default::default()
             },
             pool,
@@ -412,6 +443,12 @@ pub fn emst_from_index_with(
     let mut core2 = Vec::new();
     index.core2_into(ctx, min_pts, &mut core2)?;
     scratch.rebind(index);
+    // Cold scratch sets warm up from the best snapshot any earlier request
+    // against this index published (module docs: the store lives on the
+    // index, so the bounds are guaranteed to have been proved right here).
+    if scratch.endgame.adopt_from(&index.endgame_store) {
+        index.stats.note_adopt();
+    }
     let core_s = t.elapsed().as_secs_f64();
 
     let t = Instant::now();
@@ -426,8 +463,12 @@ pub fn emst_from_index_with(
         &mut scratch.node_core2,
         &mut scratch.endgame,
         &scratch.pool,
+        Some(&index.stats),
     );
     let boruvka_s = t.elapsed().as_secs_f64();
+    // Offer this run's endgame bounds back to the shared store so the next
+    // cold scratch (another session, another daemon lane) starts warm.
+    scratch.endgame.publish_to(&index.endgame_store);
 
     Ok(Emst {
         edges,
@@ -597,6 +638,126 @@ mod tests {
         for (x, y) in served.edges.iter().zip(cold.edges.iter()) {
             assert_eq!((x.u, x.v, x.w), (y.u, y.v, y.w));
         }
+    }
+
+    /// Well-separated blobs: late Borůvka rounds have blob-sized
+    /// components whose interiors cannot resolve from k-NN rows (every row
+    /// member is domestic), forcing real endgame tree searches — the
+    /// workload the snapshot store exists for.
+    fn blob_points(per_blob: usize, seed: u64) -> PointSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers = [
+            (-40.0f32, -40.0f32),
+            (40.0, -40.0),
+            (-40.0, 40.0),
+            (40.0, 40.0),
+        ];
+        let mut data = Vec::with_capacity(per_blob * centers.len() * 2);
+        for &(cx, cy) in &centers {
+            for _ in 0..per_blob {
+                data.push(cx + rng.gen_range(-2.0..2.0f32));
+                data.push(cy + rng.gen_range(-2.0..2.0f32));
+            }
+        }
+        PointSet::new(data, 2)
+    }
+
+    #[test]
+    fn second_scratch_adopts_the_shared_endgame_snapshot() {
+        // The cross-session tentpole property at the mst layer: the first
+        // request publishes its endgame snapshots to the index's shared
+        // store, and a brand-new (cold) scratch set adopts them — dropping
+        // its re-search volume below the cold run's — while staying
+        // bit-identical to the cold one-shot path.
+        let ctx = ExecCtx::serial();
+        let points = blob_points(150, 21);
+        let index = EmstIndex::freeze(&ctx, points.clone(), 8).expect("freeze");
+        assert!(!index.endgame_store().is_published());
+        assert_eq!(index.stats().snapshot_adopts(), 0);
+
+        let mut s1 = EmstScratch::new();
+        let first = emst_from_index(&ctx, &index, 4, &mut s1).expect("serve");
+        assert!(
+            index.endgame_store().is_published(),
+            "the first completed run must publish its snapshots"
+        );
+        assert_eq!(
+            index.stats().snapshot_adopts(),
+            0,
+            "nothing to adopt on an empty store"
+        );
+        let cold_searches = index.stats().researches();
+        assert!(cold_searches > 0);
+
+        let mut s2 = EmstScratch::new();
+        let second = emst_from_index(&ctx, &index, 4, &mut s2).expect("serve");
+        assert_eq!(
+            index.stats().snapshot_adopts(),
+            1,
+            "a cold scratch must adopt the published set"
+        );
+        let warm_searches = index.stats().researches() - cold_searches;
+        assert!(
+            warm_searches < cold_searches,
+            "adopted bounds must cut re-searches ({warm_searches} vs {cold_searches})"
+        );
+
+        // Bit-identical to each other and to the cold one-shot path.
+        let cold = emst(&ctx, &points, &EmstParams::with_min_pts(4));
+        assert_eq!(first.core2, cold.core2);
+        assert_eq!(second.core2, cold.core2);
+        for ((a, b), c) in first
+            .edges
+            .iter()
+            .zip(second.edges.iter())
+            .zip(cold.edges.iter())
+        {
+            assert_eq!((a.u, a.v, a.w), (b.u, b.v, b.w));
+            assert_eq!((a.u, a.v, a.w), (c.u, c.v, c.w));
+        }
+    }
+
+    #[test]
+    fn lower_rank_runs_replace_the_published_set() {
+        // Publish policy: steady-state streams at one rank publish once;
+        // only a strictly lower rank (bounds valid for strictly more
+        // future requests) replaces the stored set.
+        let ctx = ExecCtx::serial();
+        let index = EmstIndex::freeze(&ctx, random_points(300, 2, 33), 8).expect("freeze");
+        let mut scratch = EmstScratch::new();
+        let _ = emst_from_index(&ctx, &index, 4, &mut scratch).expect("serve");
+        assert_eq!(index.endgame_store().publishes(), 1);
+        let _ = emst_from_index(&ctx, &index, 4, &mut scratch).expect("serve");
+        assert_eq!(
+            index.endgame_store().publishes(),
+            1,
+            "same rank must not republish"
+        );
+        let _ = emst_from_index(&ctx, &index, 2, &mut scratch).expect("serve");
+        assert_eq!(
+            index.endgame_store().publishes(),
+            2,
+            "a lower rank replaces the set"
+        );
+        let _ = emst_from_index(&ctx, &index, 8, &mut scratch).expect("serve");
+        assert_eq!(
+            index.endgame_store().publishes(),
+            2,
+            "a higher rank never replaces"
+        );
+    }
+
+    #[test]
+    fn witness_hits_accumulate_on_the_index_stats() {
+        let ctx = ExecCtx::serial();
+        let index = EmstIndex::freeze(&ctx, random_points(500, 3, 5), 8).expect("freeze");
+        let mut scratch = EmstScratch::new();
+        let _ = emst_from_index(&ctx, &index, 4, &mut scratch).expect("serve");
+        let stats = index.stats();
+        assert!(
+            stats.witness_hits() + stats.researches() > 0,
+            "a full run must account its queries"
+        );
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub mod point;
 pub mod prim;
 pub mod workspace;
 
-pub use boruvka::{boruvka_mst, boruvka_mst_seeded, boruvka_mst_with, BoruvkaExtras, EndgameCache};
+pub use boruvka::{
+    boruvka_mst, boruvka_mst_seeded, boruvka_mst_with, row_witness_scan, BoruvkaExtras,
+    BoruvkaStats, EndgameCache, EndgameStore, SnapshotSet,
+};
 pub use emst::{emst, emst_with_core2, Emst, EmstParams, EmstTimings};
 pub use error::PandoraError;
 pub use index::{emst_from_index, emst_from_index_with, EmstIndex, EmstScratch};

@@ -324,6 +324,7 @@ pub fn emst_into_with(
         &mut ws.node_core2,
         &mut ws.endgame,
         &ws.scratch,
+        None,
     );
     timings.boruvka_s = t.elapsed().as_secs_f64();
 

@@ -167,6 +167,59 @@ fn wire_load_and_sweep_match_in_process_results() {
 }
 
 #[test]
+fn stats_exposes_boruvka_witness_and_snapshot_counters() {
+    // The per-dataset `stats` rows carry the Borůvka effectiveness
+    // counters (docs/SERVING.md): witness hits, tree re-searches and
+    // endgame-snapshot adoptions — present from the first reply (all
+    // zero before any engine work) and moving once a request runs.
+    let daemon = Daemon::bind("127.0.0.1:0", DaemonConfig::new().workers(2)).expect("bind");
+    daemon
+        .registry()
+        .register("d", freeze(blobs(400, 41), 8), false)
+        .expect("register");
+    let mut client = Client::connect(&daemon);
+
+    let dataset_row = |line: &str| -> (usize, usize, usize) {
+        let parsed = Json::parse(line).expect("stats is valid JSON");
+        let datasets = parsed
+            .get("result")
+            .and_then(|r| r.get("datasets"))
+            .and_then(Json::as_slice)
+            .unwrap_or_else(|| panic!("no datasets array in: {line}"));
+        let row = datasets
+            .iter()
+            .find(|row| row.get("name").and_then(Json::as_str) == Some("d"))
+            .unwrap_or_else(|| panic!("no row for dataset d in: {line}"));
+        let field = |key: &str| {
+            row.get(key)
+                .and_then(Json::as_usize)
+                .unwrap_or_else(|| panic!("no {key} counter in: {line}"))
+        };
+        (
+            field("witness_hits"),
+            field("researches"),
+            field("snapshot_adopts"),
+        )
+    };
+
+    let line = client.call(r#"{"id":1,"method":"stats"}"#);
+    assert_eq!(
+        dataset_row(&line),
+        (0, 0, 0),
+        "counters must exist and read zero before any engine work: {line}"
+    );
+
+    let ok = client.call(r#"{"id":2,"method":"cluster","params":{"dataset":"d","min_pts":4}}"#);
+    assert!(ok.contains(r#""result""#), "{ok}");
+    let line = client.call(r#"{"id":3,"method":"stats"}"#);
+    let (hits, _, _) = dataset_row(&line);
+    assert!(hits > 0, "a cluster run must score witness hits: {line}");
+
+    daemon.shutdown();
+    daemon.join();
+}
+
+#[test]
 fn malformed_input_gets_typed_errors_not_disconnects() {
     let daemon = Daemon::bind("127.0.0.1:0", DaemonConfig::new().workers(1)).expect("bind");
     daemon

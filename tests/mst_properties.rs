@@ -13,7 +13,8 @@ use pandora::exec::ExecCtx;
 use pandora::mst::kruskal::total_weight;
 use pandora::mst::prim::prim_mst;
 use pandora::mst::{
-    boruvka_mst, core_distances2, emst, EmstParams, Euclidean, KdTree, MutualReachability, PointSet,
+    boruvka_mst, core_distances2, emst, emst_from_index, knn_rows_into, row_witness_scan,
+    EmstIndex, EmstParams, EmstScratch, Euclidean, KdTree, KnnRows, MutualReachability, PointSet,
 };
 
 /// Adversarial point sets. `mode` picks the family; coordinates are
@@ -118,6 +119,126 @@ proptest! {
                 "depth {} exceeds {} at n={} leaf={}",
                 serial.depth(), bound, points.len(), leaf_size
             );
+        }
+    }
+
+    #[test]
+    fn row_witness_scan_invariants(
+        (points, min_pts, comp_seed) in (adversarial_points(), 2usize..6, any::<u64>())
+    ) {
+        // The witness scan's documented contract, on ties-everywhere inputs
+        // with an arbitrary component labelling:
+        //   * `best` is the brute-force canonical minimum (smaller metric
+        //     distance, then smaller index) over the row's foreign members;
+        //   * a found `second` is foreign, lives outside `best`'s component,
+        //     and its exact metric distance is ≥ `best`'s — so a promoted
+        //     2-hop witness can never propose an edge shorter than the true
+        //     nearest-foreign distance;
+        //   * `second` is found whenever the row holds a foreign member
+        //     outside `best`'s component.
+        let ctx = ExecCtx::serial();
+        let n = points.len();
+        let min_pts = min_pts.min(n);
+        let tree = KdTree::build(&ctx, &points);
+        let k = (min_pts + 3).min(n - 1);
+        let (mut row_d2, mut row_idx) = (Vec::new(), Vec::new());
+        knn_rows_into(&ctx, &points, &tree, k, &mut row_d2, &mut row_idx);
+        let rows = KnnRows { k, d2: &row_d2, idx: &row_idx };
+        // Brute-force core distances keep the oracle independent of `knn`.
+        let core2: Vec<f32> = (0..n)
+            .map(|q| {
+                let mut d: Vec<f32> = (0..n)
+                    .filter(|&p| p != q)
+                    .map(|p| points.dist2(q, p))
+                    .collect();
+                d.sort_by(f32::total_cmp);
+                d[min_pts - 2]
+            })
+            .collect();
+        let metric = MutualReachability { core2: &core2 };
+        let exact = |q: usize, p: u32| {
+            points
+                .dist2(q, p as usize)
+                .max(core2[q])
+                .max(core2[p as usize])
+        };
+        // A deterministic pseudo-random labelling into four components —
+        // arbitrary labels are exactly what mid-run Borůvka hands the scan.
+        let comp: Vec<u32> = (0..n as u64)
+            .map(|p| ((p.wrapping_add(1).wrapping_mul(comp_seed | 1)) >> 32) as u32 % 4)
+            .collect();
+        for q in 0..n {
+            let root = comp[q] as usize;
+            let (best, second) = row_witness_scan(&rows, &metric, q as u32, root, &comp);
+            let members: Vec<u32> = (0..k)
+                .map(|j| row_idx[q * k + j])
+                .take_while(|&p| p != u32::MAX)
+                .collect();
+            let expect_best = members
+                .iter()
+                .filter(|&&p| comp[p as usize] as usize != root)
+                .map(|&p| (exact(q, p), p))
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            match expect_best {
+                Some(expected) => prop_assert_eq!(best, expected, "q={}", q),
+                None => prop_assert_eq!(best.1, u32::MAX, "q={}", q),
+            }
+            let two_hop_exists = best.1 != u32::MAX
+                && members.iter().any(|&p| {
+                    comp[p as usize] as usize != root && comp[p as usize] != comp[best.1 as usize]
+                });
+            if second.1 != u32::MAX {
+                prop_assert_ne!(comp[second.1 as usize] as usize, root, "q={}", q);
+                prop_assert_ne!(comp[second.1 as usize], comp[best.1 as usize], "q={}", q);
+                prop_assert_eq!(second.0, exact(q, second.1), "q={}", q);
+                prop_assert!(
+                    second.0 >= best.0,
+                    "q={}: second {} undercuts nearest-foreign {}", q, second.0, best.0
+                );
+            } else {
+                prop_assert!(!two_hop_exists, "q={}: missed a 2-hop witness", q);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_index_path_matches_cold_and_prim_exactly(
+        (points, min_pts) in (adversarial_points(), 1usize..6)
+    ) {
+        // The frozen-index path layers every acceleration at once — row
+        // screen, merge-surviving witnesses, endgame snapshots (second run
+        // through the same scratch), shared-store adoption (fresh scratch
+        // after a publish) — and must still return the cold run's edges
+        // BIT-identically, serial and threaded, while the cold run itself
+        // matches the Prim oracle on these tie-heavy inputs.
+        let min_pts = min_pts.min(points.len());
+        let serial = ExecCtx::serial();
+        let cold = emst(&serial, &points, &EmstParams::with_min_pts(min_pts));
+        let metric = MutualReachability { core2: &cold.core2 };
+        let oracle = prim_mst(&points, &metric);
+        let (wc, wo) = (total_weight(&cold.edges), total_weight(&oracle));
+        prop_assert!((wc - wo).abs() <= 1e-3 * wo.max(1.0), "cold {} vs Prim {}", wc, wo);
+        for ctx in [ExecCtx::serial(), ExecCtx::threads()] {
+            let index = EmstIndex::freeze(&ctx, points.clone(), min_pts)
+                .expect("freeze a non-empty dataset");
+            let mut scratch = EmstScratch::new();
+            let first = emst_from_index(&ctx, &index, min_pts, &mut scratch)
+                .expect("valid request");
+            let second = emst_from_index(&ctx, &index, min_pts, &mut scratch)
+                .expect("valid request");
+            let mut fresh = EmstScratch::new();
+            let adopted = emst_from_index(&ctx, &index, min_pts, &mut fresh)
+                .expect("valid request");
+            for run in [&first, &second, &adopted] {
+                prop_assert_eq!(run.core2.as_slice(), cold.core2.as_slice());
+                prop_assert_eq!(run.edges.len(), cold.edges.len());
+                for (ea, eb) in run.edges.iter().zip(cold.edges.iter()) {
+                    prop_assert_eq!(
+                        (ea.u, ea.v, ea.w.to_bits()),
+                        (eb.u, eb.v, eb.w.to_bits())
+                    );
+                }
+            }
         }
     }
 

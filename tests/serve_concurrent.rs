@@ -121,6 +121,64 @@ fn serving_threads_may_use_the_shared_thread_pool() {
 }
 
 #[test]
+fn a_second_session_warms_from_the_shared_endgame_store() {
+    // The endgame store lives on the frozen index, not inside any session:
+    // the first request against a dataset publishes its endgame snapshots,
+    // and a session drawn cold afterwards — while the first still holds its
+    // scratch, so nothing warm can be handed over through the park pool —
+    // adopts them instead of re-proving the bounds from scratch. Observable
+    // as an adoption tick plus a strictly smaller tree re-search bill on
+    // the engine counters, with answers still bit-identical to cold.
+    let (points, _) = gaussian_blobs(600, 2, 4, 160.0, 0.8, 21);
+    let cold = Hdbscan::with_ctx(
+        ClusterRequest::new().min_pts(4).to_params(),
+        ExecCtx::serial(),
+    )
+    .run(&points);
+    let index = Arc::new(DatasetIndex::freeze(points, 8).expect("freeze"));
+    let stats = index.emst().stats();
+    assert_eq!(stats.snapshot_adopts(), 0, "no adoption before any request");
+
+    let mut first = index.session();
+    let served = first
+        .run(&ClusterRequest::new().min_pts(4))
+        .expect("valid request");
+    assert_results_identical(&served, &cold, "first (cold-store) session");
+    assert!(
+        index.emst().endgame_store().is_published(),
+        "the first request must publish its endgame snapshots"
+    );
+    assert_eq!(
+        stats.snapshot_adopts(),
+        0,
+        "the first session had nothing to adopt"
+    );
+    let first_searches = stats.researches();
+    assert!(
+        first_searches > 0,
+        "separated blobs must force real endgame re-searches on a cold run"
+    );
+
+    // `first` is still alive, so this session starts from a fresh scratch.
+    let mut second = index.session();
+    let served = second
+        .run(&ClusterRequest::new().min_pts(4))
+        .expect("valid request");
+    assert_results_identical(&served, &cold, "second (adopting) session");
+    assert_eq!(
+        stats.snapshot_adopts(),
+        1,
+        "the second session's cold scratch must adopt the published set"
+    );
+    let second_searches = stats.researches() - first_searches;
+    assert!(
+        second_searches < first_searches,
+        "adopted endgame bounds must cut the re-search bill: \
+         {second_searches} vs cold {first_searches}"
+    );
+}
+
+#[test]
 fn no_user_input_reaches_a_panic_in_the_serving_api() {
     // The acceptance checklist's error paths: non-finite coordinates,
     // min_pts ∈ {0, n + 1}, empty dataset — all errors, never panics.
