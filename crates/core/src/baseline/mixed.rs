@@ -144,6 +144,8 @@ pub fn dendrogram_mixed(ctx: &ExecCtx, mst: &SortedMst, top_fraction: f64) -> De
                     vertex_parent[endpoint as usize] = e as u32;
                 }
             }
+            // SAFETY: still phase 4 — this loop is the only thread touching
+            // the parent array, so finds and the union write cannot race.
             unsafe {
                 let ru = uf_find(&parent_view, u);
                 let rv = uf_find(&parent_view, v);
@@ -171,15 +173,19 @@ pub fn dendrogram_mixed(ctx: &ExecCtx, mst: &SortedMst, top_fraction: f64) -> De
 unsafe fn uf_find(parent: &UnsafeSlice<'_, u32>, x: u32) -> u32 {
     let mut cur = x;
     loop {
-        let p = parent.read(cur as usize);
+        // SAFETY: `cur` is on the path from `x` to its root, which the
+        // caller owns exclusively.
+        let p = unsafe { parent.read(cur as usize) };
         if p == cur {
             return cur;
         }
-        let gp = parent.read(p as usize);
+        // SAFETY: `p` is `cur`'s parent — same caller-owned path.
+        let gp = unsafe { parent.read(p as usize) };
         if gp == p {
             return p;
         }
-        parent.write(cur as usize, gp);
+        // SAFETY: path-halving writes only to `cur`, on the owned path.
+        unsafe { parent.write(cur as usize, gp) };
         cur = gp;
     }
 }

@@ -14,6 +14,7 @@
 //! predecessor is the parent; the first edge's parent is the chain's anchor
 //! edge `p`; the root chain's first edge is edge 0, the dendrogram root.
 
+use pandora_exec::counters::RelaxedCounter;
 use pandora_exec::radix::par_radix_sort_u64;
 use pandora_exec::trace::KernelKind;
 use pandora_exec::{ExecCtx, UnsafeSlice, DEFAULT_GRAIN};
@@ -51,7 +52,7 @@ pub fn assign_chain_keys_into(
     let last_level = hierarchy.n_levels() - 1;
     keys.clear();
     keys.resize(n, 0);
-    let total_checks = std::sync::atomic::AtomicU64::new(0);
+    let total_checks = RelaxedCounter::new();
     {
         let keys_view = UnsafeSlice::new(keys.as_mut_slice());
         let h = hierarchy;
@@ -89,11 +90,11 @@ pub fn assign_chain_keys_into(
                 // SAFETY: slot e written exactly once.
                 unsafe { keys_view.write(e, ((key as u64) << 32) | e as u64) };
             }
-            checks_ref.fetch_add(local_checks, std::sync::atomic::Ordering::Relaxed);
+            checks_ref.add(local_checks);
         });
     }
     // The walk is gather-dominated: one random read per (edge, level) check.
-    let checks = total_checks.load(std::sync::atomic::Ordering::Relaxed);
+    let checks = total_checks.get();
     ctx.record(KernelKind::Gather, checks, checks * 16);
 }
 

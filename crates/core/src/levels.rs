@@ -103,7 +103,9 @@ pub fn max_incident_into(ctx: &ExecCtx, tree: &LevelTree, packed: &mut Vec<u64>)
             |range| {
                 for i in range {
                     let key = pack_incident(ids[i], i as u32);
+                    // pandora-lint: allow(PL004) — packed incident-edge max is commutative; readers run only after the dispatch joins
                     view[src[i] as usize].fetch_max(key, std::sync::atomic::Ordering::Relaxed);
+                    // pandora-lint: allow(PL004) — as above — the same commutative fetch_max on the other endpoint
                     view[dst[i] as usize].fetch_max(key, std::sync::atomic::Ordering::Relaxed);
                 }
             },

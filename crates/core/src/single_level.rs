@@ -10,6 +10,7 @@
 //! ablation benchmark can measure the difference; results are bit-identical
 //! to the multilevel algorithm.
 
+use pandora_exec::counters::RelaxedCounter;
 use pandora_exec::trace::KernelKind;
 use pandora_exec::{ExecCtx, UnsafeSlice, DEFAULT_GRAIN};
 
@@ -103,7 +104,7 @@ pub fn dendrogram_single_level(ctx: &ExecCtx, mst: &SortedMst) -> Dendrogram {
 
     // Chain keys for all edges.
     let mut keys = vec![0u64; n];
-    let total_steps = std::sync::atomic::AtomicU64::new(0);
+    let total_steps = RelaxedCounter::new();
     {
         let keys_view = UnsafeSlice::new(&mut keys);
         // Map global edge id → (is_alpha, alpha position | non-alpha rank).
@@ -152,12 +153,12 @@ pub fn dendrogram_single_level(ctx: &ExecCtx, mst: &SortedMst) -> Dendrogram {
                 // SAFETY: slot e written once.
                 unsafe { keys_view.write(e, ((key as u64) << 32) | e as u64) };
             }
-            steps_ref.fetch_add(local_steps, std::sync::atomic::Ordering::Relaxed);
+            steps_ref.add(local_steps);
         });
     }
     // The walk is a dendrogram traversal; traced under its own kind so the
     // ablation can read the step count back.
-    let steps = total_steps.load(std::sync::atomic::Ordering::Relaxed);
+    let steps = total_steps.get();
     ctx.record(KernelKind::TreeTraverse, steps, steps * 16);
 
     ctx.set_phase("sort");

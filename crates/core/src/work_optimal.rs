@@ -223,7 +223,7 @@ fn split(ctx: &ExecCtx, sub: &Subproblem, pool: &ScratchPool) -> (Subproblem, Su
         let out = UnsafeSlice::new(&mut root);
         ctx.for_each_chunk(nv, DEFAULT_GRAIN, |range| {
             for v in range {
-                // Safety: each index is written by exactly one chunk.
+                // SAFETY: each index is written by exactly one chunk.
                 unsafe { out.write(v, dsu.find(v as u32)) };
             }
         });
@@ -238,6 +238,7 @@ fn split(ctx: &ExecCtx, sub: &Subproblem, pool: &ScratchPool) -> (Subproblem, Su
         let top = as_atomic_u32(&mut comp_top);
         ctx.for_each(m - mid, DEFAULT_GRAIN, |i| {
             let r = root[sub.src[mid + i] as usize] as usize;
+            // pandora-lint: allow(PL004) — commutative fetch_min picks the component's top edge in any order; read only after for_each joins
             top[r].fetch_min(sub.edges[mid + i], Ordering::Relaxed);
         });
     }
@@ -307,7 +308,7 @@ fn remap(
         let view = UnsafeSlice::new(&mut out);
         ctx.for_each_chunk(endpoints.len(), DEFAULT_GRAIN, |range| {
             for i in range {
-                // Safety: each index is written by exactly one chunk.
+                // SAFETY: each index is written by exactly one chunk.
                 unsafe { view.write(i, f(endpoints[i] as usize)) };
             }
         });
@@ -331,7 +332,7 @@ fn solve_leaf(sub: &Subproblem, ep: &UnsafeSlice<u32>, vp: &UnsafeSlice<u32>, po
             let r = dsu.find(endpoint) as usize;
             let top = rep[r];
             if top != INVALID {
-                // Safety: `top` is this leaf's live cluster top; it stops
+                // SAFETY: `top` is this leaf's live cluster top; it stops
                 // being one right here, so no other write targets it.
                 unsafe { ep.write(top as usize, gid) };
             } else {
@@ -339,10 +340,10 @@ fn solve_leaf(sub: &Subproblem, ep: &UnsafeSlice<u32>, vp: &UnsafeSlice<u32>, po
                 // globally unique attach slot.
                 let slot = sub.attach[endpoint as usize];
                 if slot & EDGE_FLAG != 0 {
-                    // Safety: attach slots are globally unique.
+                    // SAFETY: attach slots are globally unique.
                     unsafe { ep.write((slot & !EDGE_FLAG) as usize, gid) };
                 } else {
-                    // Safety: attach slots are globally unique.
+                    // SAFETY: attach slots are globally unique.
                     unsafe { vp.write(slot as usize, gid) };
                 }
             }

@@ -80,8 +80,11 @@ pub fn par_radix_sort_pairs(ctx: &ExecCtx, keys: &mut Vec<u64>, values: &mut Vec
         } else {
             let vals_view = UnsafeSlice::new(values);
             let val_aux_view = UnsafeSlice::new(&mut val_aux);
-            radix_pass(ctx, &key_aux, keys, shift, |i, out| unsafe {
-                vals_view.write(out, val_aux_view.read(i))
+            radix_pass(ctx, &key_aux, keys, shift, |i, out| {
+                // SAFETY: `out` is the scatter destination computed from the
+                // exclusive per-digit prefix sums, so it is unique per element
+                // within the pass; reads from the source side are read-only.
+                unsafe { vals_view.write(out, val_aux_view.read(i)) }
             })
         };
         if reordered {

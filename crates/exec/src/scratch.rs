@@ -39,10 +39,9 @@
 //! how much memory the pool retains and how often a take was served
 //! without allocating.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
 use parking_lot::Mutex;
 
+use crate::counters::RelaxedCounter;
 use crate::dsu::AtomicDsu;
 
 /// One typed free-list lane of the pool.
@@ -88,9 +87,9 @@ pub struct ScratchPool {
     triples: Lane<(u32, u32, u32)>,
     /// Reusable union–find structures.
     dsus: Mutex<Vec<AtomicDsu>>,
-    outstanding: AtomicUsize,
-    takes: AtomicUsize,
-    hits: AtomicUsize,
+    outstanding: RelaxedCounter,
+    takes: RelaxedCounter,
+    hits: RelaxedCounter,
 }
 
 macro_rules! lane_methods {
@@ -99,10 +98,10 @@ macro_rules! lane_methods {
         /// Must be balanced by the matching `put_*` (or have been taken via
         /// the `detach_*` variant).
         pub fn $take(&self) -> Vec<$t> {
-            self.outstanding.fetch_add(1, Ordering::Relaxed);
-            self.takes.fetch_add(1, Ordering::Relaxed);
+            self.outstanding.incr();
+            self.takes.incr();
             let (v, hit) = self.$lane.take();
-            self.hits.fetch_add(hit as usize, Ordering::Relaxed);
+            self.hits.add(hit as u64);
             v
         }
 
@@ -110,13 +109,13 @@ macro_rules! lane_methods {
         /// output instead of returned — counted as immediately balanced.
         pub fn $detach(&self) -> Vec<$t> {
             let v = self.$take();
-            self.outstanding.fetch_sub(1, Ordering::Relaxed);
+            self.outstanding.sub(1);
             v
         }
 
         /// Returns a buffer to the pool for reuse.
         pub fn $put(&self, v: Vec<$t>) {
-            let prev = self.outstanding.fetch_sub(1, Ordering::Relaxed);
+            let prev = self.outstanding.sub(1);
             debug_assert!(prev > 0, "put without a matching take");
             self.$lane.put(v);
         }
@@ -159,12 +158,12 @@ impl ScratchPool {
     /// Checks out a union–find over `0..n` singletons (reusing a previous
     /// structure's storage when one is pooled).
     pub fn take_dsu(&self, n: usize) -> AtomicDsu {
-        self.outstanding.fetch_add(1, Ordering::Relaxed);
-        self.takes.fetch_add(1, Ordering::Relaxed);
+        self.outstanding.incr();
+        self.takes.incr();
         let pooled = self.dsus.lock().pop();
         match pooled {
             Some(mut d) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.incr();
                 d.reset(n);
                 d
             }
@@ -174,7 +173,7 @@ impl ScratchPool {
 
     /// Returns a union–find to the pool.
     pub fn put_dsu(&self, d: AtomicDsu) {
-        let prev = self.outstanding.fetch_sub(1, Ordering::Relaxed);
+        let prev = self.outstanding.sub(1);
         debug_assert!(prev > 0, "put without a matching take");
         self.dsus.lock().push(d);
     }
@@ -182,17 +181,17 @@ impl ScratchPool {
     /// Number of checked-out buffers not yet returned (0 between runs for a
     /// leak-free workspace).
     pub fn outstanding(&self) -> usize {
-        self.outstanding.load(Ordering::Relaxed)
+        self.outstanding.get() as usize
     }
 
     /// Total takes served so far.
     pub fn takes(&self) -> usize {
-        self.takes.load(Ordering::Relaxed)
+        self.takes.get() as usize
     }
 
     /// Takes served from the free lists (no allocation).
     pub fn reuse_hits(&self) -> usize {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get() as usize
     }
 
     /// Bytes currently retained by pooled (idle) buffers.
@@ -217,7 +216,7 @@ impl Drop for ScratchPool {
         // by a put or have used a detach variant. Skipped mid-panic so an
         // unwinding test reports its own failure, not this one.
         if cfg!(debug_assertions) && !std::thread::panicking() {
-            let outstanding = *self.outstanding.get_mut();
+            let outstanding = self.outstanding.get_mut();
             assert_eq!(
                 outstanding, 0,
                 "ScratchPool dropped with {outstanding} leased buffer(s) unreturned"

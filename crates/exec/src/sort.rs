@@ -119,25 +119,31 @@ unsafe fn merge_into<T, K, F>(
     let mut j = mid;
     let mut out = lo;
     while i < mid && j < hi {
-        let a = src.read(i);
-        let b = src.read(j);
+        // SAFETY: `i < mid <= hi` and `j < hi`, both inside the
+        // caller-owned `[lo, hi)` of `src`.
+        let (a, b) = unsafe { (src.read(i), src.read(j)) };
         // `<=` keeps the merge stable.
         if key(&a) <= key(&b) {
-            dst.write(out, a);
+            // SAFETY: `out` advances once per consumed element, so it stays
+            // inside the caller-owned `[lo, hi)` of `dst`.
+            unsafe { dst.write(out, a) };
             i += 1;
         } else {
-            dst.write(out, b);
+            // SAFETY: as above — `out < hi` while elements remain.
+            unsafe { dst.write(out, b) };
             j += 1;
         }
         out += 1;
     }
     while i < mid {
-        dst.write(out, src.read(i));
+        // SAFETY: `i` and `out` remain inside the caller-owned `[lo, hi)`.
+        unsafe { dst.write(out, src.read(i)) };
         i += 1;
         out += 1;
     }
     while j < hi {
-        dst.write(out, src.read(j));
+        // SAFETY: `j` and `out` remain inside the caller-owned `[lo, hi)`.
+        unsafe { dst.write(out, src.read(j)) };
         j += 1;
         out += 1;
     }

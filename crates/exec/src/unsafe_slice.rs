@@ -16,16 +16,20 @@ pub struct UnsafeSlice<'a, T> {
 // SAFETY: all access goes through `unsafe` methods whose contract requires
 // the caller to guarantee disjointness; the wrapper itself adds no aliasing.
 unsafe impl<T: Send> Send for UnsafeSlice<'_, T> {}
+// SAFETY: shared references only hand out data through the same
+// caller-guaranteed-disjoint methods, so cross-thread sharing adds no
+// access the Send impl above did not already justify.
 unsafe impl<T: Send> Sync for UnsafeSlice<'_, T> {}
 
 impl<'a, T> UnsafeSlice<'a, T> {
     /// Wraps a mutable slice.
     pub fn new(slice: &'a mut [T]) -> Self {
         let ptr = slice as *mut [T] as *const [UnsafeCell<T>];
-        // SAFETY: `UnsafeCell<T>` has the same layout as `T`.
-        Self {
-            slice: unsafe { &*ptr },
-        }
+        // SAFETY: `UnsafeCell<T>` is `repr(transparent)` over `T`, so the
+        // slice layouts match, and the exclusive borrow we hold makes the
+        // reinterpreted shared view the only live path to the data.
+        let cells = unsafe { &*ptr };
+        Self { slice: cells }
     }
 
     /// Number of elements.
@@ -46,7 +50,9 @@ impl<'a, T> UnsafeSlice<'a, T> {
     #[inline(always)]
     pub unsafe fn write(&self, index: usize, value: T) {
         debug_assert!(index < self.slice.len());
-        *self.slice.get_unchecked(index).get() = value;
+        // SAFETY: the debug-checked bound plus the caller's exclusive claim
+        // on `index` make the unchecked access and the write race-free.
+        unsafe { *self.slice.get_unchecked(index).get() = value };
     }
 
     /// Reads the value at `index`.
@@ -60,7 +66,9 @@ impl<'a, T> UnsafeSlice<'a, T> {
         T: Copy,
     {
         debug_assert!(index < self.slice.len());
-        *self.slice.get_unchecked(index).get()
+        // SAFETY: in-bounds per the debug-checked assert; no concurrent
+        // writer per the caller's contract.
+        unsafe { *self.slice.get_unchecked(index).get() }
     }
 
     /// Returns a mutable reference to element `index`.
@@ -72,7 +80,9 @@ impl<'a, T> UnsafeSlice<'a, T> {
     #[inline(always)]
     pub unsafe fn get_mut(&self, index: usize) -> &mut T {
         debug_assert!(index < self.slice.len());
-        &mut *self.slice.get_unchecked(index).get()
+        // SAFETY: in-bounds per the debug-checked assert; the caller
+        // guarantees the reference is the only live access to `index`.
+        unsafe { &mut *self.slice.get_unchecked(index).get() }
     }
 
     /// Returns a mutable sub-slice for `range`.
@@ -84,7 +94,10 @@ impl<'a, T> UnsafeSlice<'a, T> {
     pub unsafe fn slice_mut(&self, range: std::ops::Range<usize>) -> &mut [T] {
         debug_assert!(range.start <= range.end && range.end <= self.slice.len());
         let base = self.slice.as_ptr() as *mut T;
-        std::slice::from_raw_parts_mut(base.add(range.start), range.end - range.start)
+        // SAFETY: `range` is in bounds of the backing slice, so the offset
+        // pointer and length describe live memory; the caller guarantees no
+        // other access overlaps the range while the reborrow lives.
+        unsafe { std::slice::from_raw_parts_mut(base.add(range.start), range.end - range.start) }
     }
 }
 

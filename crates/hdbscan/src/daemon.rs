@@ -73,13 +73,14 @@ pub mod proto;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
+use pandora_exec::counters::RelaxedCounter;
 use pandora_exec::ExecCtx;
 use pandora_mst::PointSet;
 
@@ -283,21 +284,21 @@ pub struct CounterSnapshot {
 
 #[derive(Debug, Default)]
 struct Counters {
-    served: AtomicU64,
-    engine_runs: AtomicU64,
-    coalesced: AtomicU64,
-    shed: AtomicU64,
+    served: RelaxedCounter,
+    engine_runs: RelaxedCounter,
+    coalesced: RelaxedCounter,
+    shed: RelaxedCounter,
     /// Requests currently executing on worker lanes.
-    active: AtomicU64,
+    active: RelaxedCounter,
 }
 
 impl Counters {
     fn snapshot(&self) -> CounterSnapshot {
         CounterSnapshot {
-            served: self.served.load(Ordering::Relaxed),
-            engine_runs: self.engine_runs.load(Ordering::Relaxed),
-            coalesced: self.coalesced.load(Ordering::Relaxed),
-            shed: self.shed.load(Ordering::Relaxed),
+            served: self.served.get(),
+            engine_runs: self.engine_runs.get(),
+            coalesced: self.coalesced.get(),
+            shed: self.shed.get(),
         }
     }
 }
@@ -346,7 +347,7 @@ fn write_line(out: &mut dyn Write, counters: &Counters, line: &str) {
     let _ = out.write_all(line.as_bytes());
     let _ = out.write_all(b"\n");
     let _ = out.flush();
-    counters.served.fetch_add(1, Ordering::Relaxed);
+    counters.served.incr();
 }
 
 /// Coalescing key: requests with equal keys in flight at the same time
@@ -570,7 +571,7 @@ impl Shared {
             if let Some(key) = &key {
                 self.in_flight.lock().remove(key);
             }
-            self.counters.shed.fetch_add(1, Ordering::Relaxed);
+            self.counters.shed.incr();
             return Err(RequestRejected {
                 id: request.id,
                 error,
@@ -582,7 +583,7 @@ impl Shared {
     /// Executes one queued job and writes its response(s) — the leader's
     /// and every coalesced follower's.
     fn execute(&self, job: Job) {
-        self.counters.active.fetch_add(1, Ordering::Relaxed);
+        self.counters.active.incr();
         let (method, outcome) = match &job.work {
             Work::Load(params) => ("load", self.run_load(params)),
             Work::Cluster(params) => ("cluster", self.run_cluster(params)),
@@ -595,9 +596,7 @@ impl Shared {
             .as_ref()
             .and_then(|key| self.in_flight.lock().remove(key))
             .unwrap_or_default();
-        self.counters
-            .coalesced
-            .fetch_add(waiters.len() as u64, Ordering::Relaxed);
+        self.counters.coalesced.add(waiters.len() as u64);
         let respond = |id: &Json, sink: &Sink| {
             let line = match &outcome {
                 Ok(result) => proto::response_ok(id, result.clone()),
@@ -609,7 +608,7 @@ impl Shared {
         for waiter in &waiters {
             respond(&waiter.id, &waiter.sink);
         }
-        self.counters.active.fetch_sub(1, Ordering::Relaxed);
+        self.counters.active.sub(1);
         self.record_latency(method, job.enqueued);
     }
 
@@ -644,7 +643,7 @@ impl Shared {
     fn run_cluster(&self, params: &ClusterParams) -> Result<Json, WireError> {
         let index = self.lookup(&params.dataset)?;
         let mut session = index.session_with_ctx(ExecCtx::serial());
-        self.counters.engine_runs.fetch_add(1, Ordering::Relaxed);
+        self.counters.engine_runs.incr();
         let result = session
             .run(&params.request)
             .map_err(|e| proto::pandora_error(&e))?;
@@ -659,7 +658,7 @@ impl Shared {
         let mut session = index.session_with_ctx(ExecCtx::serial());
         let mut results = Vec::with_capacity(params.min_pts.len());
         for &min_pts in &params.min_pts {
-            self.counters.engine_runs.fetch_add(1, Ordering::Relaxed);
+            self.counters.engine_runs.incr();
             let result = session
                 .run(&params.base.min_pts(min_pts))
                 .map_err(|e| proto::pandora_error(&e))?;
@@ -696,10 +695,7 @@ impl Shared {
                 Json::obj(vec![
                     ("depth", Json::Int(depth as i64)),
                     ("capacity", Json::Int(capacity as i64)),
-                    (
-                        "active",
-                        Json::Int(self.counters.active.load(Ordering::Relaxed) as i64),
-                    ),
+                    ("active", Json::Int(self.counters.active.get() as i64)),
                 ]),
             ),
             ("datasets", self.registry.stats_json()),

@@ -261,7 +261,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, byte: u8, msg: &'static str) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, byte: u8, msg: &'static str) -> Result<(), JsonError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -297,7 +297,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.expect(b'[', "expected '['")?;
+        self.expect_byte(b'[', "expected '['")?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -320,7 +320,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.expect(b'{', "expected '{'")?;
+        self.expect_byte(b'{', "expected '{'")?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -331,7 +331,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':', "expected ':' after object key")?;
+            self.expect_byte(b':', "expected ':' after object key")?;
             self.skip_ws();
             let value = self.value(depth + 1)?;
             pairs.push((key, value));
@@ -348,7 +348,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"', "expected '\"'")?;
+        self.expect_byte(b'"', "expected '\"'")?;
         let mut out = String::new();
         loop {
             let start = self.pos;
@@ -404,7 +404,7 @@ impl<'a> Parser<'a> {
                     // Surrogate pair: require the low half.
                     if self.peek() == Some(b'\\') {
                         self.pos += 1;
-                        self.expect(b'u', "expected low surrogate escape")?;
+                        self.expect_byte(b'u', "expected low surrogate escape")?;
                         let lo = self.hex4()?;
                         if !(0xdc00..0xe000).contains(&lo) {
                             return Err(self.err("invalid low surrogate"));

@@ -1,0 +1,136 @@
+//! CLI for `pandora-lint`.
+//!
+//! ```text
+//! pandora-lint [--root DIR] [--format human|json] [--out FILE] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unwaived findings, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pandora_lint::{all_rules, Analyzer, Config};
+
+struct Args {
+    root: Option<PathBuf>,
+    format: Format,
+    out: Option<PathBuf>,
+    list_rules: bool,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Human,
+    Json,
+}
+
+fn usage() -> &'static str {
+    "usage: pandora-lint [--root DIR] [--format human|json] [--out FILE] [--list-rules]\n\
+     \n\
+     Analyzes the workspace module graph against the PL rule catalog\n\
+     (docs/ANALYSIS.md). --out writes the JSON report to FILE regardless\n\
+     of --format. Exit code 1 means unwaived findings."
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        format: Format::Human,
+        out: None,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root needs a directory")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--format" => match it.next().as_deref() {
+                Some("human") => args.format = Format::Human,
+                Some("json") => args.format = Format::Json,
+                other => return Err(format!("--format human|json, got {other:?}")),
+            },
+            "--out" => {
+                let v = it.next().ok_or("--out needs a file path")?;
+                args.out = Some(PathBuf::from(v));
+            }
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Find the workspace root: walk up from cwd to the first Cargo.toml
+/// declaring `[workspace]`.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("pandora-lint: {e}");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for rule in all_rules() {
+            let m = rule.meta();
+            println!("{}  {:<26} {}", m.code, m.name, m.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(root) = args.root.or_else(find_root) else {
+        eprintln!("pandora-lint: no workspace root found (try --root)");
+        return ExitCode::from(2);
+    };
+
+    let analyzer = Analyzer::new(Config::default());
+    let report = match analyzer.analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pandora-lint: analysis failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(out) = &args.out {
+        if let Err(e) = std::fs::write(out, report.to_json()) {
+            eprintln!("pandora-lint: cannot write {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    match args.format {
+        Format::Human => print!("{}", report.to_human()),
+        Format::Json => print!("{}", report.to_json()),
+    }
+
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,77 @@
+//! Repo policy knobs for the analyzer.
+//!
+//! The *scopes* here are selectors over the computed module graph, never
+//! file lists: a selector like `pandora_hdbscan::daemon` covers every
+//! present and future submodule of the daemon, so the protected sets grow
+//! with the code instead of rotting beside it.
+
+use crate::modgraph::SourceFile;
+use crate::rules::module_matches;
+
+/// A file-set selector over the module graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Selector {
+    /// Matches a lib module path and all of its submodules,
+    /// e.g. `pandora_hdbscan::daemon` also matches `…::daemon::json`.
+    Module(String),
+    /// Matches a binary target root by bin name, e.g. `pandorad`.
+    Bin(String),
+}
+
+impl Selector {
+    pub fn matches(&self, file: &SourceFile) -> bool {
+        match self {
+            Selector::Module(m) => module_matches(&file.module_path, m),
+            Selector::Bin(name) => module_matches(&file.module_path, &format!("bin:{name}")),
+        }
+    }
+
+    pub fn describe(&self) -> String {
+        match self {
+            Selector::Module(m) => format!("module {m} (and submodules)"),
+            Selector::Bin(b) => format!("binary {b}"),
+        }
+    }
+}
+
+/// Analyzer configuration. [`Config::default`] encodes this repository's
+/// policy; tests construct narrower configs to exercise scoping.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// The serving tier (PL001): modules bound by the "no public entry
+    /// point panics on user input" contract in docs/SERVING.md.
+    pub serving_selectors: Vec<Selector>,
+    /// Compute-kernel crates (PL005): everything under the serial ≡
+    /// threaded bit-identity contract.
+    pub kernel_crates: Vec<String>,
+    /// Modules whose `Ordering::Relaxed` uses are counters-only and
+    /// audited wholesale in docs/ANALYSIS.md (PL004 allowlist). Selectors
+    /// are module-path prefixes.
+    pub relaxed_allowed_modules: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            serving_selectors: vec![
+                Selector::Module("pandora_hdbscan::serve".into()),
+                Selector::Module("pandora_hdbscan::daemon".into()),
+                Selector::Module("pandora_mst::error".into()),
+                Selector::Module("pandora_mst::index".into()),
+                Selector::Bin("pandorad".into()),
+            ],
+            kernel_crates: vec![
+                "pandora-exec".into(),
+                "pandora-mst".into(),
+                "pandora-core".into(),
+            ],
+            // `counters` is the designated stats-counter module: every
+            // Relaxed atomic in it is an exact-by-RMW counter read only
+            // for reporting (the audit contract is spelled out in the
+            // module's own docs and in docs/ANALYSIS.md §PL004). All other
+            // Relaxed uses need a per-site waiver with an ordering
+            // argument.
+            relaxed_allowed_modules: vec!["pandora_exec::counters".into()],
+        }
+    }
+}

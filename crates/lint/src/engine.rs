@@ -1,0 +1,66 @@
+//! The analysis driver: walk the module graph, lex each file, run every
+//! in-scope rule, apply waivers, and assemble the [`Report`].
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::config::Config;
+use crate::lexer::lex;
+use crate::modgraph::{walk_workspace, SourceFile};
+use crate::report::{Finding, Report};
+use crate::rules::{all_rules, Rule};
+use crate::waiver::{apply_waivers, scan_waivers, WaivedFinding};
+
+/// The analyzer. Construct with a [`Config`] (or [`Analyzer::default`] for
+/// repo policy) and call [`Analyzer::analyze_workspace`].
+#[derive(Debug, Default)]
+pub struct Analyzer {
+    pub config: Config,
+}
+
+impl Analyzer {
+    pub fn new(config: Config) -> Self {
+        Analyzer { config }
+    }
+
+    /// Analyze the workspace rooted at `root` (directory containing the
+    /// workspace `Cargo.toml`).
+    pub fn analyze_workspace(&self, root: &Path) -> io::Result<Report> {
+        let graph = walk_workspace(root)?;
+        let rules = all_rules();
+        let mut report = Report {
+            root: root.display().to_string(),
+            files_analyzed: graph.files.len(),
+            ..Report::default()
+        };
+        for file in &graph.files {
+            let src = fs::read_to_string(root.join(&file.rel_path))?;
+            let (unwaived, waived) = self.check_source(file, &src, &rules);
+            report.findings.extend(unwaived);
+            report.waived.extend(waived);
+        }
+        report.sort();
+        Ok(report)
+    }
+
+    /// Run every in-scope rule over one file's source text and apply its
+    /// waivers. Exposed so fixture tests can drive the engine on synthetic
+    /// [`SourceFile`]s without a workspace on disk.
+    pub fn check_source(
+        &self,
+        file: &SourceFile,
+        src: &str,
+        rules: &[Box<dyn Rule>],
+    ) -> (Vec<Finding>, Vec<WaivedFinding>) {
+        let lexed = lex(src);
+        let mut findings = Vec::new();
+        for rule in rules {
+            if rule.applies(file, &self.config) {
+                rule.check(file, &lexed, &self.config, &mut findings);
+            }
+        }
+        let scan = scan_waivers(&lexed);
+        apply_waivers(&file.rel_path, findings, &scan)
+    }
+}

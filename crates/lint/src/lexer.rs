@@ -1,0 +1,534 @@
+//! A hand-rolled lexer for the subset of Rust that static-analysis rules
+//! need to see *correctly*: real code tokens on one side, comment text on
+//! the other, with string/char/lifetime literals consumed whole so a rule
+//! can never fire on `"panic!"` inside a string the way `grep` does.
+//!
+//! The lexer is deliberately lossy about things rules never look at
+//! (numeric literal grammar, operator clustering) and deliberately exact
+//! about the things that make text-level tools lie:
+//!
+//! * line comments (`//`, `///`, `//!`) run to end of line;
+//! * block comments (`/* .. */`, `/** .. */`) **nest**, per the Rust
+//!   reference;
+//! * string `"…"`, byte-string `b"…"`, and C-string `c"…"` literals honour
+//!   escapes (`\"` does not terminate);
+//! * raw strings `r"…"`, `r#"…"#`, `br##"…"##` honour the hash count and
+//!   contain no escapes;
+//! * `'a'`/`'\n'` char literals are distinguished from `'a`/`'static`
+//!   lifetimes (so the lexer never eats half a file after a lifetime);
+//! * raw identifiers `r#match` are identifiers, not raw strings.
+
+/// What a single lexed token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `unwrap`, `HashMap`, `r#match`, …).
+    Ident,
+    /// Any punctuation byte (`.`, `!`, `(`, `{`, `:` …), one per token.
+    Punct(char),
+    /// A lifetime such as `'a` or `'static` (includes the quote).
+    Lifetime,
+    /// String-ish literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`, `'x'`.
+    Literal,
+    /// Numeric literal (consumed loosely: digits, `_`, suffixes, exponents).
+    Number,
+}
+
+/// A code token with its source position (1-indexed line).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Token text. For [`TokKind::Literal`] this is the full literal
+    /// including delimiters; rules generally ignore literal text.
+    pub text: String,
+    /// 1-indexed line the token starts on.
+    pub line: u32,
+}
+
+/// Kind of comment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommentKind {
+    Line,
+    Block,
+}
+
+/// A comment with its span and the text *inside* the delimiters.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub kind: CommentKind,
+    /// Comment body without `//`/`/*`/`*/` delimiters (single leading
+    /// doc-marker `/`/`!`/`*` is preserved; waiver parsing strips it).
+    pub text: String,
+    /// 1-indexed first line of the comment.
+    pub line_start: u32,
+    /// 1-indexed last line of the comment.
+    pub line_end: u32,
+    /// True when no code token precedes the comment on `line_start`
+    /// (an "own-line" comment rather than a trailing one).
+    pub own_line: bool,
+}
+
+/// Lexer output: the token stream and the comment stream, both in source
+/// order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// True if any code token starts on `line`.
+    pub fn line_has_token(&self, line: u32) -> bool {
+        // Tokens are in source order; a binary search would work, but the
+        // callers hit this rarely enough that a scan keeps the code simple.
+        self.tokens.iter().any(|t| t.line == line)
+    }
+
+    /// First line strictly after `line` that carries a code token, if any.
+    pub fn next_code_line(&self, line: u32) -> Option<u32> {
+        self.tokens.iter().map(|t| t.line).find(|&l| l > line)
+    }
+}
+
+/// Lex `src` into tokens and comments. Never panics on malformed input:
+/// unterminated literals/comments simply run to end of file, which is the
+/// forgiving behaviour a lint wants (rustc will reject the file anyway).
+pub fn lex(src: &str) -> Lexed {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    /// Whether a code token has been emitted on the current line.
+    token_on_line: bool,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            token_on_line: false,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.bytes.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    /// Advance one byte, tracking line numbers.
+    fn bump(&mut self) -> u8 {
+        let b = self.bytes[self.pos];
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.token_on_line = false;
+        }
+        b
+    }
+
+    fn push_tok(&mut self, kind: TokKind, text: String, line: u32) {
+        self.token_on_line = true;
+        self.out.tokens.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while self.pos < self.bytes.len() {
+            let b = self.peek(0);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'r' | b'b' | b'c' if self.raw_or_byte_prefix() => {}
+                b'"' => self.string_literal(b'"'),
+                b'\'' => self.quote(),
+                b'0'..=b'9' => self.number(),
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.ident(),
+                _ if b >= 0x80 => {
+                    // Non-ASCII outside strings/comments: Rust allows
+                    // unicode identifiers; treat a run as an ident.
+                    self.ident()
+                }
+                _ => {
+                    let line = self.line;
+                    let c = self.bump() as char;
+                    self.push_tok(TokKind::Punct(c), c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let own_line = !self.token_on_line;
+        self.bump();
+        self.bump(); // consume `//`
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.out.comments.push(Comment {
+            kind: CommentKind::Line,
+            text,
+            line_start: line,
+            line_end: line,
+            own_line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line_start = self.line;
+        let own_line = !self.token_on_line;
+        self.bump();
+        self.bump(); // consume `/*`
+        let start = self.pos;
+        let mut depth = 1usize;
+        let mut end = self.pos;
+        while self.pos < self.bytes.len() {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                self.bump();
+                self.bump();
+                depth += 1;
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                end = self.pos;
+                self.bump();
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                self.bump();
+            }
+        }
+        if depth != 0 {
+            end = self.pos; // unterminated: runs to EOF
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..end]).into_owned();
+        self.out.comments.push(Comment {
+            kind: CommentKind::Block,
+            text,
+            line_start,
+            line_end: self.line,
+            own_line,
+        });
+    }
+
+    /// Handle `r`/`b`/`c` prefixes that start raw strings, byte strings, or
+    /// raw identifiers. Returns true if it consumed something; false means
+    /// "just an identifier starting with r/b/c" and the caller falls
+    /// through to `ident()` via the dispatch loop.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let b0 = self.peek(0);
+        // b"..."  c"..."  — escaped string with a one-byte prefix.
+        if (b0 == b'b' || b0 == b'c') && self.peek(1) == b'"' {
+            let line = self.line;
+            self.bump();
+            self.string_literal_at(b'"', line, 1);
+            return true;
+        }
+        // b'x' byte literal.
+        if b0 == b'b' && self.peek(1) == b'\'' {
+            let line = self.line;
+            self.bump(); // b
+            self.bump(); // '
+            self.char_body(line);
+            return true;
+        }
+        // r"..."  r#"..."#  br#"..."#  cr"..." — raw strings, no escapes.
+        // r#ident — raw identifier.
+        let (raw_at, _prefix_len) = if b0 == b'r' {
+            (0usize, 1usize)
+        } else if (b0 == b'b' || b0 == b'c') && self.peek(1) == b'r' {
+            (1usize, 2usize)
+        } else {
+            return false;
+        };
+        let mut hashes = 0usize;
+        while self.peek(raw_at + 1 + hashes) == b'#' {
+            hashes += 1;
+        }
+        let after = self.peek(raw_at + 1 + hashes);
+        if after == b'"' {
+            self.raw_string(raw_at + 1, hashes);
+            return true;
+        }
+        if raw_at == 0 && hashes >= 1 && is_ident_start(after) {
+            // Raw identifier r#match. (Two hashes is not valid Rust; the
+            // forgiving choice is to lex `r#` + ident anyway.)
+            let line = self.line;
+            self.bump(); // r
+            self.bump(); // #
+            let start = self.pos;
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+            self.push_tok(TokKind::Ident, text, line);
+            return true;
+        }
+        false
+    }
+
+    /// Raw string starting at `self.pos + prefix_len` (the opening quote),
+    /// with `hashes` guard hashes. No escape processing.
+    fn raw_string(&mut self, prefix_len: usize, hashes: usize) {
+        let line = self.line;
+        let start = self.pos;
+        for _ in 0..prefix_len + hashes + 1 {
+            self.bump(); // prefix, hashes, opening quote
+        }
+        loop {
+            if self.pos >= self.bytes.len() {
+                break; // unterminated
+            }
+            if self.peek(0) == b'"' {
+                let mut ok = true;
+                for h in 0..hashes {
+                    if self.peek(1 + h) != b'#' {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..1 + hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push_tok(TokKind::Literal, text, line);
+    }
+
+    fn string_literal(&mut self, quote: u8) {
+        let line = self.line;
+        self.string_literal_at(quote, line, 0);
+    }
+
+    /// Escaped string literal; `consumed` bytes of prefix were already
+    /// bumped (e.g. the `b` of `b"…"`). `self.pos` is at the quote.
+    fn string_literal_at(&mut self, quote: u8, line: u32, consumed: usize) {
+        let start = self.pos - consumed;
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            let b = self.bump();
+            if b == b'\\' && self.pos < self.bytes.len() {
+                self.bump(); // escaped byte — may be `"` or `\`
+            } else if b == quote {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push_tok(TokKind::Literal, text, line);
+    }
+
+    /// A `'` begins either a char literal or a lifetime. Disambiguation
+    /// (mirrors rustc): it is a char literal iff the next char is escaped,
+    /// or the char after the next one is a closing `'`. Otherwise, if an
+    /// identifier follows, it is a lifetime.
+    fn quote(&mut self) {
+        let line = self.line;
+        if self.peek(1) == b'\\' {
+            self.bump(); // '
+            self.char_body(line);
+            return;
+        }
+        if is_ident_start(self.peek(1)) && self.peek(2) != b'\'' {
+            // Lifetime: 'a, 'static, '_ …
+            let start = self.pos;
+            self.bump(); // '
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+            self.push_tok(TokKind::Lifetime, text, line);
+            return;
+        }
+        self.bump(); // '
+        self.char_body(line);
+    }
+
+    /// Body of a char/byte literal after the opening quote was consumed.
+    fn char_body(&mut self, line: u32) {
+        let start = self.pos.saturating_sub(1);
+        while self.pos < self.bytes.len() {
+            let b = self.bump();
+            if b == b'\\' && self.pos < self.bytes.len() {
+                self.bump();
+            } else if b == b'\'' {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push_tok(TokKind::Literal, text, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        // Loose: digits, `_`, hex/bin/oct letters, suffixes, `.` between
+        // digits, exponents with signs. Exactness is irrelevant to rules.
+        while self.pos < self.bytes.len() {
+            let b = self.peek(0);
+            let continues = b.is_ascii_alphanumeric()
+                || b == b'_'
+                || (b == b'.' && self.peek(1).is_ascii_digit())
+                || ((b == b'+' || b == b'-')
+                    && matches!(self.bytes.get(self.pos - 1), Some(b'e') | Some(b'E'))
+                    && self.peek(1).is_ascii_digit());
+            if !continues {
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push_tok(TokKind::Number, text, line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let b = self.peek(0);
+            if is_ident_continue(b) || b >= 0x80 {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push_tok(TokKind::Ident, text, line);
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic()
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_swallow_rule_text() {
+        let l = lex(r#"let s = "panic!(\"boom\").unwrap()"; s.len();"#);
+        let ids: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ids, ["let", "s", "s", "len"]);
+    }
+
+    #[test]
+    fn raw_strings_honour_hash_count() {
+        let l = lex(r###"let s = r#"unwrap() " still inside "#; done();"###);
+        assert!(
+            idents(r###"let s = r#"unwrap() " still inside "#; done();"###)
+                .contains(&"done".to_string())
+        );
+        assert!(!l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "unwrap"));
+    }
+
+    #[test]
+    fn byte_and_cstring_prefixes() {
+        assert_eq!(idents(r#"f(b"dbg!(x)", c"todo!()", br"panic!");"#), ["f"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ code();");
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("inner"));
+        assert!(l.tokens.iter().any(|t| t.text == "code"));
+    }
+
+    #[test]
+    fn unterminated_block_comment_runs_to_eof() {
+        let l = lex("/* never closed\ncode();");
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.tokens.is_empty());
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> &'static str { 'x'; '\\n'; x }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'static"]);
+        let chars = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn raw_identifier_is_ident_not_raw_string() {
+        assert_eq!(idents("let r#match = 1;"), ["let", "match"]);
+    }
+
+    #[test]
+    fn labels_then_char_after() {
+        // 'outer: loop — label lexes as a lifetime, not an unterminated char.
+        let l = lex("'outer: loop { break 'outer; }");
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'outer"));
+    }
+
+    #[test]
+    fn trailing_comment_is_not_own_line() {
+        let l = lex("code(); // trailing\n// own line\n");
+        assert!(!l.comments[0].own_line);
+        assert!(l.comments[1].own_line);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_strings() {
+        let l = lex("let a = \"two\nlines\";\nb();");
+        let b = l.tokens.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let l = lex("/// docs with unwrap()\n//! inner docs\nfn f() {}");
+        assert_eq!(l.comments.len(), 2);
+        assert!(!l.tokens.iter().any(|t| t.text == "unwrap"));
+    }
+}

@@ -1,0 +1,48 @@
+//! `pandora-lint` — a repo-aware, dependency-free static analyzer that
+//! makes the stack's two load-bearing contracts machine-checked instead of
+//! grep-enforced folklore:
+//!
+//! * the serving tier's **"no public entry point panics on user input"**
+//!   promise (docs/SERVING.md), and
+//! * the **serial ≡ threaded bit-identical** guarantee every backend
+//!   differential rests on.
+//!
+//! Three design decisions separate this from the grep steps it replaces:
+//!
+//! 1. **A real lexer** ([`lexer`]): rules see code tokens, never text
+//!    inside strings, raw strings, chars, or (nested) comments.
+//! 2. **Computed file sets** ([`modgraph`]): "the serving tier" is
+//!    everything the module graph reaches from the serving selectors —
+//!    a new daemon submodule is covered the moment it is declared.
+//! 3. **Accountable waivers** ([`waiver`]): suppressions carry a mandatory
+//!    reason, and a waiver whose rule stops firing is itself a finding
+//!    (PL006), so allows cannot accumulate silently.
+//!
+//! The rule catalog lives in [`rules`] and is documented for humans in
+//! `docs/ANALYSIS.md`.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use pandora_lint::{Analyzer, Config};
+//! let report = Analyzer::new(Config::default())
+//!     .analyze_workspace(std::path::Path::new("."))
+//!     .expect("workspace readable");
+//! if !report.clean() {
+//!     eprintln!("{}", report.to_human());
+//! }
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod modgraph;
+pub mod report;
+pub mod rules;
+pub mod waiver;
+
+pub use config::{Config, Selector};
+pub use engine::Analyzer;
+pub use modgraph::{walk_workspace, ModuleGraph, SourceFile, TargetKind};
+pub use report::{Finding, Report};
+pub use rules::{all_rules, Rule, RuleMeta};

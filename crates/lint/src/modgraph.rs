@@ -1,0 +1,496 @@
+//! Workspace module-graph walker.
+//!
+//! Rules want *computed* file sets ("the serving tier", "the compute
+//! kernels"), not hand-maintained lists that silently rot as modules are
+//! added. This walker reads the workspace manifest, finds every crate
+//! target root (lib, bins, tests, examples, benches), and resolves
+//! `mod foo;` / `#[path = "…"] mod foo;` declarations recursively — so a
+//! new `crates/hdbscan/src/daemon/tls.rs` joins the serving-tier set the
+//! moment `daemon.rs` declares it, with no list to update.
+//!
+//! Vendored dependency shims (`vendor/`) are workspace members but are
+//! stand-ins for external code; they are excluded from analysis.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Lexed, TokKind};
+
+/// Which Cargo target a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetKind {
+    Lib,
+    Bin,
+    Test,
+    Example,
+    Bench,
+}
+
+impl TargetKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TargetKind::Lib => "lib",
+            TargetKind::Bin => "bin",
+            TargetKind::Test => "test",
+            TargetKind::Example => "example",
+            TargetKind::Bench => "bench",
+        }
+    }
+}
+
+/// One analyzed source file with its resolved place in the module graph.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// Cargo package name, e.g. `pandora-mst`.
+    pub crate_name: String,
+    /// Resolved module path. For lib modules this is the real Rust path
+    /// (`pandora_hdbscan::daemon::json`); for bin roots it is `bin:<name>`;
+    /// for test/example/bench roots, `<kind>:<stem>`.
+    pub module_path: String,
+    pub target: TargetKind,
+    /// Line ranges (1-indexed, inclusive) of inline `#[cfg(test)] mod`
+    /// blocks — unit-test code embedded in production files.
+    pub cfg_test_ranges: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// True if `line` falls inside an inline `#[cfg(test)]` module.
+    pub fn in_cfg_test(&self, line: u32) -> bool {
+        self.cfg_test_ranges
+            .iter()
+            .any(|&(a, b)| line >= a && line <= b)
+    }
+}
+
+/// The resolved module graph of the workspace.
+#[derive(Debug, Default)]
+pub struct ModuleGraph {
+    pub files: Vec<SourceFile>,
+}
+
+/// Walk the workspace rooted at `root` (the directory holding the
+/// workspace `Cargo.toml`) and resolve every first-party source file.
+pub fn walk_workspace(root: &Path) -> io::Result<ModuleGraph> {
+    let manifest = fs::read_to_string(root.join("Cargo.toml"))?;
+    let mut package_dirs: Vec<PathBuf> = Vec::new();
+    // The workspace manifest may itself be a package (the facade crate).
+    if manifest.contains("[package]") {
+        package_dirs.push(root.to_path_buf());
+    }
+    for member in workspace_members(&manifest) {
+        if member.starts_with("vendor/") || member.starts_with("vendor\\") {
+            continue; // dependency shims: external code, not ours to lint
+        }
+        package_dirs.push(root.join(member));
+    }
+
+    let mut graph = ModuleGraph::default();
+    for dir in package_dirs {
+        let crate_name = package_name(&dir).unwrap_or_else(|| {
+            dir.file_name()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "unknown".into())
+        });
+        collect_package(root, &dir, &crate_name, &mut graph)?;
+    }
+    graph.files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(graph)
+}
+
+/// Extract the `members = [...]` list from a workspace manifest. A full
+/// TOML parser would be overkill for the two keys we need; this accepts
+/// the subset Cargo itself writes (quoted strings, comments, trailing
+/// commas).
+fn workspace_members(manifest: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let Some(start) = manifest.find("members") else {
+        return out;
+    };
+    let Some(open_rel) = manifest[start..].find('[') else {
+        return out;
+    };
+    let after = &manifest[start + open_rel + 1..];
+    let Some(close) = after.find(']') else {
+        return out;
+    };
+    for line in after[..close].lines() {
+        let line = line.split('#').next().unwrap_or("");
+        let mut rest = line;
+        while let Some(q0) = rest.find('"') {
+            let tail = &rest[q0 + 1..];
+            let Some(q1) = tail.find('"') else { break };
+            out.push(tail[..q1].to_string());
+            rest = &tail[q1 + 1..];
+        }
+    }
+    out
+}
+
+/// First `name = "…"` after `[package]` in the crate manifest.
+fn package_name(dir: &Path) -> Option<String> {
+    let manifest = fs::read_to_string(dir.join("Cargo.toml")).ok()?;
+    let pkg = manifest.find("[package]")?;
+    for line in manifest[pkg..].lines().skip(1) {
+        let t = line.trim();
+        if t.starts_with('[') {
+            break; // next section
+        }
+        if let Some(rest) = t.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(rest) = rest.strip_prefix('=') {
+                let rest = rest.trim();
+                return rest
+                    .strip_prefix('"')
+                    .and_then(|r| r.split('"').next())
+                    .map(|s| s.to_string());
+            }
+        }
+    }
+    None
+}
+
+fn collect_package(
+    root: &Path,
+    dir: &Path,
+    crate_name: &str,
+    graph: &mut ModuleGraph,
+) -> io::Result<()> {
+    let lib_prefix = crate_name.replace('-', "_");
+    let lib = dir.join("src/lib.rs");
+    if lib.is_file() {
+        resolve_tree(root, &lib, &lib_prefix, crate_name, TargetKind::Lib, graph)?;
+    }
+    let main = dir.join("src/main.rs");
+    if main.is_file() {
+        let name = format!("bin:{crate_name}");
+        resolve_tree(root, &main, &name, crate_name, TargetKind::Bin, graph)?;
+    }
+    for (subdir, kind, prefix) in [
+        ("src/bin", TargetKind::Bin, "bin"),
+        ("tests", TargetKind::Test, "test"),
+        ("examples", TargetKind::Example, "example"),
+        ("benches", TargetKind::Bench, "bench"),
+    ] {
+        let d = dir.join(subdir);
+        if !d.is_dir() {
+            continue;
+        }
+        let mut entries: Vec<PathBuf> = fs::read_dir(&d)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_file() && p.extension().is_some_and(|x| x == "rs"))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let stem = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let name = format!("{prefix}:{stem}");
+            resolve_tree(root, &path, &name, crate_name, kind, graph)?;
+        }
+    }
+    Ok(())
+}
+
+/// Recursively resolve `file` and every file module it declares.
+fn resolve_tree(
+    root: &Path,
+    file: &Path,
+    module_path: &str,
+    crate_name: &str,
+    target: TargetKind,
+    graph: &mut ModuleGraph,
+) -> io::Result<()> {
+    let src = fs::read_to_string(file)?;
+    let lexed = lex(&src);
+    let rel = rel_path(root, file);
+    if graph.files.iter().any(|f| f.rel_path == rel) {
+        return Ok(()); // shared module (e.g. tests/common) reached twice
+    }
+
+    // Directory that child file-modules resolve against: the file's own
+    // directory for crate roots and `mod.rs`, `<dir>/<stem>/` otherwise.
+    let file_dir = file.parent().unwrap_or(Path::new(".")).to_path_buf();
+    let is_root_like = file.file_name().is_some_and(|n| n == "mod.rs")
+        || matches!(
+            target,
+            TargetKind::Bin | TargetKind::Test | TargetKind::Example | TargetKind::Bench
+        ) && !module_path.contains("::")
+        || file
+            .file_name()
+            .is_some_and(|n| n == "lib.rs" || n == "main.rs");
+    let child_dir = if is_root_like {
+        file_dir.clone()
+    } else {
+        let stem = file
+            .file_stem()
+            .map(|s| s.to_os_string())
+            .unwrap_or_default();
+        file_dir.join(stem)
+    };
+
+    let scan = scan_mods(&lexed);
+    graph.files.push(SourceFile {
+        rel_path: rel,
+        crate_name: crate_name.to_string(),
+        module_path: module_path.to_string(),
+        target,
+        cfg_test_ranges: scan.cfg_test_ranges,
+    });
+
+    for decl in scan.file_mods {
+        let child_path = format!("{module_path}::{}", decl.name);
+        let candidates: Vec<PathBuf> = match decl.path_attr {
+            Some(p) => vec![file_dir.join(p)],
+            None => vec![
+                child_dir.join(format!("{}.rs", decl.name)),
+                child_dir.join(&decl.name).join("mod.rs"),
+            ],
+        };
+        if let Some(found) = candidates.into_iter().find(|c| c.is_file()) {
+            resolve_tree(root, &found, &child_path, crate_name, target, graph)?;
+        }
+        // A `mod x;` with no file on disk only occurs under cfg gates we
+        // don't evaluate; skipping it is the forgiving choice.
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// A `mod name;` declaration found in a file.
+struct FileModDecl {
+    name: String,
+    /// Value of a `#[path = "…"]` attribute directly above, if any.
+    path_attr: Option<String>,
+}
+
+struct ModScan {
+    file_mods: Vec<FileModDecl>,
+    cfg_test_ranges: Vec<(u32, u32)>,
+}
+
+/// Scan a lexed file for module declarations and inline `#[cfg(test)]`
+/// module spans. Tracks brace depth so `mod x;` inside an inline module
+/// is still found (its parent directory does not change for the cases we
+/// care about: this tree only nests file mods under crate roots and
+/// `mod.rs` files).
+fn scan_mods(lexed: &Lexed) -> ModScan {
+    let toks = &lexed.tokens;
+    let mut file_mods = Vec::new();
+    let mut cfg_test_ranges = Vec::new();
+    let mut depth: i32 = 0;
+    // Stack of (close_depth, start_line) for open #[cfg(test)] mod blocks.
+    let mut test_blocks: Vec<(i32, u32)> = Vec::new();
+    let mut pending_cfg_test = false;
+    let mut pending_path: Option<String> = None;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match &t.kind {
+            TokKind::Punct('#') => {
+                // Attribute: `#[…]` or `#![…]`. Collect its tokens.
+                let mut j = i + 1;
+                if j < toks.len() && toks[j].kind == TokKind::Punct('!') {
+                    j += 1;
+                }
+                if j < toks.len() && toks[j].kind == TokKind::Punct('[') {
+                    let mut bracket = 0i32;
+                    let start = j;
+                    while j < toks.len() {
+                        match toks[j].kind {
+                            TokKind::Punct('[') => bracket += 1,
+                            TokKind::Punct(']') => {
+                                bracket -= 1;
+                                if bracket == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    let attr: Vec<&str> = toks[start..=j.min(toks.len() - 1)]
+                        .iter()
+                        .map(|t| t.text.as_str())
+                        .collect();
+                    if attr.contains(&"cfg") && attr.contains(&"test") && !attr.contains(&"not") {
+                        pending_cfg_test = true;
+                    }
+                    if attr.get(1) == Some(&"path") {
+                        // `[ path = "…" ]` — the literal retains quotes.
+                        if let Some(lit) = toks[start..=j.min(toks.len() - 1)]
+                            .iter()
+                            .find(|t| t.kind == TokKind::Literal)
+                        {
+                            pending_path = Some(lit.text.trim_matches('"').to_string());
+                        }
+                    }
+                    i = j + 1;
+                    continue;
+                }
+            }
+            TokKind::Punct('{') => {
+                depth += 1;
+            }
+            TokKind::Punct('}') => {
+                depth -= 1;
+                if let Some(&(close_depth, start_line)) = test_blocks.last() {
+                    if depth == close_depth {
+                        cfg_test_ranges.push((start_line, t.line));
+                        test_blocks.pop();
+                    }
+                }
+            }
+            TokKind::Ident if t.text == "mod" => {
+                // `mod NAME ;` or `mod NAME {` (skipping nothing between:
+                // visibility precedes `mod`, not follows it).
+                if let Some(name_tok) = toks.get(i + 1) {
+                    if name_tok.kind == TokKind::Ident {
+                        match toks.get(i + 2).map(|t| &t.kind) {
+                            Some(TokKind::Punct(';')) => {
+                                file_mods.push(FileModDecl {
+                                    name: name_tok.text.clone(),
+                                    path_attr: pending_path.take(),
+                                });
+                            }
+                            Some(TokKind::Punct('{')) => {
+                                if pending_cfg_test {
+                                    test_blocks.push((depth, t.line));
+                                }
+                                depth += 1;
+                                pending_path = None;
+                                i += 3;
+                                pending_cfg_test = false;
+                                continue;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                pending_cfg_test = false;
+                pending_path = None;
+            }
+            TokKind::Ident
+                if matches!(
+                    t.text.as_str(),
+                    "fn" | "struct"
+                        | "enum"
+                        | "impl"
+                        | "trait"
+                        | "use"
+                        | "static"
+                        | "const"
+                        | "type"
+                        | "macro_rules"
+                ) =>
+            {
+                // Attributes pending on a non-mod item do not carry over.
+                pending_cfg_test = false;
+                pending_path = None;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // Unterminated test blocks (malformed file): close at last token.
+    if let Some(last) = toks.last() {
+        for (_, start) in test_blocks {
+            cfg_test_ranges.push((start, last.line));
+        }
+    }
+    ModScan {
+        file_mods,
+        cfg_test_ranges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn members_parse() {
+        let m = r#"
+[workspace]
+members = [
+    "crates/exec", # comment
+    "vendor/rand",
+]
+"#;
+        assert_eq!(workspace_members(m), ["crates/exec", "vendor/rand"]);
+    }
+
+    #[test]
+    fn cfg_test_ranges_cover_inline_test_mod() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn b() {}\n";
+        let scan = scan_mods(&lex(src));
+        assert_eq!(scan.cfg_test_ranges, vec![(3, 5)]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_block() {
+        let src = "#[cfg(not(test))]\nmod real {\n    fn t() {}\n}\n";
+        let scan = scan_mods(&lex(src));
+        assert!(scan.cfg_test_ranges.is_empty());
+    }
+
+    #[test]
+    fn file_mods_and_path_attr() {
+        let src =
+            "mod plain;\n#[path = \"other/file.rs\"]\nmod renamed;\nmod inline { mod nested; }\n";
+        let scan = scan_mods(&lex(src));
+        let names: Vec<_> = scan.file_mods.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["plain", "renamed", "nested"]);
+        assert_eq!(
+            scan.file_mods[1].path_attr.as_deref(),
+            Some("other/file.rs")
+        );
+        assert_eq!(scan.file_mods[0].path_attr, None);
+    }
+
+    #[test]
+    fn attr_on_fn_does_not_leak_to_next_mod() {
+        let src = "#[cfg(test)]\nfn helper() {}\nmod real { fn x() {} }\n";
+        let scan = scan_mods(&lex(src));
+        assert!(scan.cfg_test_ranges.is_empty());
+    }
+
+    #[test]
+    fn walks_this_workspace() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let graph = walk_workspace(&root).unwrap();
+        let find = |p: &str| {
+            graph
+                .files
+                .iter()
+                .find(|f| f.rel_path == p)
+                .unwrap_or_else(|| panic!("{p} not in module graph"))
+        };
+        assert_eq!(
+            find("crates/exec/src/scan.rs").module_path,
+            "pandora_exec::scan"
+        );
+        assert_eq!(
+            find("crates/hdbscan/src/daemon/json.rs").module_path,
+            "pandora_hdbscan::daemon::json"
+        );
+        assert_eq!(
+            find("crates/core/src/baseline/union_find.rs").module_path,
+            "pandora_core::baseline::union_find"
+        );
+        assert_eq!(find("src/bin/pandorad.rs").module_path, "bin:pandorad");
+        assert!(graph
+            .files
+            .iter()
+            .all(|f| !f.rel_path.starts_with("vendor/")));
+    }
+}

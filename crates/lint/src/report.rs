@@ -1,0 +1,154 @@
+//! Findings and report serialization (human text and JSON).
+//!
+//! The JSON writer is hand-rolled — the analyzer is dependency-free by
+//! design so it can run before anything else builds.
+
+use crate::waiver::WaivedFinding;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule code (`PL001`…`PL007`).
+    pub rule: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: u32,
+    pub message: String,
+}
+
+/// Full analyzer output for a workspace run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Workspace root the analysis ran on (display only).
+    pub root: String,
+    pub files_analyzed: usize,
+    /// Findings that fail the run, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by a waiver, kept for audit.
+    pub waived: Vec<WaivedFinding>,
+}
+
+impl Report {
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+        self.waived.sort_by(|a, b| {
+            (&a.finding.file, a.finding.line, &a.finding.rule).cmp(&(
+                &b.finding.file,
+                b.finding.line,
+                &b.finding.rule,
+            ))
+        });
+    }
+
+    /// Human-readable report.
+    pub fn to_human(&self) -> String {
+        let mut s = String::new();
+        for f in &self.findings {
+            s.push_str(&format!(
+                "{}:{}: {} {}\n",
+                f.file, f.line, f.rule, f.message
+            ));
+        }
+        s.push_str(&format!(
+            "pandora-lint: {} file(s) analyzed, {} finding(s), {} waived\n",
+            self.files_analyzed,
+            self.findings.len(),
+            self.waived.len()
+        ));
+        s
+    }
+
+    /// Machine-readable report (stable field names; CI uploads this).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"root\": {},\n", json_str(&self.root)));
+        s.push_str(&format!("  \"files_analyzed\": {},\n", self.files_analyzed));
+        s.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(&f.rule),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message)
+            ));
+        }
+        s.push_str(if self.findings.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        s.push_str("  \"waived\": [");
+        for (i, w) in self.waived.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"waiver_line\": {}, \
+                 \"reason\": {}}}",
+                json_str(&w.finding.rule),
+                json_str(&w.finding.file),
+                w.finding.line,
+                w.waiver_line,
+                json_str(&w.reason)
+            ));
+        }
+        s.push_str(if self.waived.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        s.push_str(&format!(
+            "  \"summary\": {{\"unwaived\": {}, \"waived\": {}}}\n}}\n",
+            self.findings.len(),
+            self.waived.len()
+        ));
+        s
+    }
+}
+
+/// Minimal JSON string escape.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn empty_report_is_valid_json_shape() {
+        let r = Report::default();
+        let j = r.to_json();
+        assert!(j.contains("\"findings\": []"));
+        assert!(j.contains("\"unwaived\": 0"));
+    }
+}

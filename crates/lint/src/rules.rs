@@ -1,0 +1,449 @@
+//! The rule catalog.
+//!
+//! Every rule has a stable code (`PL001`…), a computed scope (derived from
+//! the module graph — see [`crate::modgraph`]), and a token-level check
+//! that runs on the [`crate::lexer`] output, so rule text inside strings,
+//! raw strings, and comments can never fire a finding.
+//!
+//! Adding a rule: implement [`Rule`], give it the next free code, push it
+//! in [`all_rules`], add fixtures under `tests/fixtures/`, and document it
+//! in `docs/ANALYSIS.md`. Codes are never reused or renumbered.
+
+use crate::config::Config;
+use crate::lexer::{Lexed, TokKind};
+use crate::modgraph::{SourceFile, TargetKind};
+use crate::report::Finding;
+
+/// Static metadata for one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleMeta {
+    pub code: &'static str,
+    pub name: &'static str,
+    pub summary: &'static str,
+}
+
+/// A single static-analysis rule.
+pub trait Rule {
+    fn meta(&self) -> RuleMeta;
+    /// Whether this rule runs on `file` at all (scope is computed from the
+    /// module graph, never from a hand-maintained file list).
+    fn applies(&self, file: &SourceFile, cfg: &Config) -> bool;
+    /// Emit findings for one file. Only called when `applies` is true.
+    fn check(&self, file: &SourceFile, lexed: &Lexed, cfg: &Config, out: &mut Vec<Finding>);
+}
+
+/// The full registry, in code order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(Pl001ServingPanics),
+        Box::new(Pl002SafetyComment),
+        Box::new(Pl003DebugScaffolding),
+        Box::new(Pl004RelaxedOrdering),
+        Box::new(Pl005HashIteration),
+    ]
+}
+
+/// Codes that may appear in a waiver. PL006/PL007 are emitted by the
+/// waiver machinery itself and cannot be waived (that way lies regress).
+pub fn waivable_codes() -> Vec<&'static str> {
+    all_rules().iter().map(|r| r.meta().code).collect()
+}
+
+fn finding(meta: RuleMeta, file: &SourceFile, line: u32, message: String) -> Finding {
+    Finding {
+        rule: meta.code.to_string(),
+        file: file.rel_path.clone(),
+        line,
+        message,
+    }
+}
+
+/// True for files under the first-party source trees the debug-hygiene
+/// rules patrol (`crates/`, `src/`).
+fn in_first_party_tree(file: &SourceFile) -> bool {
+    file.rel_path.starts_with("crates/") || file.rel_path.starts_with("src/")
+}
+
+// ---------------------------------------------------------------------------
+// PL001 — no panic paths in the serving tier
+// ---------------------------------------------------------------------------
+
+/// The serving tier promises "no public entry point panics on user input"
+/// (docs/SERVING.md). Its file set is computed: every module matched by
+/// [`Config::serving_selectors`], including submodules added later.
+/// Inline `#[cfg(test)]` modules are exempt: unit tests are not entry
+/// points, and panicking on a violated test expectation is their job.
+pub struct Pl001ServingPanics;
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+
+impl Rule for Pl001ServingPanics {
+    fn meta(&self) -> RuleMeta {
+        RuleMeta {
+            code: "PL001",
+            name: "serving-tier-panic",
+            summary: "no panic!/unwrap()/expect()/unreachable!/todo!/unimplemented! \
+                      in the serving-tier module set",
+        }
+    }
+
+    fn applies(&self, file: &SourceFile, cfg: &Config) -> bool {
+        cfg.serving_selectors.iter().any(|s| s.matches(file))
+    }
+
+    fn check(&self, file: &SourceFile, lexed: &Lexed, _cfg: &Config, out: &mut Vec<Finding>) {
+        let toks = &lexed.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            if file.in_cfg_test(t.line) {
+                continue;
+            }
+            let next_is = |k: TokKind| toks.get(i + 1).is_some_and(|n| n.kind == k);
+            if PANIC_MACROS.contains(&t.text.as_str()) && next_is(TokKind::Punct('!')) {
+                out.push(finding(
+                    self.meta(),
+                    file,
+                    t.line,
+                    format!(
+                        "`{}!` in the serving tier — return a typed PandoraError instead",
+                        t.text
+                    ),
+                ));
+            }
+            if PANIC_METHODS.contains(&t.text.as_str())
+                && i > 0
+                && toks[i - 1].kind == TokKind::Punct('.')
+                && next_is(TokKind::Punct('('))
+            {
+                out.push(finding(
+                    self.meta(),
+                    file,
+                    t.line,
+                    format!(
+                        "`.{}()` in the serving tier — propagate the error instead",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PL002 — every unsafe site carries a SAFETY justification
+// ---------------------------------------------------------------------------
+
+/// Every `unsafe` block/fn/impl/trait must be immediately preceded by a
+/// `// SAFETY:` comment stating the invariant that makes it sound.
+/// Attribute lines (`#[inline]`…) may sit between the comment and the
+/// `unsafe` keyword; a blank or code line breaks the association.
+pub struct Pl002SafetyComment;
+
+impl Rule for Pl002SafetyComment {
+    fn meta(&self) -> RuleMeta {
+        RuleMeta {
+            code: "PL002",
+            name: "undocumented-unsafe",
+            summary: "every unsafe block/fn/impl must be immediately preceded by a \
+                      `// SAFETY:` comment",
+        }
+    }
+
+    fn applies(&self, _file: &SourceFile, _cfg: &Config) -> bool {
+        true // everywhere the module graph reaches, tests and benches included
+    }
+
+    fn check(&self, file: &SourceFile, lexed: &Lexed, _cfg: &Config, out: &mut Vec<Finding>) {
+        let attr_lines = attribute_only_lines(lexed);
+        let mut flagged: Vec<u32> = Vec::new();
+        for t in lexed.tokens.iter() {
+            if t.kind != TokKind::Ident || t.text != "unsafe" {
+                continue;
+            }
+            if flagged.contains(&t.line) {
+                continue; // one finding per line; one comment covers it
+            }
+            if has_safety_comment(lexed, &attr_lines, t.line) {
+                continue;
+            }
+            flagged.push(t.line);
+            out.push(finding(
+                self.meta(),
+                file,
+                t.line,
+                "`unsafe` without an immediately-preceding `// SAFETY:` comment \
+                 stating the invariant"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Lines whose code tokens are all part of attributes (`#[…]` / `#![…]`).
+fn attribute_only_lines(lexed: &Lexed) -> Vec<u32> {
+    let toks = &lexed.tokens;
+    // Mark token index ranges belonging to attributes.
+    let mut in_attr = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Punct('#') {
+            let mut j = i + 1;
+            if j < toks.len() && toks[j].kind == TokKind::Punct('!') {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].kind == TokKind::Punct('[') {
+                let mut depth = 0i32;
+                while j < toks.len() {
+                    match toks[j].kind {
+                        TokKind::Punct('[') => depth += 1,
+                        TokKind::Punct(']') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let end = j.min(toks.len() - 1);
+                for flag in in_attr.iter_mut().take(end + 1).skip(i) {
+                    *flag = true;
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    let mut lines: Vec<u32> = Vec::new();
+    let mut by_line: std::collections::BTreeMap<u32, bool> = std::collections::BTreeMap::new();
+    for (k, t) in toks.iter().enumerate() {
+        by_line
+            .entry(t.line)
+            .and_modify(|all| *all &= in_attr[k])
+            .or_insert(in_attr[k]);
+    }
+    for (line, all_attr) in by_line {
+        if all_attr {
+            lines.push(line);
+        }
+    }
+    lines
+}
+
+/// Accepted justification forms: an uppercase `SAFETY` marker (`SAFETY:`,
+/// `SAFETY (both closures):` …) or a rustdoc `# Safety` section — the
+/// caller-contract form conventional on `unsafe fn`/trait declarations.
+fn is_safety_text(text: &str) -> bool {
+    text.contains("SAFETY") || text.contains("# Safety")
+}
+
+/// Does an own-line `// SAFETY:` comment sit immediately above `line`,
+/// with only attribute lines or more comment lines between? Trailing
+/// `// SAFETY:` on the same line also counts.
+fn has_safety_comment(lexed: &Lexed, attr_lines: &[u32], line: u32) -> bool {
+    // Same-line trailing comment.
+    if lexed
+        .comments
+        .iter()
+        .any(|c| c.line_start <= line && c.line_end >= line && is_safety_text(&c.text))
+    {
+        return true;
+    }
+    let mut l = line.saturating_sub(1);
+    while l >= 1 {
+        // A comment covering line l?
+        if let Some(c) = lexed
+            .comments
+            .iter()
+            .find(|c| c.own_line && c.line_start <= l && c.line_end >= l)
+        {
+            if is_safety_text(&c.text) {
+                return true;
+            }
+            // Keep walking: a waiver or unrelated comment may stack above
+            // the SAFETY line.
+            l = c.line_start.saturating_sub(1);
+            continue;
+        }
+        if attr_lines.contains(&l) {
+            l -= 1;
+            continue;
+        }
+        return false; // blank or code line: association broken
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// PL003 — no debug scaffolding
+// ---------------------------------------------------------------------------
+
+/// `dbg!`/`todo!` are always scaffolding. `eprintln!` is scaffolding in
+/// library code; binaries legitimately log to stderr, so bin targets are
+/// exempt from the `eprintln!` half only.
+pub struct Pl003DebugScaffolding;
+
+impl Rule for Pl003DebugScaffolding {
+    fn meta(&self) -> RuleMeta {
+        RuleMeta {
+            code: "PL003",
+            name: "debug-scaffolding",
+            summary: "no dbg!/todo!/eprintln! debug scaffolding in crates/ or src/ \
+                      (eprintln! allowed in bin targets: stderr is their log channel)",
+        }
+    }
+
+    fn applies(&self, file: &SourceFile, _cfg: &Config) -> bool {
+        in_first_party_tree(file)
+    }
+
+    fn check(&self, file: &SourceFile, lexed: &Lexed, _cfg: &Config, out: &mut Vec<Finding>) {
+        let toks = &lexed.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let bang = toks
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokKind::Punct('!'));
+            if !bang {
+                continue;
+            }
+            match t.text.as_str() {
+                "dbg" | "todo" => out.push(finding(
+                    self.meta(),
+                    file,
+                    t.line,
+                    format!("`{}!` is debug scaffolding — remove before merging", t.text),
+                )),
+                "eprintln" if file.target != TargetKind::Bin => out.push(finding(
+                    self.meta(),
+                    file,
+                    t.line,
+                    "`eprintln!` in non-bin code — library code must not write to \
+                     stderr; return errors or use the trace counters"
+                        .to_string(),
+                )),
+                _ => {}
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PL004 — Relaxed atomics are audited
+// ---------------------------------------------------------------------------
+
+/// Every `Ordering::Relaxed` outside the allowlisted counters modules
+/// needs an inline waiver stating why relaxed ordering is sound (what the
+/// value is used for, why no happens-before edge is needed). The Borůvka
+/// fetch_min flush and the DSU are the motivating audit targets.
+/// `#[cfg(test)]` modules are exempt: test counters prove nothing about
+/// production ordering.
+pub struct Pl004RelaxedOrdering;
+
+impl Rule for Pl004RelaxedOrdering {
+    fn meta(&self) -> RuleMeta {
+        RuleMeta {
+            code: "PL004",
+            name: "unaudited-relaxed-ordering",
+            summary: "Ordering::Relaxed outside allowlisted counters modules must carry \
+                      a waiver with the soundness argument",
+        }
+    }
+
+    fn applies(&self, file: &SourceFile, cfg: &Config) -> bool {
+        in_first_party_tree(file)
+            && matches!(file.target, TargetKind::Lib | TargetKind::Bin)
+            && !cfg
+                .relaxed_allowed_modules
+                .iter()
+                .any(|m| module_matches(&file.module_path, m))
+    }
+
+    fn check(&self, file: &SourceFile, lexed: &Lexed, _cfg: &Config, out: &mut Vec<Finding>) {
+        let toks = &lexed.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident || t.text != "Ordering" {
+                continue;
+            }
+            let path_sep = toks
+                .get(i + 1)
+                .is_some_and(|a| a.kind == TokKind::Punct(':'))
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|a| a.kind == TokKind::Punct(':'));
+            let relaxed = toks
+                .get(i + 3)
+                .is_some_and(|a| a.kind == TokKind::Ident && a.text == "Relaxed");
+            if path_sep && relaxed && !file.in_cfg_test(t.line) {
+                out.push(finding(
+                    self.meta(),
+                    file,
+                    toks[i + 3].line,
+                    "`Ordering::Relaxed` outside a counters module — waive with the \
+                     argument for why no happens-before edge is needed"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// Module selector match: exact path or prefix followed by `::`.
+pub fn module_matches(module_path: &str, selector: &str) -> bool {
+    module_path == selector
+        || module_path
+            .strip_prefix(selector)
+            .is_some_and(|rest| rest.starts_with("::"))
+}
+
+// ---------------------------------------------------------------------------
+// PL005 — no std hash collections in the compute kernels
+// ---------------------------------------------------------------------------
+
+/// The serial ≡ threaded bit-identical guarantee dies the moment
+/// `HashMap`/`HashSet` iteration order leaks into results. Whether a
+/// given use iterates is beyond a lexer, so the kernel crates ban the
+/// types outright; a non-iterating use can be waived with a reason.
+pub struct Pl005HashIteration;
+
+impl Rule for Pl005HashIteration {
+    fn meta(&self) -> RuleMeta {
+        RuleMeta {
+            code: "PL005",
+            name: "hash-iteration-order",
+            summary: "no HashMap/HashSet in the compute-kernel crates — iteration \
+                      order would leak into results and break bit-identity",
+        }
+    }
+
+    fn applies(&self, file: &SourceFile, cfg: &Config) -> bool {
+        cfg.kernel_crates.iter().any(|c| c == &file.crate_name) && file.target == TargetKind::Lib
+    }
+
+    fn check(&self, file: &SourceFile, lexed: &Lexed, _cfg: &Config, out: &mut Vec<Finding>) {
+        for t in lexed.tokens.iter() {
+            if t.kind == TokKind::Ident
+                && (t.text == "HashMap" || t.text == "HashSet")
+                && !file.in_cfg_test(t.line)
+            {
+                out.push(finding(
+                    self.meta(),
+                    file,
+                    t.line,
+                    format!(
+                        "`{}` in a compute-kernel crate — use a Vec/BTreeMap or sort \
+                         before iterating; hash iteration order breaks bit-identity",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Inline waivers.
+//!
+//! Syntax (the reason is mandatory — a waiver without an argument is a
+//! finding, not a suppression):
+//!
+//! ```text
+//! // pandora-lint: allow(PL004) — monotonic stats counter, read only for reporting
+//! let n = self.hits.fetch_add(1, Ordering::Relaxed);
+//! ```
+//!
+//! An own-line waiver covers the next line that carries code; a trailing
+//! waiver covers its own line. One waiver may name several rules:
+//! `allow(PL001, PL003)`.
+//!
+//! Two failure modes are themselves findings so waivers cannot rot:
+//! * **PL006** — a waiver whose rule did not fire on the covered line
+//!   (stale allow: the offending code moved or was fixed);
+//! * **PL007** — a malformed waiver (unparseable, unknown code, missing
+//!   reason).
+//!
+//! PL006/PL007 cannot be waived.
+
+use crate::lexer::Lexed;
+use crate::report::Finding;
+use crate::rules::waivable_codes;
+
+/// A parsed, well-formed waiver.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    pub codes: Vec<String>,
+    pub reason: String,
+    /// Line of the waiver comment itself.
+    pub line: u32,
+    /// The single line whose findings this waiver suppresses.
+    pub covers_line: u32,
+}
+
+/// Result of scanning one file's comments for waivers.
+#[derive(Debug, Default)]
+pub struct WaiverScan {
+    pub waivers: Vec<Waiver>,
+    /// PL007 findings for malformed directives.
+    pub malformed: Vec<(u32, String)>,
+}
+
+/// Scan lexed comments for `pandora-lint:` directives.
+pub fn scan_waivers(lexed: &Lexed) -> WaiverScan {
+    let known = waivable_codes();
+    let mut out = WaiverScan::default();
+    for c in &lexed.comments {
+        // Strip doc markers (`///` lexes as text starting "/") and space.
+        let body = c.text.trim_start_matches(['/', '!', '*']).trim();
+        let Some(directive) = body.strip_prefix("pandora-lint:") else {
+            continue;
+        };
+        let directive = directive.trim();
+        let Some(rest) = directive.strip_prefix("allow") else {
+            out.malformed.push((
+                c.line_start,
+                format!("unknown pandora-lint directive `{directive}` — only `allow(...)` exists"),
+            ));
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('(') else {
+            out.malformed
+                .push((c.line_start, "expected `allow(<rule>, …)`".to_string()));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            out.malformed
+                .push((c.line_start, "unclosed `allow(` in waiver".to_string()));
+            continue;
+        };
+        let codes: Vec<String> = rest[..close]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if codes.is_empty() {
+            out.malformed
+                .push((c.line_start, "waiver names no rule codes".to_string()));
+            continue;
+        }
+        if let Some(bad) = codes.iter().find(|code| !known.contains(&code.as_str())) {
+            out.malformed.push((
+                c.line_start,
+                format!(
+                    "unknown or unwaivable rule code `{bad}` (waivable: {})",
+                    known.join(", ")
+                ),
+            ));
+            continue;
+        }
+        // Mandatory reason after a separator: em dash, hyphen(s), or colon.
+        let after = rest[close + 1..].trim_start();
+        let reason = after
+            .strip_prefix('\u{2014}') // —
+            .or_else(|| after.strip_prefix('\u{2013}')) // –
+            .or_else(|| after.strip_prefix("--"))
+            .or_else(|| after.strip_prefix('-'))
+            .or_else(|| after.strip_prefix(':'))
+            .map(str::trim)
+            .unwrap_or("");
+        if reason.is_empty() {
+            out.malformed.push((
+                c.line_start,
+                "waiver has no reason — `// pandora-lint: allow(PLxxx) — <why this is sound>`"
+                    .to_string(),
+            ));
+            continue;
+        }
+        let covers_line = if c.own_line {
+            match lexed.next_code_line(c.line_end) {
+                Some(l) => l,
+                None => {
+                    out.malformed.push((
+                        c.line_start,
+                        "waiver is not followed by any code line".to_string(),
+                    ));
+                    continue;
+                }
+            }
+        } else {
+            c.line_start
+        };
+        out.waivers.push(Waiver {
+            codes,
+            reason: reason.to_string(),
+            line: c.line_start,
+            covers_line,
+        });
+    }
+    out
+}
+
+/// Apply waivers to one file's findings. Returns `(unwaived, waived)` and
+/// appends PL006 stale-waiver findings for every (waiver, code) pair that
+/// suppressed nothing.
+pub fn apply_waivers(
+    rel_path: &str,
+    findings: Vec<Finding>,
+    scan: &WaiverScan,
+) -> (Vec<Finding>, Vec<WaivedFinding>) {
+    let mut used: Vec<(usize, usize)> = Vec::new(); // (waiver idx, code idx)
+    let mut unwaived = Vec::new();
+    let mut waived = Vec::new();
+    for f in findings {
+        let hit = scan.waivers.iter().enumerate().find_map(|(wi, w)| {
+            (w.covers_line == f.line)
+                .then(|| w.codes.iter().position(|c| *c == f.rule).map(|ci| (wi, ci)))
+                .flatten()
+        });
+        match hit {
+            Some((wi, ci)) => {
+                if !used.contains(&(wi, ci)) {
+                    used.push((wi, ci));
+                }
+                waived.push(WaivedFinding {
+                    finding: f,
+                    reason: scan.waivers[wi].reason.clone(),
+                    waiver_line: scan.waivers[wi].line,
+                });
+            }
+            None => unwaived.push(f),
+        }
+    }
+    // Stale waivers: every (waiver, code) that suppressed nothing.
+    for (wi, w) in scan.waivers.iter().enumerate() {
+        for (ci, code) in w.codes.iter().enumerate() {
+            if !used.contains(&(wi, ci)) {
+                unwaived.push(Finding {
+                    rule: "PL006".to_string(),
+                    file: rel_path.to_string(),
+                    line: w.line,
+                    message: format!(
+                        "stale waiver: `{code}` does not fire on line {} — delete the \
+                         allow or move it back beside the code it audits",
+                        w.covers_line
+                    ),
+                });
+            }
+        }
+    }
+    // Malformed waivers.
+    for (line, msg) in &scan.malformed {
+        unwaived.push(Finding {
+            rule: "PL007".to_string(),
+            file: rel_path.to_string(),
+            line: *line,
+            message: msg.clone(),
+        });
+    }
+    (unwaived, waived)
+}
+
+/// A finding that was suppressed by a waiver (still reported, for audit).
+#[derive(Debug, Clone)]
+pub struct WaivedFinding {
+    pub finding: Finding,
+    pub reason: String,
+    pub waiver_line: u32,
+}

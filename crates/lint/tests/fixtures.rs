@@ -1,0 +1,164 @@
+//! Drives the analysis engine over the fixture files in `tests/fixtures/`
+//! — synthetic sources exercising exactly the cases a grep-based checker
+//! gets wrong (rule text inside strings, raw strings, nested comments)
+//! plus the waiver machinery's accountability rules.
+//!
+//! Fixtures are analyzed as text via [`Analyzer::check_source`] with a
+//! hand-built [`SourceFile`] identity; they are never compiled.
+
+use pandora_lint::{all_rules, Analyzer, Finding, SourceFile, TargetKind};
+
+/// Fixture identity: a serving-tier module (PL001 in scope).
+fn serving_file() -> SourceFile {
+    SourceFile {
+        rel_path: "crates/hdbscan/src/serve/fixture.rs".into(),
+        crate_name: "pandora-hdbscan".into(),
+        module_path: "pandora_hdbscan::serve::fixture".into(),
+        target: TargetKind::Lib,
+        cfg_test_ranges: Vec::new(),
+    }
+}
+
+/// Fixture identity: an exec-crate library module (PL002/PL004 in scope).
+fn exec_file() -> SourceFile {
+    SourceFile {
+        rel_path: "crates/exec/src/fixture.rs".into(),
+        crate_name: "pandora-exec".into(),
+        module_path: "pandora_exec::fixture".into(),
+        target: TargetKind::Lib,
+        cfg_test_ranges: Vec::new(),
+    }
+}
+
+/// Fixture identity: a compute-kernel module (PL005 in scope).
+fn kernel_file() -> SourceFile {
+    SourceFile {
+        rel_path: "crates/core/src/fixture.rs".into(),
+        crate_name: "pandora-core".into(),
+        module_path: "pandora_core::fixture".into(),
+        target: TargetKind::Lib,
+        cfg_test_ranges: Vec::new(),
+    }
+}
+
+fn run(file: &SourceFile, src: &str) -> (Vec<Finding>, usize) {
+    let analyzer = Analyzer::default();
+    let rules = all_rules();
+    let (unwaived, waived) = analyzer.check_source(file, src, &rules);
+    (unwaived, waived.len())
+}
+
+fn codes(findings: &[Finding], code: &str) -> Vec<u32> {
+    let mut lines: Vec<u32> = findings
+        .iter()
+        .filter(|f| f.rule == code)
+        .map(|f| f.line)
+        .collect();
+    lines.sort_unstable();
+    lines
+}
+
+#[test]
+fn serving_bad_flags_every_panic_path() {
+    let src = include_str!("fixtures/serving_bad.rs");
+    let (findings, _) = run(&serving_file(), src);
+    let pl001 = codes(&findings, "PL001");
+    // unwrap, panic!, expect, unreachable!, todo!, unimplemented! — six
+    // distinct lines.
+    assert_eq!(pl001.len(), 6, "findings: {findings:?}");
+}
+
+#[test]
+fn serving_good_is_clean_despite_rule_text_in_strings_and_comments() {
+    let src = include_str!("fixtures/serving_good.rs");
+    let (findings, waived) = run(&serving_file(), src);
+    assert!(
+        findings.is_empty(),
+        "lexer failed to skip strings/comments: {findings:?}"
+    );
+    assert_eq!(waived, 0);
+}
+
+#[test]
+fn safety_bad_flags_missing_and_detached_comments() {
+    let src = include_str!("fixtures/safety_bad.rs");
+    let (findings, _) = run(&exec_file(), src);
+    let pl002 = codes(&findings, "PL002");
+    // naked block, detached comment, naked unsafe fn.
+    assert_eq!(pl002.len(), 3, "findings: {findings:?}");
+}
+
+#[test]
+fn safety_good_accepts_every_documented_form() {
+    let src = include_str!("fixtures/safety_good.rs");
+    let (findings, _) = run(&exec_file(), src);
+    assert!(
+        codes(&findings, "PL002").is_empty(),
+        "false positives: {findings:?}"
+    );
+}
+
+#[test]
+fn waiver_fixture_exercises_accountability() {
+    let src = include_str!("fixtures/waivers.rs");
+    let (findings, waived) = run(&serving_file(), src);
+    // Own-line, trailing, and multi-code (PL001 + PL003 on the todo! line)
+    // waivers suppress four findings in total.
+    assert_eq!(waived, 4, "findings: {findings:?}");
+    // The stale waiver fires PL006 once.
+    assert_eq!(codes(&findings, "PL006").len(), 1, "findings: {findings:?}");
+    // Missing reason, unknown code, unwaivable code: three PL007s…
+    assert_eq!(codes(&findings, "PL007").len(), 3, "findings: {findings:?}");
+    // …and the unwrap() under each malformed waiver stays unwaived.
+    assert_eq!(codes(&findings, "PL001").len(), 3, "findings: {findings:?}");
+}
+
+#[test]
+fn relaxed_fixture_needs_a_waiver_outside_counters() {
+    let src = include_str!("fixtures/relaxed.rs");
+    let (findings, waived) = run(&exec_file(), src);
+    // One unwaived Relaxed; the waived one; stronger orderings and
+    // comment/string mentions are free.
+    assert_eq!(codes(&findings, "PL004").len(), 1, "findings: {findings:?}");
+    assert_eq!(waived, 1);
+}
+
+#[test]
+fn relaxed_is_free_inside_the_counters_module() {
+    let src = include_str!("fixtures/relaxed.rs");
+    let mut file = exec_file();
+    file.rel_path = "crates/exec/src/counters.rs".into();
+    file.module_path = "pandora_exec::counters".into();
+    let (findings, _) = run(&file, src);
+    assert!(codes(&findings, "PL004").is_empty(), "{findings:?}");
+    // The fixture's waiver now suppresses nothing → stale (PL006).
+    assert_eq!(codes(&findings, "PL006").len(), 1, "{findings:?}");
+}
+
+#[test]
+fn hash_collections_banned_in_kernel_crates_only() {
+    let src = include_str!("fixtures/hash_kernel.rs");
+    let (findings, _) = run(&kernel_file(), src);
+    let pl005 = codes(&findings, "PL005");
+    // use-line (HashMap + HashSet), map type + ctor, set type: 5 tokens.
+    assert_eq!(pl005.len(), 5, "findings: {findings:?}");
+
+    // The same source in a non-kernel crate is fine.
+    let mut file = kernel_file();
+    file.crate_name = "pandora-hdbscan".into();
+    file.module_path = "pandora_hdbscan::fixture".into();
+    file.rel_path = "crates/hdbscan/src/fixture.rs".into();
+    let (findings, _) = run(&file, src);
+    assert!(codes(&findings, "PL005").is_empty(), "{findings:?}");
+}
+
+#[test]
+fn cfg_test_ranges_exempt_unit_tests_from_pl001() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n\
+               #[cfg(test)]\nmod tests {\n    fn g(x: Option<u32>) -> u32 {\n        x.unwrap()\n    }\n}\n";
+    let mut file = serving_file();
+    file.cfg_test_ranges = vec![(4, 9)];
+    let (findings, _) = run(&file, src);
+    // Only the production unwrap on line 2 fires.
+    assert_eq!(codes(&findings, "PL001"), vec![2], "findings: {findings:?}");
+}

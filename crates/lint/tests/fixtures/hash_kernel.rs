@@ -1,0 +1,26 @@
+//! Fixture: PL005 — HashMap/HashSet in a compute-kernel crate, where
+//! iteration order would break the serial ≡ threaded determinism
+//! contract. Never compiled.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub fn uses_hash_map(keys: &[u32]) -> usize {
+    let mut m: HashMap<u32, u32> = HashMap::new(); // PL005 (twice: type + ctor)
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m.len()
+}
+
+pub fn uses_hash_set(keys: &[u32]) -> usize {
+    let s: HashSet<u32> = keys.iter().copied().collect(); // PL005
+    s.len()
+}
+
+pub fn btree_is_deterministic(keys: &[u32]) -> usize {
+    let mut m: BTreeMap<u32, u32> = BTreeMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m.len()
+}

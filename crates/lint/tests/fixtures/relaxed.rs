@@ -1,0 +1,23 @@
+//! Fixture: PL004 — `Ordering::Relaxed` outside the counters module.
+//! Never compiled.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn unwaived_relaxed(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed) // PL004: no waiver, not a counters module
+}
+
+pub fn waived_relaxed(c: &AtomicU64) {
+    // pandora-lint: allow(PL004) — fixture: commutative RMW, joined before read
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn stronger_orderings_are_fine(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::AcqRel);
+    c.load(Ordering::Acquire)
+}
+
+pub fn relaxed_in_prose_is_fine() -> &'static str {
+    // A comment saying Ordering::Relaxed does not fire.
+    "neither does the string \"Ordering::Relaxed\""
+}

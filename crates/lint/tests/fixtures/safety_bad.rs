@@ -1,0 +1,17 @@
+//! Fixture: PL002 violations — `unsafe` sites whose SAFETY comment is
+//! missing, detached, or on the wrong side. Never compiled.
+
+pub fn naked_block(p: *const u32) -> u32 {
+    unsafe { *p } // PL002 fires: nothing documents this block
+}
+
+pub fn detached_comment(p: *const u32) -> u32 {
+    // SAFETY: this comment is orphaned by the code line below it,
+    // so it does NOT count.
+    let offset = 1;
+    unsafe { *p.add(offset) } // PL002: comment detached
+}
+
+pub unsafe fn naked_unsafe_fn(p: *mut u32) {
+    *p = 0;
+}

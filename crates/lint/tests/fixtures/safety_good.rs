@@ -1,0 +1,41 @@
+//! Fixture: every PL002-accepted way of documenting an `unsafe` site.
+//! Never compiled — analyzed as text by fixtures.rs.
+
+pub fn plain_comment(p: *const u32) -> u32 {
+    // SAFETY: the caller handed us a valid, aligned pointer.
+    unsafe { *p }
+}
+
+pub fn attrs_between_comment_and_unsafe(p: *const u32) -> u32 {
+    // SAFETY: attribute lines may sit between the comment and the keyword.
+    #[allow(clippy::let_and_return)]
+    let v = unsafe { *p };
+    v
+}
+
+pub fn stacked_comments(p: *const u32) -> u32 {
+    // SAFETY: the justification may be buried under later comment lines —
+    // the checker walks the whole run of comments above the site.
+    // (This line is unrelated prose in the same run.)
+    unsafe { *p }
+}
+
+/// Reads through a raw pointer.
+///
+/// # Safety
+///
+/// `p` must be valid for reads — a rustdoc caller contract counts as the
+/// SAFETY documentation for an `unsafe fn` declaration.
+pub unsafe fn doc_contract(p: *const u32) -> u32 {
+    // SAFETY: caller upholds the documented contract.
+    unsafe { *p }
+}
+
+pub fn trailing_same_line(p: *const u32) -> u32 {
+    unsafe { *p } // SAFETY: trailing on the same line is accepted too
+}
+
+// SAFETY: no shared state — the marker type is trivially thread-safe.
+unsafe impl Send for Marker {}
+
+pub struct Marker(*const u32);

@@ -1,0 +1,16 @@
+//! Fixture: a serving-tier module that violates PL001 in every way the
+//! rule knows about. Never compiled — analyzed as text by fixtures.rs.
+
+pub fn handle(input: Option<u32>) -> u32 {
+    let v = input.unwrap(); // PL001: unwrap in serving tier
+    if v == 0 {
+        panic!("zero"); // PL001: panic! in serving tier
+    }
+    let w = input.expect("present"); // PL001: expect in serving tier
+    match w {
+        0 => unreachable!(), // PL001: unreachable! in serving tier
+        1 => todo!(),        // PL001: todo! (also PL003 everywhere)
+        2 => unimplemented!(), // PL001: unimplemented!
+        _ => v + w,
+    }
+}

@@ -1,0 +1,33 @@
+//! Fixture: a serving-tier module where every banned spelling appears
+//! only in places a real lexer must skip — strings, raw strings, chars,
+//! comments (line, block, nested block) — plus the tricky non-calls the
+//! token matcher must not confuse with `Option::unwrap`.
+//!
+//! A grep-based checker flags this file; the lexer-based one must not.
+
+// A line comment mentioning .unwrap() and panic!("oops").
+
+/* A block comment with .expect("x") inside.
+   /* And a NESTED one with todo!() — Rust block comments nest. */
+   Still inside the outer comment: unreachable!().
+*/
+
+pub fn handle(input: Option<u32>) -> Result<String, String> {
+    let doc = "calling .unwrap() here would panic!(\"boom\")";
+    let raw = r#"raw strings swallow .expect("reasons") and "quotes""#;
+    let hashes = r##"even with "# inside: x.unwrap()"##;
+    let ch = '"'; // a char literal is not a string opener
+    let lifetime_not_char: &'static str = "named: 'unwrap"; // lifetime vs char
+    let v = input.ok_or("missing")?;
+    Ok(format!("{doc}{raw}{hashes}{ch}{lifetime_not_char}{v}"))
+}
+
+pub fn unwrap_like_names(v: u32) -> u32 {
+    // Idents that merely *contain* the banned names are fine: the rule
+    // matches method-call tokens, not substrings.
+    fn unwrap_config(x: u32) -> u32 {
+        x
+    }
+    let expected = unwrap_config(v);
+    expected
+}

@@ -1,0 +1,36 @@
+//! Fixture: waiver parsing and accountability. Analyzed as a serving-tier
+//! module so PL001 fires, then waivers are applied. Never compiled.
+
+pub fn own_line_waiver(input: Option<u32>) -> u32 {
+    // pandora-lint: allow(PL001) — fixture: the invariant is established one line up
+    input.unwrap()
+}
+
+pub fn trailing_waiver(input: Option<u32>) -> u32 {
+    input.unwrap() // pandora-lint: allow(PL001) — fixture: trailing form
+}
+
+pub fn multi_code_waiver() -> u32 {
+    // pandora-lint: allow(PL001, PL003) — fixture: one waiver, two rules
+    todo!()
+}
+
+pub fn stale_waiver(input: Option<u32>) -> u32 {
+    // pandora-lint: allow(PL001) — fixture: nothing below actually fires
+    input.unwrap_or(7)
+}
+
+pub fn missing_reason(input: Option<u32>) -> u32 {
+    // pandora-lint: allow(PL001)
+    input.unwrap()
+}
+
+pub fn unknown_code(input: Option<u32>) -> u32 {
+    // pandora-lint: allow(PL999) — fixture: no such rule
+    input.unwrap()
+}
+
+pub fn unwaivable_code(input: Option<u32>) -> u32 {
+    // pandora-lint: allow(PL006) — fixture: accountability rules cannot be waived
+    input.unwrap()
+}

@@ -1,0 +1,106 @@
+//! The analyzer eating its own dog food: the real workspace must come out
+//! clean, and the check must be *sensitive* — tampering with a guarded
+//! file (adding an `unwrap()` to the daemon, deleting a SAFETY comment)
+//! must produce findings. The sensitivity half is what makes the clean
+//! half meaningful: a checker that cannot fail proves nothing.
+
+use std::path::{Path, PathBuf};
+
+use pandora_lint::{all_rules, Analyzer, SourceFile, TargetKind};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+#[test]
+fn workspace_has_zero_unwaived_findings() {
+    let root = workspace_root();
+    let report = Analyzer::default()
+        .analyze_workspace(&root)
+        .expect("analysis runs");
+    assert!(
+        report.files_analyzed > 100,
+        "module graph collapsed: only {} files reached",
+        report.files_analyzed
+    );
+    assert!(
+        report.findings.is_empty(),
+        "unwaived findings in the workspace:\n{}",
+        report.to_human()
+    );
+    // The PL004 audit waivers must actually be load-bearing.
+    assert!(
+        report.waived.iter().any(|w| w.finding.rule == "PL004"),
+        "expected audited Relaxed waivers to be exercised"
+    );
+}
+
+/// The file identity of the serving daemon as the module walker computes
+/// it — the tamper tests below must run under the same identity the real
+/// analysis uses, or they would prove nothing about the serving tier.
+fn daemon_identity(root: &Path) -> SourceFile {
+    let graph = pandora_lint::walk_workspace(root).expect("walk");
+    graph
+        .files
+        .iter()
+        .find(|f| f.rel_path == "crates/hdbscan/src/daemon.rs")
+        .expect("daemon.rs is reachable from the hdbscan crate root")
+        .clone()
+}
+
+#[test]
+fn daemon_is_inside_the_computed_serving_set() {
+    let root = workspace_root();
+    let file = daemon_identity(&root);
+    assert_eq!(file.module_path, "pandora_hdbscan::daemon");
+    assert_eq!(file.target, TargetKind::Lib);
+}
+
+#[test]
+fn adding_an_unwrap_to_the_daemon_fails_the_check() {
+    let root = workspace_root();
+    let file = daemon_identity(&root);
+    let src = std::fs::read_to_string(root.join(&file.rel_path)).expect("read daemon.rs");
+    let tampered = format!("{src}\nfn injected(v: Option<u32>) -> u32 {{\n    v.unwrap()\n}}\n");
+    let analyzer = Analyzer::default();
+    let rules = all_rules();
+    let (clean, _) = analyzer.check_source(&file, &src, &rules);
+    assert!(clean.is_empty(), "daemon.rs is not clean before tampering");
+    let (findings, _) = analyzer.check_source(&file, &tampered, &rules);
+    assert!(
+        findings.iter().any(|f| f.rule == "PL001"),
+        "injected unwrap() was not caught: {findings:?}"
+    );
+}
+
+#[test]
+fn deleting_a_safety_comment_fails_the_check() {
+    let root = workspace_root();
+    let rel = "crates/exec/src/unsafe_slice.rs";
+    let graph = pandora_lint::walk_workspace(&root).expect("walk");
+    let file = graph
+        .files
+        .iter()
+        .find(|f| f.rel_path == rel)
+        .expect("unsafe_slice.rs is reachable")
+        .clone();
+    let src = std::fs::read_to_string(root.join(rel)).expect("read");
+    let stripped: String = src
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("// SAFETY:"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_ne!(src, stripped, "fixture file has SAFETY comments to strip");
+    let analyzer = Analyzer::default();
+    let rules = all_rules();
+    let (clean, _) = analyzer.check_source(&file, &src, &rules);
+    assert!(clean.is_empty(), "unsafe_slice.rs is not clean as-is");
+    let (findings, _) = analyzer.check_source(&file, &stripped, &rules);
+    assert!(
+        findings.iter().any(|f| f.rule == "PL002"),
+        "stripped SAFETY comments were not caught: {findings:?}"
+    );
+}

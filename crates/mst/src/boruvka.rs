@@ -39,10 +39,11 @@
 //!   primary witness the secondary usually survives to warm-start (and
 //!   bound) the fallback search instead of a cold traversal.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 
 use pandora_exec::atomic::{as_atomic_u64, f32_to_ordered_u32, ordered_u32_to_f32};
+use pandora_exec::counters::RelaxedCounter;
 use pandora_exec::trace::KernelKind;
 use pandora_exec::{ExecCtx, ScratchPool, UnsafeSlice, DEFAULT_GRAIN};
 
@@ -69,9 +70,9 @@ fn pack_candidate(d2: f32, p: u32) -> u64 {
 /// flush once per chunk, so the atomics see O(chunks) traffic, not O(n).
 #[derive(Debug, Default)]
 pub struct BoruvkaStats {
-    witness_hits: AtomicU64,
-    researches: AtomicU64,
-    snapshot_adopts: AtomicU64,
+    witness_hits: RelaxedCounter,
+    researches: RelaxedCounter,
+    snapshot_adopts: RelaxedCounter,
 }
 
 impl BoruvkaStats {
@@ -83,33 +84,33 @@ impl BoruvkaStats {
     /// Queries answered outright by a merge-surviving witness — no row
     /// scan, no tree traversal.
     pub fn witness_hits(&self) -> u64 {
-        self.witness_hits.load(Ordering::Relaxed)
+        self.witness_hits.get()
     }
 
     /// Full nearest-foreign tree searches (the work the witnesses exist to
     /// avoid).
     pub fn researches(&self) -> u64 {
-        self.researches.load(Ordering::Relaxed)
+        self.researches.get()
     }
 
     /// Cold runs that warmed their endgame cache from a snapshot another
     /// session published to the shared [`EndgameStore`].
     pub fn snapshot_adopts(&self) -> u64 {
-        self.snapshot_adopts.load(Ordering::Relaxed)
+        self.snapshot_adopts.get()
     }
 
     fn add_chunk(&self, hits: u64, searches: u64) {
         if hits > 0 {
-            self.witness_hits.fetch_add(hits, Ordering::Relaxed);
+            self.witness_hits.add(hits);
         }
         if searches > 0 {
-            self.researches.fetch_add(searches, Ordering::Relaxed);
+            self.researches.add(searches);
         }
     }
 
     /// Records one shared-snapshot adoption (called by the index layer).
     pub fn note_adopt(&self) {
-        self.snapshot_adopts.fetch_add(1, Ordering::Relaxed);
+        self.snapshot_adopts.incr();
     }
 }
 
@@ -179,7 +180,7 @@ pub struct SnapshotSet {
 #[derive(Debug, Default)]
 pub struct EndgameStore {
     published: Mutex<Option<Arc<SnapshotSet>>>,
-    publishes: AtomicU64,
+    publishes: RelaxedCounter,
 }
 
 impl EndgameStore {
@@ -195,7 +196,7 @@ impl EndgameStore {
 
     /// How many snapshot sets have been published (replacements included).
     pub fn publishes(&self) -> u64 {
-        self.publishes.load(Ordering::Relaxed)
+        self.publishes.get()
     }
 
     fn load(&self) -> Option<Arc<SnapshotSet>> {
@@ -229,7 +230,7 @@ impl EndgameStore {
             return;
         }
         *slot = Some(set);
-        self.publishes.fetch_add(1, Ordering::Relaxed);
+        self.publishes.incr();
     }
 }
 
@@ -696,6 +697,7 @@ pub fn boruvka_mst_with<M: Metric>(
                     let root = comp_ref[q as usize] as usize;
                     if root != run_root {
                         if run_best != u64::MAX {
+                            // pandora-lint: allow(PL004) — commutative min-flush: any flush order yields the same per-root winner; the round join publishes it
                             cand_view[run_root].fetch_min(run_best, Ordering::Relaxed);
                         }
                         run_root = root;
@@ -708,6 +710,7 @@ pub fn boruvka_mst_with<M: Metric>(
                         run_best = run_best.min(pack_candidate(d2, q));
                         continue;
                     }
+                    // SAFETY: as above — slot q is owned by this task.
                     let alt = unsafe { alt_view.read(q as usize) };
                     if alt.1 == u32::MAX {
                         continue;
@@ -729,6 +732,7 @@ pub fn boruvka_mst_with<M: Metric>(
                     }
                 }
                 if run_best != u64::MAX {
+                    // pandora-lint: allow(PL004) — final flush of the chunk's tail run — same commutative-min argument as the per-run flush
                     cand_view[run_root].fetch_min(run_best, Ordering::Relaxed);
                 }
             });
@@ -765,10 +769,12 @@ pub fn boruvka_mst_with<M: Metric>(
                     let root = comp_ref[q as usize] as usize;
                     if root != run_root {
                         if run_best != u64::MAX {
+                            // pandora-lint: allow(PL004) — commutative min-flush: any flush order yields the same per-root winner; the round join publishes it
                             cand_view[run_root].fetch_min(run_best, Ordering::Relaxed);
                         }
                         run_root = root;
                         run_best = u64::MAX;
+                        // pandora-lint: allow(PL004) — a stale bound only weakens witness pruning; the true min is re-read after the round joins
                         let packed = cand_view[root].load(Ordering::Relaxed);
                         run_bound = if packed == u64::MAX {
                             f32::INFINITY
@@ -796,9 +802,11 @@ pub fn boruvka_mst_with<M: Metric>(
                     // foreign set only shrinks, so nothing closer appeared
                     // and no equal-distance smaller-index point turned
                     // foreign. Propose it and skip the query entirely.
+                    // SAFETY: as above — slots q are owned by this task.
                     let prev = unsafe { best_view.read(q as usize) };
                     let prev_alive =
                         prev.1 != u32::MAX && comp_ref[prev.1 as usize] as usize != root;
+                    // SAFETY: same slot-q ownership for the canon flag read.
                     if prev_alive && low >= prev.0 && unsafe { canon_view.read(q as usize) } != 0 {
                         run_best = run_best.min(pack_candidate(prev.0, q));
                         run_bound = run_bound.min(prev.0);
@@ -844,8 +852,8 @@ pub fn boruvka_mst_with<M: Metric>(
                             // distance ⇒ the nearest foreign point is at
                             // least that far away, this round and every
                             // later one.
-                            // SAFETY: as above.
                             if kth > low {
+                                // SAFETY: as above — slot q owned by this task.
                                 unsafe { lower_view.write(q as usize, kth) };
                             }
                             if low.max(kth) > run_bound {
@@ -869,6 +877,7 @@ pub fn boruvka_mst_with<M: Metric>(
                     // survivor into `prev` itself).
                     let mut seed = prev_alive.then_some(prev);
                     if seed.is_none() {
+                        // SAFETY: as above — slot q owned by this task.
                         let alt = unsafe { alt_view.read(q as usize) };
                         if alt.1 != u32::MAX && comp_ref[alt.1 as usize] as usize != root {
                             seed = Some(alt);
@@ -927,6 +936,7 @@ pub fn boruvka_mst_with<M: Metric>(
                     }
                 }
                 if run_best != u64::MAX {
+                    // pandora-lint: allow(PL004) — tail flush of the last run — commutative min; readers join the chunk barrier first
                     cand_view[run_root].fetch_min(run_best, Ordering::Relaxed);
                 }
                 if let Some(stats) = stats {

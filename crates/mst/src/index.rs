@@ -137,6 +137,7 @@ impl EmstIndex {
         // content hash — is sufficient and O(1)).
         static NEXT_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
         Ok(Self {
+            // pandora-lint: allow(PL004) — process-unique id: the RMW can never dispense duplicates, and nothing orders against it
             id: NEXT_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             points,
             tree,

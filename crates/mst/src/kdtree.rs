@@ -218,12 +218,17 @@ impl KdTree {
                         ca.total_cmp(&cb).then(a.cmp(&b))
                     });
                     let median = points.point(range[mid] as usize)[split_dim];
+                    // SAFETY: node `nid` appears once in the frontier, so its
+                    // split-dim/value slots are written by this task alone.
                     unsafe {
                         sdim_view.write(nid, split_dim as u32);
                         sval_view.write(nid, median);
                     }
                     let left = left_ref[nid] as usize;
                     for (child, (cs, ce)) in [(left, (s, s + mid)), (left + 1, (s + mid, e))] {
+                        // SAFETY: both children were allocated this level for
+                        // `nid` alone, so their bbox rows and disjoint halves
+                        // of the perm range are owned by this task.
                         unsafe {
                             scan_bbox(
                                 points,
@@ -266,6 +271,7 @@ impl KdTree {
                             &bmax[nid * dim..(nid + 1) * dim],
                         ),
                     );
+                    // SAFETY: slot `fi` of `subtrees` is owned by this task.
                     unsafe { sub_view.write(fi, Some(built)) };
                 }
             });

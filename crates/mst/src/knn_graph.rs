@@ -76,6 +76,7 @@ pub fn knn_graph_mst<M: Metric>(
                     }
                     // Pad rows when fewer than k neighbours exist.
                     for j in nn.len()..k {
+                        // SAFETY: slot q*k+j owned by this iteration.
                         unsafe { view.write(q * k + j, (u32::MAX, 0, 0)) };
                     }
                 }
@@ -131,6 +132,7 @@ pub fn knn_graph_mst<M: Metric>(
                         unsafe { best_view.write(q, (d2, p)) };
                         let key = ((pandora_exec::atomic::f32_to_ordered_u32(d2) as u64) << 32)
                             | q as u64;
+                        // pandora-lint: allow(PL004) — commutative min over packed (dist, idx); the chunk join publishes the winner
                         cand_ref[comp_ref[q] as usize].fetch_min(key, Ordering::Relaxed);
                     }
                 }
@@ -141,6 +143,7 @@ pub fn knn_graph_mst<M: Metric>(
             if comp[root as usize] != root {
                 continue;
             }
+            // pandora-lint: allow(PL004) — read after for_each_chunk joined — the barrier supplies the happens-before
             let packed = candidate[root as usize].load(Ordering::Relaxed);
             if packed == u64::MAX {
                 continue;

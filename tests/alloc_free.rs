@@ -20,18 +20,30 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: pure pass-through to the System allocator plus an atomic counter
+// bump — layout handling, uniqueness and liveness of returned pointers are
+// exactly System's, which upholds the GlobalAlloc contract.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY (each method below): the caller's GlobalAlloc obligations
+    // (valid layout; ptr previously returned by this allocator with the
+    // same layout) are forwarded verbatim to System, which they were
+    // ultimately issued by.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller guarantees `layout` is valid; forwarded as-is.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: see impl-level note — obligations forwarded to System.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` come from a matching System allocation.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: see impl-level note — obligations forwarded to System.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr`/`layout` come from a matching System allocation.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
